@@ -1,0 +1,30 @@
+# Developer convenience targets for the repro library.
+
+PYTHON ?= python
+
+.PHONY: install test bench figures quick-figures report claims clean
+
+install:
+	pip install -e . || $(PYTHON) setup.py develop
+
+test:
+	$(PYTHON) -m pytest tests/
+
+bench:
+	$(PYTHON) -m pytest benchmarks/ --benchmark-only
+
+figures:
+	$(PYTHON) -m repro.cli all --json results_full.json | tee results_full.txt
+
+quick-figures:
+	$(PYTHON) -m repro.cli all --quick
+
+report: results_full.json
+	$(PYTHON) -m repro.cli report --json results_full.json --out RESULTS.md
+
+claims: results_full.json
+	$(PYTHON) -m repro.cli claims --json results_full.json
+
+clean:
+	rm -rf build dist src/repro.egg-info .pytest_cache benchmarks/results
+	find . -name __pycache__ -type d -exec rm -rf {} +

@@ -1,0 +1,38 @@
+"""Shared fixtures for the benchmark suite.
+
+Every figure bench regenerates its (reduced-scale) data panel and writes
+the ASCII table to ``benchmarks/results/<id>.txt`` so a benchmark run
+leaves the regenerated figures on disk next to the timings.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> Path:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+@pytest.fixture
+def write_panels(results_dir):
+    """Writer: persist a list of ExperimentResult panels for one bench."""
+
+    def _write(results) -> None:
+        for result in results:
+            path = results_dir / f"{result.experiment_id}.txt"
+            path.write_text(result.to_table() + "\n")
+
+    return _write
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    return np.random.default_rng(20030622)

@@ -1,0 +1,76 @@
+"""Benches for the design-choice ablations DESIGN.md calls out."""
+
+from repro.experiments.registry import run_experiment
+
+
+def test_bench_ablate_layout(benchmark, write_panels):
+    results = benchmark.pedantic(
+        lambda: run_experiment(
+            "ablate-layout",
+            gamma_ini_grid=(0.02, 0.05, 0.1),
+            burst_rate_grid=(2e-5, 1e-4),
+            lambdas=(30.0, 60.0, 90.0),
+            shape=(12, 12),
+            n_repeats=3,
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    write_panels(results)
+    memory = next(r for r in results if r.experiment_id == "ablate-layout")
+    raw_rm = memory.series_by_label("row-major raw")
+    raw_il = memory.series_by_label("interleaved raw")
+    # Raw damage is layout-independent (the same flip process runs);
+    # only the *placement* relative to redundancy changes.
+    for a, b in zip(raw_rm.y, raw_il.y):
+        assert abs(a - b) < max(a, b) * 0.5
+    # The transit panel is where §8's recommendation shows its teeth:
+    # pixel-major placement defeats preprocessing; interleaving restores
+    # near-full recovery.
+    transit = next(
+        r for r in results if r.experiment_id == "ablate-layout-transit"
+    )
+    pixel = transit.series_by_label("pixel-major + Algo_NGST")
+    inter = transit.series_by_label("interleaved + Algo_NGST")
+    raw = transit.series_by_label("raw (any layout)")
+    for i in range(len(raw.x)):
+        assert inter.y[i] < pixel.y[i] / 3
+        assert pixel.y[i] > raw.y[i] * 0.5  # barely recoverable
+
+
+def test_bench_ablate_windows(benchmark, write_panels):
+    results = benchmark.pedantic(
+        lambda: run_experiment(
+            "ablate-windows",
+            gamma0_grid=(0.001, 0.005, 0.01, 0.025),
+            shape=(12, 12),
+            n_repeats=3,
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    write_panels(results)
+    panel = results[0]
+    full = panel.series_by_label("full")
+    raw = panel.series_by_label("no-preprocessing")
+    # The published combination must beat no preprocessing everywhere.
+    assert all(f < r for f, r in zip(full.y, raw.y))
+
+
+def test_bench_ablate_storage(benchmark, write_panels):
+    results = benchmark.pedantic(
+        lambda: run_experiment(
+            "ablate-storage",
+            gamma0_grid=(0.005, 0.01, 0.05),
+            rows=32,
+            cols=32,
+            n_repeats=2,
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    write_panels(results)
+    panel = results[0]
+    f32_raw = panel.series_by_label("float32 raw")
+    dn_raw = panel.series_by_label("DN raw")
+    assert all(f > 100 * d for f, d in zip(f32_raw.y, dn_raw.y))

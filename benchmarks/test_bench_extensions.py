@@ -1,0 +1,73 @@
+"""Benches for the extension experiments (motivation, compression,
+locality) and the transit fault model."""
+
+import numpy as np
+
+from repro.config import NGSTDatasetConfig
+from repro.data.ngst import generate_walk
+from repro.experiments.registry import run_experiment
+from repro.faults.transit import GilbertElliottConfig, TransitFaultModel
+
+
+def test_bench_motivation(benchmark, write_panels):
+    results = benchmark.pedantic(
+        lambda: run_experiment(
+            "motivation", gamma0_grid=(0.001, 0.01, 0.05), side=12, n_repeats=2
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    write_panels(results)
+    panel = results[0]
+    raw = panel.series_by_label("ABFT (raw input)")
+    pre = panel.series_by_label("ABFT (preprocessed)")
+    # §1 claim: certified output error tracks the input error unless the
+    # input is preprocessed.
+    assert all(p < r for p, r in zip(pre.y, raw.y))
+    assert any("100%" in note for note in panel.notes)
+
+
+def test_bench_compression(benchmark, write_panels):
+    results = benchmark.pedantic(
+        lambda: run_experiment(
+            "compression", gamma0_grid=(0.0, 0.005, 0.01), side=32, n_repeats=2
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    write_panels(results)
+    panel = results[0]
+    clean = panel.series_by_label("clean reference")
+    corrupted = panel.series_by_label("corrupted")
+    preprocessed = panel.series_by_label("preprocessed")
+    # §2 shape: faults cost compression ratio; preprocessing recovers it.
+    assert corrupted.y[-1] < clean.y[-1] * 0.95
+    assert preprocessed.y[-1] > corrupted.y[-1]
+
+
+def test_bench_locality(benchmark, write_panels):
+    results = benchmark.pedantic(
+        lambda: run_experiment(
+            "ablate-locality",
+            gamma0_grid=(0.01, 0.025),
+            lambdas=(60.0, 100.0),
+            n_bands=8,
+            side=24,
+            n_repeats=2,
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    write_panels(results)
+    panel = results[0]
+    spatial = panel.series_by_label("spatial (Algo_OTIS)")
+    spectral = panel.series_by_label("spectral (band-axis voting)")
+    # §7.1 claim: the spatial locality model wins.
+    assert all(sp < sc for sp, sc in zip(spatial.y, spectral.y))
+
+
+def test_bench_transit_model(benchmark):
+    rng = np.random.default_rng(3)
+    stack = generate_walk(NGSTDatasetConfig(n_variants=32), rng, (32, 32))
+    model = TransitFaultModel(GilbertElliottConfig())
+    benchmark(model.corrupt, stack, rng)

@@ -1,0 +1,35 @@
+"""Benches for Figures 1 (architecture) and 8 (dataset morphologies)."""
+
+from repro.experiments.registry import run_experiment
+
+
+def test_bench_figure1(benchmark, write_panels):
+    results = benchmark.pedantic(
+        lambda: run_experiment(
+            "fig1",
+            n_slaves_grid=(1, 2, 4, 8, 15),
+            frame_side=128,
+            tile=32,
+            n_readouts=8,
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    write_panels(results)
+    panel = results[0]
+    plain = panel.series_by_label("no preprocessing")
+    # Scaling: adding workers shortens the simulated makespan.
+    assert plain.y[-1] < plain.y[0]
+
+
+def test_bench_figure8(benchmark, write_panels):
+    results = benchmark.pedantic(
+        lambda: run_experiment("fig8", rows=64, cols=64, n_repeats=5),
+        rounds=1,
+        iterations=1,
+    )
+    write_panels(results)
+    panel = results[0]
+    std = panel.series_by_label("std")
+    # §7.3: Spots most turbulent overall, Blob calmest.
+    assert std.y[2] > std.y[1] > std.y[0]

@@ -1,0 +1,31 @@
+"""Bench for Figure 2 — Ψ vs Γ₀ at varying sensitivities (uncorrelated).
+
+Times the full (reduced-scale) regeneration and writes the panel to
+``benchmarks/results/fig2.txt``.
+"""
+
+from repro.experiments.registry import run_experiment
+
+
+def test_bench_figure2(benchmark, write_panels):
+    results = benchmark.pedantic(
+        lambda: run_experiment(
+            "fig2",
+            gamma0_grid=(0.001, 0.005, 0.01, 0.05),
+            lambdas=(20.0, 50.0, 80.0, 95.0),
+            shape=(12, 12),
+            n_repeats=2,
+        ),
+        rounds=2,
+        iterations=1,
+    )
+    write_panels(results)
+    panel = results[0]
+    raw = panel.series_by_label("no-preprocessing")
+    best_algo = [
+        min(s.y[i] for s in panel.series if s.label.startswith("Algo_NGST"))
+        for i in range(len(raw.x))
+    ]
+    # Paper shape: order-of-magnitude improvement in the practical range.
+    assert best_algo[0] < raw.y[0] / 10
+    assert best_algo[2] < raw.y[2] / 10

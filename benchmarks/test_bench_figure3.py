@@ -1,0 +1,53 @@
+"""Bench for Figure 3 — preprocessing overhead vs sensitivity Λ.
+
+pytest-benchmark times Algo_NGST at each Λ directly (the figure's
+subject *is* execution time), and the regenerated overhead panel is
+written to ``benchmarks/results/fig3.txt``.
+"""
+
+import numpy as np
+import pytest
+
+from repro.config import NGSTConfig, NGSTDatasetConfig
+from repro.core.algo_ngst import AlgoNGST
+from repro.core.preprocessor import NGSTPreprocessor
+from repro.data.ngst import generate_walk
+from repro.experiments.registry import run_experiment
+from repro.faults.injector import FaultInjector
+from repro.faults.uncorrelated import UncorrelatedFaultModel
+
+
+@pytest.fixture(scope="module")
+def corrupted_stack():
+    rng = np.random.default_rng(2003)
+    pristine = generate_walk(
+        NGSTDatasetConfig(n_variants=64, sigma=25.0), rng, (64, 64)
+    )
+    corrupted, _ = FaultInjector(UncorrelatedFaultModel(0.01), seed=1).inject(
+        pristine
+    )
+    return corrupted
+
+
+def test_bench_lambda0_header_only(benchmark, corrupted_stack):
+    pre = NGSTPreprocessor(NGSTConfig(sensitivity=0))
+    benchmark(pre.process_stack, corrupted_stack)
+
+
+@pytest.mark.parametrize("lam", [10, 25, 50, 75, 100])
+def test_bench_algo_ngst_sensitivity(benchmark, corrupted_stack, lam):
+    algo = AlgoNGST(NGSTConfig(sensitivity=float(lam)))
+    benchmark(algo, corrupted_stack)
+
+
+def test_bench_figure3_panel(benchmark, write_panels):
+    results = benchmark.pedantic(
+        lambda: run_experiment("fig3", shape=(48, 48), repeats=2),
+        rounds=1,
+        iterations=1,
+    )
+    write_panels(results)
+    algo = results[0].series_by_label("Algo_NGST")
+    # Paper shape: negligible at Λ=0, growing with Λ.
+    assert algo.y[0] < algo.y[-1] / 10
+    assert algo.y[-1] > algo.y[1]

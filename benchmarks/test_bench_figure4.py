@@ -1,0 +1,30 @@
+"""Bench for Figure 4 — NGST under the correlated fault model."""
+
+from repro.experiments.registry import run_experiment
+
+
+def test_bench_figure4(benchmark, write_panels):
+    results = benchmark.pedantic(
+        lambda: run_experiment(
+            "fig4",
+            gamma_ini_grid=(0.005, 0.01, 0.02, 0.03),
+            lambdas=(30.0, 60.0, 90.0),
+            shape=(12, 12),
+            n_repeats=2,
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    write_panels(results)
+    panel = results[0]
+    algo = panel.series_by_label("Algo_NGST (opt L)")
+    median = panel.series_by_label("median-w3")
+    majority = panel.series_by_label("majority-w3")
+    # Paper shape: Algo_NGST does much better than both smoothers under
+    # correlated bit-locality failures.
+    wins = sum(
+        1
+        for i in range(len(algo.x))
+        if algo.y[i] < median.y[i] and algo.y[i] < majority.y[i]
+    )
+    assert wins >= len(algo.x) - 1

@@ -1,0 +1,24 @@
+"""Bench for Figure 5 — performance across the mean-intensity gamut."""
+
+from repro.experiments.registry import run_experiment
+
+
+def test_bench_figure5(benchmark, write_panels):
+    results = benchmark.pedantic(
+        lambda: run_experiment(
+            "fig5",
+            means=[64, 8192, 27000, 49152, 65535],
+            lambdas=(30.0, 60.0, 90.0),
+            n_datasets=8,
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    write_panels(results)
+    panel = results[0]
+    raw = panel.series_by_label("no-preprocessing")
+    algo = panel.series_by_label("Algo_NGST (opt L)")
+    # Paper shape: preprocessing wins across the entire gamut, and the
+    # raw relative error falls as the mean intensity grows.
+    assert all(a < r for a, r in zip(algo.y, raw.y))
+    assert raw.y[-1] < raw.y[0]

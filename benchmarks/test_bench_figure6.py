@@ -1,0 +1,36 @@
+"""Bench for Figure 6 — quasi-NGST σ sweep with Υ ∈ {2, 4, 6}."""
+
+from repro.experiments.registry import run_experiment
+
+
+def test_bench_figure6(benchmark, write_panels):
+    results = benchmark.pedantic(
+        lambda: run_experiment(
+            "fig6",
+            sigmas=(0.0, 250.0, 8000.0),
+            upsilons=(2, 4, 6),
+            gamma0_grid=(0.0025, 0.01, 0.04),
+            lambdas=(30.0, 60.0, 90.0),
+            shape=(10, 10),
+            n_repeats=2,
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    write_panels(results)
+    by_id = {r.experiment_id: r for r in results}
+    calm = by_id["fig6-sigma0"]
+    # σ = 0: consulting more neighbours helps (Υ=4/6 beat Υ=2 at high Γ₀).
+    u2 = calm.series_by_label("upsilon=2")
+    u4 = calm.series_by_label("upsilon=4")
+    assert u4.y[-1] <= u2.y[-1]
+    # Every panel: preprocessing beats no-preprocessing at optimum.
+    for panel in results:
+        raw = panel.series_by_label("no-preprocessing")
+        best = [
+            min(
+                panel.series_by_label(f"upsilon={u}").y[i] for u in (2, 4, 6)
+            )
+            for i in range(len(raw.x))
+        ]
+        assert all(b <= r for b, r in zip(best, raw.y))

@@ -1,0 +1,33 @@
+"""Bench for Figure 9 — OTIS under correlated faults; breakdown regime."""
+
+from repro.experiments.registry import run_experiment
+
+
+def test_bench_figure9(benchmark, write_panels):
+    results = benchmark.pedantic(
+        lambda: run_experiment(
+            "fig9",
+            gamma_ini_grid=(0.05, 0.1, 0.2, 0.3, 0.4),
+            lambdas=(40.0, 60.0, 80.0),
+            rows=32,
+            cols=32,
+            n_repeats=2,
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    write_panels(results)
+    for panel in results:
+        pseudo = panel.series_by_label("Algo_OTIS pseudo-corr fraction")
+        # Paper mechanism: pseudo-corrections take over past Γ_ini ≈ 0.2.
+        # Genuine corrections dominate below it, and the weighted share
+        # of harm climbs steeply between 0.1 and 0.4.
+        i_low = pseudo.x.index(0.1)
+        i_high = pseudo.x.index(0.4)
+        assert pseudo.y[i_low] < 0.5
+        assert pseudo.y[i_high] > 0.3
+        assert pseudo.y[i_high] > 1.5 * pseudo.y[i_low]
+        # All three preprocessors still help below the breakdown point.
+        raw = panel.series_by_label("no-preprocessing")
+        algo = panel.series_by_label("Algo_OTIS (opt L)")
+        assert algo.y[0] < raw.y[0]

@@ -1,0 +1,76 @@
+#!/usr/bin/env python3
+"""Statistical fault-injection campaign across all three fault models.
+
+The paper's evaluation averages every data point over many datasets
+(Figure 5 uses 100).  The :class:`~repro.faults.campaign.Campaign` API
+makes that workflow a one-liner per arm; this example compares raw vs
+preprocessed Ψ — with confidence intervals — under the three fault
+loci §2.2.2 names: at source/in memory (uncorrelated), in memory under
+radiation bursts (correlated, Eq. 2), and during transit (Gilbert–
+Elliott bursts on the serial stream).
+
+Run:  python examples/fault_campaign.py
+"""
+
+import numpy as np
+
+from repro import (
+    AlgoNGST,
+    CorrelatedFaultModel,
+    NGSTConfig,
+    NGSTDatasetConfig,
+    UncorrelatedFaultModel,
+    generate_walk,
+    psi,
+)
+from repro.faults import Campaign, GilbertElliottConfig, TransitFaultModel
+
+N_TRIALS = 25
+
+
+def generate(rng: np.random.Generator) -> np.ndarray:
+    return generate_walk(
+        NGSTDatasetConfig(n_variants=64, sigma=25.0), rng, shape=(16, 16)
+    )
+
+
+def main() -> None:
+    algo = AlgoNGST(NGSTConfig(upsilon=4, sensitivity=80))
+    models = (
+        ("uncorrelated  G0=1%", UncorrelatedFaultModel(0.01)),
+        ("correlated    Gi=2%", CorrelatedFaultModel(0.02)),
+        (
+            "transit burst p=2e-4",
+            TransitFaultModel(
+                GilbertElliottConfig(
+                    p_good_to_bad=2e-4, p_bad_to_good=0.04, flip_prob_bad=0.4
+                )
+            ),
+        ),
+    )
+
+    print(f"{N_TRIALS} trials per arm, 95% confidence intervals\n")
+    print(f"{'fault model':<22} {'Psi raw':>20} {'Psi preprocessed':>22} {'gain':>7}")
+    for label, model in models:
+        raw = Campaign(generate, model, psi)
+        pre = Campaign(
+            generate, model, psi, preprocess=lambda d: algo(d).corrected
+        )
+        raw_summary, pre_summary, ratio = raw.compare(pre, N_TRIALS, seed=11)
+        print(
+            f"{label:<22} "
+            f"{raw_summary.mean:>11.5f} ±{raw_summary.ci_half_width:.5f} "
+            f"{pre_summary.mean:>13.6f} ±{pre_summary.ci_half_width:.6f} "
+            f"{ratio:>6.1f}x"
+        )
+
+    print(
+        "\nThe same preprocessing configuration recovers all three fault "
+        "loci; burst-type faults\n(correlated/transit) are harder than "
+        "i.i.d. flips at equal marginal rates, since whole\nneighbour "
+        "groups get damaged together."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,131 @@
+#!/usr/bin/env python3
+"""OTIS thermal mapping with ALFT and input preprocessing.
+
+A surface-temperature scene with a hyper-thermal anomaly (a "geyser")
+is sensed into a multi-band radiance cube, stored as 16-bit DN words,
+and corrupted by memory bit-flips (Γ₀ = 5 %).  The OTIS application
+retrieves the temperature map under an ALFT scheme: a primary task, a
+scaled-down secondary (half the bands) on another node, an acceptance
+filter over the output, and a logic grid choosing between them.
+
+The point of the example is §7's argument: when the *input* is corrupt,
+primary and secondary both produce spurious output — the catastrophic
+case ALFT cannot handle — whereas input preprocessing repairs the data
+before retrieval and eliminates the catastrophe, while the §7.2 trend
+exemption preserves the genuine natural anomaly.
+
+Run:  python examples/otis_thermal_mapping.py
+"""
+
+import numpy as np
+
+from repro import FaultInjector, OTISConfig, UncorrelatedFaultModel
+from repro.config import OTISBounds
+from repro.core.algo_otis import AlgoOTIS
+from repro.exceptions import ALFTError
+from repro.otis import (
+    ALFTExecutor,
+    Spectrometer,
+    decode_dn,
+    default_bands,
+)
+from repro.otis.planck import brightness_temperature
+
+EMISSIVITY = 0.97
+
+
+def build_scene(rows: int, cols: int, rng: np.random.Generator) -> np.ndarray:
+    """A 290 K scene with smooth structure and a hot geyser spot."""
+    ys, xs = np.mgrid[0:rows, 0:cols]
+    scene = 290.0 + 4.0 * np.sin(ys / 11.0) * np.cos(xs / 13.0)
+    scene += rng.normal(0.0, 0.3, size=(rows, cols))
+    cy, cx = rows // 3, 2 * cols // 3
+    geyser = ((ys - cy) ** 2 + (xs - cx) ** 2) <= 3.0**2
+    scene[geyser] += 45.0  # hyper-thermal natural phenomenon
+    return scene
+
+
+def retrieve(cube_dn: np.ndarray, bands, dn_scale: float) -> np.ndarray:
+    """Per-band brightness temperatures averaged across bands."""
+    cube = decode_dn(cube_dn, dn_scale)
+    temps = np.stack(
+        [
+            brightness_temperature(band.wavelength_um, cube[z] / EMISSIVITY)
+            for z, band in enumerate(bands)
+        ]
+    )
+    return temps.mean(axis=0)
+
+
+def roughness(temps: np.ndarray) -> float:
+    """Mean deviation from the local 3x3 median — spikes mean damage."""
+    from repro.core.algo_otis import spatial_median
+
+    return float(np.abs(temps - spatial_median(temps)).mean())
+
+
+def acceptance(temps: np.ndarray) -> bool:
+    """Sanity filter: physical range and thermal-scene smoothness."""
+    if not np.isfinite(temps).all():
+        return False
+    out_of_range = float(np.mean((temps < 150.0) | (temps > 400.0)))
+    return out_of_range < 0.005 and roughness(temps) < 2.0
+
+
+def main() -> None:
+    rng = np.random.default_rng(17)
+    rows = cols = 96
+    scene = build_scene(rows, cols, rng)
+    bands = default_bands(6)
+    instrument = Spectrometer(bands)
+    dn_cube = instrument.sense_dn(scene, emissivity=EMISSIVITY, rng=rng)
+
+    corrupted, report = FaultInjector(
+        UncorrelatedFaultModel(0.05), seed=3
+    ).inject(dn_cube)
+    print(f"bit-flips: {report.n_bits_flipped} "
+          f"({report.flip_rate:.4%} of stored bits)\n")
+
+    # Radiance-domain bounds for the preprocessing: 8-12 um radiance of
+    # terrestrial scenes lives well inside [0, 25] W/m^2/sr/um.
+    preprocessor = AlgoOTIS(
+        OTISConfig(
+            sensitivity=60,
+            bounds=OTISBounds(lower=0.0, upper=25.0),
+            dn_scale=instrument.dn_scale,
+        )
+    )
+
+    def primary(cube_dn: np.ndarray) -> np.ndarray:
+        return retrieve(cube_dn, bands, instrument.dn_scale)
+
+    def secondary(cube_dn: np.ndarray) -> np.ndarray:
+        # Scaled-down backup on another node: half the bands.
+        return retrieve(cube_dn[::2], bands[::2], instrument.dn_scale)
+
+    geyser_mask = scene > 320.0
+    print(f"{'configuration':<26} {'temp MAE (K)':>13} {'ALFT outcome':>14} "
+          f"{'geyser kept':>12}")
+    for label, cube in (
+        ("ALFT alone", corrupted),
+        ("ALFT + Algo_OTIS", preprocessor(corrupted).corrected),
+    ):
+        executor = ALFTExecutor(primary, secondary, acceptance)
+        try:
+            outcome = executor.run(cube)
+            temps = outcome.output
+            status = outcome.source.value
+        except ALFTError:
+            temps = primary(cube)  # the frame is shipped anyway, spurious
+            status = "CATASTROPHE"
+        mae = float(np.abs(temps - scene).mean())
+        geyser_kept = bool(np.median(temps[geyser_mask]) > 315.0)
+        print(f"{label:<26} {mae:>13.3f} {status:>14} {str(geyser_kept):>12}")
+
+    print("\nBoth ALFT outputs are spurious under input corruption (the "
+          "catastrophic case);\ninput preprocessing repairs the data before "
+          "retrieval and keeps the genuine anomaly.")
+
+
+if __name__ == "__main__":
+    main()

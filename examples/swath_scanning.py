@@ -1,0 +1,87 @@
+#!/usr/bin/env python3
+"""Inter-frame redundancy: preprocessing an orbital scanning swath.
+
+§9 notes that a wide range of applications expose "temporal, spatial,
+spectral, and other forms of inherent redundancy".  An orbiting imager
+contributes one more: consecutive frames of a scanning swath overlap,
+so most ground pixels are observed several times.  This example scans
+a ground scene with 4× overlap, corrupts each stored frame
+independently, repairs by cross-frame consensus, and compares the
+composited swath against per-frame spatial preprocessing (Algo_OTIS).
+
+Run:  python examples/swath_scanning.py
+"""
+
+import numpy as np
+
+from repro import FaultInjector, OTISConfig, UncorrelatedFaultModel, psi
+from repro.core.algo_otis import AlgoOTIS
+from repro.data.otis import blob
+from repro.otis import (
+    ScanConfig,
+    cross_frame_preprocess,
+    decode_dn,
+    encode_dn,
+    mosaic,
+    scan_scene,
+)
+from repro.otis.scan import Frame
+
+
+def main() -> None:
+    rng = np.random.default_rng(23)
+    scene = encode_dn(blob(128, 96, rng))
+    config = ScanConfig(frame_rows=32, frame_cols=96, step_rows=8)  # 4 revisits
+    frames = scan_scene(scene, config)
+    print(f"swath: {len(frames)} frames, {config.revisits} revisits per "
+          f"interior ground row\n")
+
+    pristine = decode_dn(mosaic(frames, config))
+    injector = FaultInjector(UncorrelatedFaultModel(0.02), seed=4)
+    damaged = [Frame(f.origin_row, injector.inject(f.dn)[0]) for f in frames]
+
+    def frame_psi(candidates):
+        return float(
+            np.mean(
+                [
+                    psi(decode_dn(c.dn), decode_dn(f.dn))
+                    for f, c in zip(frames, candidates)
+                ]
+            )
+        )
+
+    # Arm 1: per-frame spatial preprocessing (no cross-frame knowledge).
+    spatial_algo = AlgoOTIS(OTISConfig(sensitivity=60))
+    spatial = [
+        Frame(f.origin_row, spatial_algo(f.dn).corrected) for f in damaged
+    ]
+
+    # Arm 2: cross-frame consensus over each ground pixel's revisits.
+    consensus = cross_frame_preprocess(damaged, config)
+
+    # Arm 3: both — consensus first, spatial voting on the residue.
+    both = [
+        Frame(f.origin_row, spatial_algo(f.dn).corrected) for f in consensus
+    ]
+
+    print(f"{'preprocessing':<32} {'per-frame Psi':>14} {'mosaic Psi':>12}")
+    for label, candidates in (
+        ("none", damaged),
+        ("cross-frame consensus", consensus),
+        ("per-frame spatial (Algo_OTIS)", spatial),
+        ("consensus + spatial", both),
+    ):
+        per_frame = frame_psi(candidates)
+        composite = psi(decode_dn(mosaic(candidates, config)), pristine)
+        print(f"{label:<32} {per_frame:>14.6f} {composite:>12.6f}")
+
+    print(
+        "\nTwo redundancy scales at work: the median *composite* is already "
+        "protected by the\nrevisits, but any product computed from an "
+        "individual frame is not — cross-frame\nconsensus repairs the frames "
+        "themselves, and spatial voting cleans what remains."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,56 @@
+#!/usr/bin/env python3
+"""Auditing a preprocessing configuration: windows, voters, spectra.
+
+Before committing Υ and Λ for a mission, a designer wants to see what
+the algorithm will actually do on representative data: where the A/B/C
+bit-window boundaries land, how many voters survive the pruning, and —
+after a trial injection — which bit positions get repaired, missed, or
+falsely flipped.  This example runs that audit end to end.
+
+Run:  python examples/window_diagnostics.py
+"""
+
+import numpy as np
+
+from repro import (
+    AlgoNGST,
+    FaultInjector,
+    NGSTConfig,
+    NGSTDatasetConfig,
+    UncorrelatedFaultModel,
+    generate_walk,
+)
+from repro.core.diagnostics import render_profile, sensitivity_profile
+from repro.metrics.spectrum import render_spectrum, residual_attribution
+
+
+def main() -> None:
+    rng = np.random.default_rng(3)
+    pristine = generate_walk(
+        NGSTDatasetConfig(n_variants=64, sigma=25.0), rng, shape=(32, 32)
+    )
+    corrupted, report = FaultInjector(
+        UncorrelatedFaultModel(0.01), seed=9
+    ).inject(pristine)
+    print(f"trial injection: {report.n_bits_flipped} flips "
+          f"({report.flip_rate:.3%} of bits)\n")
+
+    print("— sensitivity profile (dry run on the corrupted data) —")
+    profile = sensitivity_profile(corrupted, lambdas=(10, 30, 50, 70, 90, 100))
+    print(render_profile(profile))
+
+    print("\n— bit-position attribution at L = 80 —")
+    result = AlgoNGST(NGSTConfig(sensitivity=80))(corrupted)
+    spectra = residual_attribution(pristine, corrupted, result.corrected)
+    print(render_spectrum(spectra))
+
+    dominant = spectra["missed"].dominant_positions(0.9)
+    print(f"\n90% of the missed-damage weight sits in bit positions "
+          f"{sorted(dominant, reverse=True)}: repairs are essentially "
+          f"perfect through window A and\ndegrade across the B/C boundary "
+          f"(bits ~7-9 here), below which flips are indistinguishable\n"
+          f"from natural variation — exactly the §3.1 window structure.")
+
+
+if __name__ == "__main__":
+    main()

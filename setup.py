@@ -1,0 +1,11 @@
+"""Setup shim for environments without the ``wheel`` package.
+
+``pip install -e . --no-build-isolation`` needs ``bdist_wheel`` for the
+PEP 660 editable path; this shim lets pip fall back to the legacy
+``setup.py develop`` editable install (``--no-use-pep517``) in offline
+environments.  All metadata lives in ``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

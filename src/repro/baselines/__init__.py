@@ -1,0 +1,32 @@
+"""Standard preprocessing baselines the paper compares against (§4).
+
+* :mod:`repro.baselines.median` — the optimal median smoothing
+  algorithm (Algorithm 2) and its OTIS spatial variant;
+* :mod:`repro.baselines.majority` — the sliding-window bitwise majority
+  voting algorithm (Algorithm 3) and its OTIS spatial variant;
+* :mod:`repro.baselines.smoothing` — the §4 catalogue of generic
+  value-domain smoothers (mean, running average, negative exponential,
+  inverse-square, bi-square).
+"""
+
+from repro.baselines.majority import majority_vote_spatial, majority_vote_temporal
+from repro.baselines.median import median_smooth_spatial, median_smooth_temporal
+from repro.baselines.smoothing import (
+    bisquare_smooth,
+    inverse_square_smooth,
+    mean_smooth,
+    negative_exponential_smooth,
+    running_average_smooth,
+)
+
+__all__ = [
+    "bisquare_smooth",
+    "inverse_square_smooth",
+    "majority_vote_spatial",
+    "majority_vote_temporal",
+    "mean_smooth",
+    "median_smooth_spatial",
+    "median_smooth_temporal",
+    "negative_exponential_smooth",
+    "running_average_smooth",
+]

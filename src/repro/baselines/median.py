@@ -1,0 +1,71 @@
+"""Optimal median smoothing (Algorithm 2, §4.1).
+
+A value-based sliding-window filter; the paper finds a window of three
+pixels optimal for its benchmarks — wider windows raise false alarms
+without adding correction potential — and notes median's robustness
+advantage over the mean.  Endpoints reuse the nearest full window, as in
+the published pseudocode.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import ConfigurationError, DataFormatError
+
+
+def median_smooth_temporal(pixels: np.ndarray, window: int = 3) -> np.ndarray:
+    """Median-smooth along the temporal (leading) axis.
+
+    Args:
+        pixels: array of shape ``(N, ...)``; any numeric dtype.
+        window: odd window width >= 3; the default 3 is the paper's
+            optimum for both benchmarks.
+
+    Returns a smoothed copy, same dtype; each element is replaced by the
+    median of its centred window (endpoints use the nearest full window,
+    matching Algorithm 2's edge handling for window = 3).
+    """
+    if window < 3 or window % 2 == 0:
+        raise ConfigurationError(f"window must be odd and >= 3, got {window}")
+    pixels = np.asarray(pixels)
+    n = pixels.shape[0] if pixels.ndim else 0
+    if n < window:
+        raise DataFormatError(
+            f"need at least window={window} temporal variants, got {n}"
+        )
+    half = window // 2
+    out = np.empty_like(pixels)
+    for i in range(n):
+        start = min(max(i - half, 0), n - window)
+        segment = pixels[start : start + window]
+        out[i] = np.median(segment.astype(np.float64), axis=0).astype(pixels.dtype)
+    return out
+
+
+def median_smooth_spatial(field: np.ndarray, window: int = 3) -> np.ndarray:
+    """The §7.3 OTIS adaptation: a 2-D median over a window×window patch.
+
+    Borders are reflected so every pixel sees a full patch.
+    """
+    if window < 3 or window % 2 == 0:
+        raise ConfigurationError(f"window must be odd and >= 3, got {window}")
+    field = np.asarray(field)
+    if field.ndim == 3:
+        return np.stack([median_smooth_spatial(band, window) for band in field])
+    if field.ndim != 2:
+        raise DataFormatError(f"expected a 2-D field or 3-D cube, got {field.ndim}-D")
+    if min(field.shape) < window:
+        raise DataFormatError(
+            f"field {field.shape} smaller than window {window}"
+        )
+    half = window // 2
+    padded = np.pad(field, half, mode="reflect")
+    patches = []
+    for dr in range(window):
+        for dc in range(window):
+            patches.append(
+                padded[dr : dr + field.shape[0], dc : dc + field.shape[1]]
+            )
+    stacked = np.stack(patches).astype(np.float64)
+    return np.median(stacked, axis=0).astype(field.dtype)

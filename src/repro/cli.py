@@ -1,0 +1,131 @@
+"""Command-line entry point: regenerate any of the paper's figures.
+
+Usage::
+
+    repro list
+    repro fig2 [--quick]
+    repro all [--quick] [--json OUT.json]
+
+``--quick`` shrinks repeats/grids so every experiment finishes in
+seconds; default parameters match the EXPERIMENTS.md record.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+from repro.experiments.registry import REGISTRY, run_experiment
+
+#: Parameter overrides applied by --quick, per experiment.
+_QUICK_OVERRIDES: dict[str, dict] = {
+    "fig1": {"n_slaves_grid": (1, 4), "frame_side": 128, "tile": 64, "n_readouts": 8},
+    "fig2": {"n_repeats": 1, "shape": (8, 8), "gamma0_grid": (0.001, 0.01, 0.05)},
+    "fig3": {"repeats": 1, "shape": (32, 32)},
+    "fig4": {"n_repeats": 1, "shape": (8, 8), "gamma_ini_grid": (0.02, 0.1, 0.2)},
+    "fig5": {"n_datasets": 3, "means": [64, 16384, 49152]},
+    "fig6": {
+        "n_repeats": 1,
+        "shape": (6, 6),
+        "gamma0_grid": (0.002, 0.02, 0.08),
+        "sigmas": (0.0, 250.0),
+    },
+    "fig7": {"n_repeats": 1, "rows": 32, "cols": 32, "gamma0_grid": (0.005, 0.025, 0.05)},
+    "fig8": {"rows": 32, "cols": 32, "n_repeats": 2},
+    "fig9": {
+        "n_repeats": 1,
+        "rows": 24,
+        "cols": 24,
+        "gamma_ini_grid": (0.05, 0.2, 0.3),
+    },
+    "ablate-layout": {
+        "n_repeats": 1,
+        "shape": (8, 8),
+        "gamma_ini_grid": (0.05, 0.15),
+        "burst_rate_grid": (5e-5,),
+        "lambdas": (60.0, 90.0),
+    },
+    "ablate-locality": {
+        "n_repeats": 1,
+        "side": 16,
+        "n_bands": 6,
+        "gamma0_grid": (0.01, 0.05),
+        "lambdas": (60.0, 100.0),
+    },
+    "ablate-storage": {"n_repeats": 1, "rows": 24, "cols": 24, "gamma0_grid": (0.01, 0.05)},
+    "ablate-windows": {"n_repeats": 1, "shape": (8, 8), "gamma0_grid": (0.005, 0.025)},
+    "compression": {"n_repeats": 1, "side": 24, "gamma0_grid": (0.0, 0.01, 0.05)},
+    "motivation": {"n_repeats": 1, "side": 8, "gamma0_grid": (0.005, 0.025)},
+}
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Regenerate figures from 'Pre-Processing Input Data to "
+        "Augment Fault Tolerance in Space Applications' (DSN 2003).",
+    )
+    parser.add_argument(
+        "experiment",
+        help="experiment id (see 'repro list'), 'list', 'all', or 'report'",
+    )
+    parser.add_argument(
+        "--quick", action="store_true", help="reduced grids for a fast run"
+    )
+    parser.add_argument(
+        "--json", metavar="PATH", help="also dump results as JSON to PATH"
+    )
+    parser.add_argument(
+        "--out", metavar="PATH", help="('report' only) Markdown output path"
+    )
+    args = parser.parse_args(argv)
+
+    if args.experiment == "list":
+        for experiment_id in sorted(REGISTRY):
+            print(experiment_id)
+        return 0
+
+    if args.experiment == "report":
+        from repro.experiments.report import write_report
+
+        if not args.json or not args.out:
+            print("report requires --json IN.json --out REPORT.md", file=sys.stderr)
+            return 2
+        count = write_report(args.json, args.out)
+        print(f"rendered {count} panel(s) to {args.out}")
+        return 0
+
+    if args.experiment == "claims":
+        from repro.experiments.claims import render_verdicts, verify_claims
+        from repro.experiments.report import load_results_json
+
+        if not args.json:
+            print("claims requires --json RESULTS.json", file=sys.stderr)
+            return 2
+        verdicts = verify_claims(load_results_json(args.json))
+        print(render_verdicts(verdicts))
+        return 0 if all(v.passed for v in verdicts) else 1
+
+    experiment_ids = sorted(REGISTRY) if args.experiment == "all" else [args.experiment]
+    if any(e not in REGISTRY for e in experiment_ids):
+        bad = [e for e in experiment_ids if e not in REGISTRY]
+        print(f"unknown experiment(s): {bad}; try 'repro list'", file=sys.stderr)
+        return 2
+
+    collected = []
+    for experiment_id in experiment_ids:
+        kwargs = _QUICK_OVERRIDES.get(experiment_id, {}) if args.quick else {}
+        for result in run_experiment(experiment_id, **kwargs):
+            print(result.to_table())
+            print()
+            collected.append(result.to_dict())
+    if args.json:
+        with open(args.json, "w") as fh:
+            json.dump(collected, fh, indent=2)
+        print(f"wrote {len(collected)} result panel(s) to {args.json}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,343 @@
+"""``Algo_OTIS`` — the preprocessing concept fine-tuned for the OTIS
+thermal imaging spectrometer (§7).
+
+OTIS has no temporal redundancy (a single frame per field of view), so
+the voter neighbourhood is *spatial*: each stored radiance word is
+bit-compared with its Υ in-plane neighbours.  Two OTIS-specific rules
+(§7.2) temper the scheme against false alarms, which would otherwise be
+far more damaging than for NGST:
+
+1. **Trend exemption** — a deviant pixel whose neighbourhood shares the
+   deviation is a genuine natural phenomenon (geyser, eruption) and must
+   be retained; only isolated non-conformance is treated as a fault.
+2. **Absolute bounds** — any value outside the theoretical physical
+   limits (optionally tightened by geographic "tropical"/"arctic"
+   cut-offs) is outright a fault and repaired unconditionally.
+
+Two storage representations are supported (see DESIGN.md §2):
+
+* ``uint16`` — the detector's fixed-point DN encoding, the primary
+  path for the paper's experiments (it reproduces the §8 error levels);
+  DN words are converted to physical values via ``config.dn_scale``.
+* ``float32`` — IEEE-754 bit patterns, voting over 32-bit windows; the
+  literal reading of §7.1's storage format, kept for ablations.
+"""
+
+from __future__ import annotations
+
+import warnings
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.config import OTISConfig
+from repro.core import bitops
+from repro.core.windows import BitWindows
+from repro.exceptions import DataFormatError
+
+#: Neighbour offsets (drow, dcol) for the two supported neighbourhoods.
+_OFFSETS_4 = ((-1, 0), (1, 0), (0, -1), (0, 1))
+_OFFSETS_8 = _OFFSETS_4 + ((-1, -1), (-1, 1), (1, -1), (1, 1))
+
+#: Λ → quantile mapping for the spatial thresholds.  §7.2: OTIS "needs
+#: to relax the dynamic threshold that is set for identifying outliers",
+#: so the usable range reaches much deeper into the XOR statistics than
+#: the NGST mapping — down towards the median, where the statistic is
+#: robust even when a large fraction of pixels carry flips.  Λ = 0 is
+#: the bounds-screen-only degenerate case; Λ = 100 reads the 80th
+#: percentile from the bottom.
+_FRACTION_AT_0 = 0.20
+_FRACTION_AT_100 = 0.80
+
+
+def _shifted(field: np.ndarray, drow: int, dcol: int) -> np.ndarray:
+    """The field translated by (drow, dcol) with reflected borders."""
+    padded = np.pad(field, 1, mode="reflect")
+    return padded[1 + drow : 1 + drow + field.shape[0], 1 + dcol : 1 + dcol + field.shape[1]]
+
+
+def spatial_median(field: np.ndarray) -> np.ndarray:
+    """Median of each pixel's 8-neighbour ring (centre excluded)."""
+    stacked = np.stack([_shifted(field, dr, dc) for dr, dc in _OFFSETS_8])
+    return np.median(stacked.astype(np.float64), axis=0)
+
+
+@dataclass(frozen=True)
+class OTISResult:
+    """Outcome of one ``Algo_OTIS`` run.
+
+    Attributes:
+        corrected: repaired field, same dtype/shape as the input.
+        n_bounds_repairs: pixels replaced because they violated the
+            absolute physical bounds (or were non-finite).
+        n_bit_corrections: pixels repaired by the bit-voter stage.
+        n_trend_exemptions: flagged pixels spared by the trend rule.
+        windows: the dynamic bit windows used by the voter stage.
+    """
+
+    corrected: np.ndarray
+    n_bounds_repairs: int
+    n_bit_corrections: int
+    n_trend_exemptions: int
+    windows: BitWindows
+
+
+class AlgoOTIS:
+    """Spatial-locality preprocessing for OTIS radiance fields.
+
+    Accepts a 2-D field or a 3-D ``(bands, rows, cols)`` cube of either
+    ``uint16`` DN words or ``float32`` values; a cube is processed band
+    by band (the spatial locality model, which the paper found superior
+    to spectral pairing).
+    """
+
+    def __init__(self, config: OTISConfig | None = None) -> None:
+        self.config = config or OTISConfig()
+
+    def __call__(self, field: np.ndarray) -> OTISResult:
+        field = np.asarray(field)
+        if field.dtype not in (np.float32, np.uint16):
+            raise DataFormatError(
+                f"OTIS data must be float32 or uint16 DN, got {field.dtype}"
+            )
+        if field.ndim == 3:
+            return self._process_cube(field)
+        if field.ndim != 2:
+            raise DataFormatError(
+                f"expected a 2-D band or 3-D cube, got {field.ndim} dimensions"
+            )
+        if min(field.shape) < 3:
+            raise DataFormatError(
+                f"band must be at least 3x3 for spatial voting, got {field.shape}"
+            )
+        return self._process_band(field)
+
+    def _process_cube(self, cube: np.ndarray) -> OTISResult:
+        bands = []
+        bounds_total = bits_total = trend_total = 0
+        windows = None
+        for band in cube:
+            result = self._process_band(band)
+            bands.append(result.corrected)
+            bounds_total += result.n_bounds_repairs
+            bits_total += result.n_bit_corrections
+            trend_total += result.n_trend_exemptions
+            windows = result.windows
+        return OTISResult(
+            corrected=np.stack(bands),
+            n_bounds_repairs=bounds_total,
+            n_bit_corrections=bits_total,
+            n_trend_exemptions=trend_total,
+            windows=windows,
+        )
+
+    # -- representation shims ------------------------------------------------
+
+    def _to_values(self, words: np.ndarray) -> np.ndarray:
+        """Physical values (float64) of the stored words."""
+        if words.dtype == np.uint16:
+            return words.astype(np.float64) * self.config.dn_scale
+        return words.astype(np.float64)
+
+    def _from_values(self, values: np.ndarray, dtype: np.dtype) -> np.ndarray:
+        """Encode physical values back into the storage dtype."""
+        if np.dtype(dtype) == np.uint16:
+            dn = np.rint(values / self.config.dn_scale)
+            return np.clip(dn, 0, np.iinfo(np.uint16).max).astype(np.uint16)
+        return values.astype(np.float32)
+
+    # -- core ------------------------------------------------------------------
+
+    def _process_band(self, band: np.ndarray) -> OTISResult:
+        cfg = self.config
+        work = band.copy()
+        values = self._to_values(work)
+
+        # Stage 1 — absolute bounds (hypothesis 2): out-of-bounds or
+        # non-finite values are faults; repair from the spatial median of
+        # the neighbourhood, clipped into bounds as a last resort.
+        lo, hi = cfg.bounds.effective()
+        invalid = ~np.isfinite(values) | (values < lo) | (values > hi)
+        n_bounds = int(np.count_nonzero(invalid))
+        if n_bounds:
+            safe = np.where(invalid, np.nan, values)
+            fill = np.clip(_nan_spatial_median(safe), lo, hi)
+            values = np.where(invalid, fill, values)
+            work = self._from_values(values, band.dtype)
+
+        nbits = 32 if band.dtype == np.float32 else 16
+        if cfg.sensitivity == 0:
+            return OTISResult(
+                corrected=work,
+                n_bounds_repairs=n_bounds,
+                n_bit_corrections=0,
+                n_trend_exemptions=0,
+                windows=BitWindows(
+                    msb_mask=np.uint64(0), lsb_mask=np.uint64(0), nbits=nbits
+                ),
+            )
+
+        # Stages 2–3, iterated: spatial bit voting on the stored bit
+        # patterns, then the trend exemption (hypothesis 1).  Corrected
+        # neighbours sharpen the vote for faults the first pass could not
+        # confirm, so a second pass strictly helps; iteration stops early
+        # once a pass makes no change.
+        n_bits = 0
+        n_exempt = 0
+        windows = None
+        for _ in range(cfg.iterations):
+            if band.dtype == np.float32:
+                bits = bitops.float32_to_bits(np.ascontiguousarray(work))
+            else:
+                bits = work
+            offsets = _OFFSETS_4 if cfg.upsilon == 4 else _OFFSETS_8
+            voters = np.stack(
+                [np.bitwise_xor(bits, _shifted(bits, dr, dc)) for dr, dc in offsets]
+            )
+            thresholds = self._way_thresholds(voters)
+            expanded = (
+                thresholds
+                if thresholds.ndim == voters.ndim
+                else thresholds.reshape((-1,) + (1,) * bits.ndim)
+            )
+            pruned = np.where(voters.astype(np.uint64) > expanded, voters, 0).astype(
+                bits.dtype
+            )
+            windows = BitWindows.from_thresholds(thresholds, nbits=nbits)
+            unanimous = _and_reduce(pruned)
+            grt = _grt(pruned)
+            corr = windows.combine(unanimous, grt).astype(bits.dtype)
+
+            if cfg.trend_exemption:
+                flagged = corr != 0
+                if np.any(flagged):
+                    exempt = flagged & _trend_mask(values, cfg.trend_window)
+                    n_exempt += int(np.count_nonzero(exempt))
+                    corr = np.where(exempt, np.zeros((), dtype=bits.dtype), corr)
+
+            if not np.any(corr):
+                break
+            repaired_bits = np.bitwise_xor(bits, corr)
+            if band.dtype == np.float32:
+                repaired = bitops.bits_to_float32(repaired_bits)
+            else:
+                repaired = repaired_bits
+            repaired_values = self._to_values(repaired)
+            # A correction must land inside the physical bounds; otherwise
+            # the voter guessed wrong and the spatial median is the safer
+            # repair.
+            bad = (corr != 0) & (
+                ~np.isfinite(repaired_values)
+                | (repaired_values < lo)
+                | (repaired_values > hi)
+            )
+            if np.any(bad):
+                fill = np.clip(spatial_median(values), lo, hi)
+                repaired_values = np.where(bad, fill, repaired_values)
+                repaired = self._from_values(repaired_values, band.dtype)
+            n_bits += int(np.count_nonzero(corr))
+            work = repaired.astype(band.dtype)
+            values = self._to_values(work)
+        return OTISResult(
+            corrected=work,
+            n_bounds_repairs=n_bounds,
+            n_bit_corrections=n_bits,
+            n_trend_exemptions=n_exempt,
+            windows=windows,
+        )
+
+    def _fraction(self) -> float:
+        """Λ mapped to the from-the-top quantile of XOR magnitudes."""
+        lam = self.config.sensitivity
+        return _FRACTION_AT_0 + (lam / 100.0) * (_FRACTION_AT_100 - _FRACTION_AT_0)
+
+    def _way_thresholds(self, voters: np.ndarray) -> np.ndarray:
+        """Regional per-way ``V_val`` thresholds for a spatial field.
+
+        With tiling enabled the Φ-quantile of each way's XOR magnitudes
+        is taken per tile, so quiet regions get tight thresholds and the
+        turbulent ones loose thresholds — the spatial analogue of the
+        per-coordinate dynamic bounds of ``Algo_NGST``.  Returns either a
+        ``(Υ,)`` array (global) or a ``(Υ, rows, cols)`` array (tiled).
+        """
+        fraction = self._fraction()
+        upsilon = voters.shape[0]
+        rows, cols = voters.shape[1:]
+        tile = self.config.tile
+        if not tile or tile >= max(rows, cols):
+            flat = voters.reshape(upsilon, -1)
+            return self._quantile_pow2(flat, fraction)
+        out = np.empty((upsilon, rows, cols), dtype=np.uint64)
+        for r0 in range(0, rows, tile):
+            for c0 in range(0, cols, tile):
+                sub = voters[:, r0 : r0 + tile, c0 : c0 + tile]
+                flat = sub.reshape(upsilon, -1)
+                t = self._quantile_pow2(flat, fraction)
+                out[:, r0 : r0 + tile, c0 : c0 + tile] = t[:, None, None]
+        return out
+
+    @staticmethod
+    def _quantile_pow2(flat: np.ndarray, fraction: float) -> np.ndarray:
+        """Per-way power-of-two ceiling of the top-*fraction* quantile."""
+        total = flat.shape[1]
+        kth = int(min(total - 1, max(0, round(total - fraction * total))))
+        part = np.partition(flat, kth, axis=1)
+        return np.asarray(bitops.ceil_pow2(part[:, kth]), dtype=np.uint64)
+
+
+def _and_reduce(voters: np.ndarray) -> np.ndarray:
+    out = voters[0].copy()
+    for way in range(1, voters.shape[0]):
+        out &= voters[way]
+    return out
+
+
+def _grt(voters: np.ndarray) -> np.ndarray:
+    upsilon = voters.shape[0]
+    out = np.zeros_like(voters[0])
+    for k in range(upsilon):
+        acc = None
+        for j in range(upsilon):
+            if j == k:
+                continue
+            acc = voters[j].copy() if acc is None else acc & voters[j]
+        out |= acc
+    return out
+
+
+def _nan_spatial_median(field: np.ndarray) -> np.ndarray:
+    """Spatial 8-neighbour median ignoring NaNs (fallback: global median)."""
+    stacked = np.stack([_shifted(field, dr, dc) for dr, dc in _OFFSETS_8])
+    with warnings.catch_warnings():
+        # An all-NaN neighbourhood is legitimate here (a cluster of
+        # out-of-bounds pixels); the fallback below handles it.
+        warnings.simplefilter("ignore", RuntimeWarning)
+        med = np.nanmedian(stacked, axis=0)
+    if np.any(~np.isfinite(med)):
+        finite = field[np.isfinite(field)]
+        fallback = np.median(finite) if finite.size else 0.0
+        med = np.where(np.isfinite(med), med, fallback)
+    return med
+
+
+def _trend_mask(values: np.ndarray, window: int) -> np.ndarray:
+    """True where a pixel's deviation is shared by its neighbourhood.
+
+    A pixel deviating from the ring median is *exempt* from correction if
+    at least two ring neighbours deviate in the same direction by at
+    least half the pixel's own deviation — the signature of a natural
+    trend rather than an isolated bit fault (§7.2, hypothesis 1).
+    """
+    ring = np.stack([_shifted(values, dr, dc) for dr, dc in _OFFSETS_8])
+    ring_median = np.median(ring, axis=0)
+    deviation = values - ring_median
+    magnitude = np.abs(deviation)
+    neighbour_dev = ring - ring_median[None]
+    same_sign = np.sign(neighbour_dev) == np.sign(deviation)[None]
+    big_enough = np.abs(neighbour_dev) >= 0.5 * magnitude[None]
+    co_deviant = np.count_nonzero(same_sign & big_enough, axis=0)
+    if window > 1:
+        # Wider trend windows accept sparser natural structures: a single
+        # co-deviant neighbour suffices.
+        return co_deviant >= 1
+    return co_deviant >= 2

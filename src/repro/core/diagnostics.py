@@ -1,0 +1,120 @@
+"""Designer-facing diagnostics for tuning Υ and Λ (§3.2, §6).
+
+The paper leaves Υ and Λ to the system designer, "optimally suited
+based on the statistical model of the datasets and the vulnerability to
+bitflips of the system being designed".  These helpers expose what the
+algorithm would do at a given setting — window boundaries, voter
+survival, correction pressure — without committing to a correction, so
+a mission can be dry-run against representative data.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.config import NGSTConfig
+from repro.core import bitops
+from repro.core.voter import VoterMatrix
+from repro.core.windows import BitWindows
+from repro.exceptions import DataFormatError
+
+
+@dataclass(frozen=True)
+class WindowDiagnostics:
+    """How the dynamic bit windows land for one dataset and Λ.
+
+    Attributes:
+        sensitivity: the Λ analysed.
+        window_a_bits / window_b_bits / window_c_bits: mean width (in
+            bits) of each window across coordinates.
+        voter_survival: fraction of voter-matrix entries that survive
+            the pruning threshold (the §3.3 "total voters" that grow
+            with sensitivity).
+        active_pixel_fraction: fraction of pixels with at least one
+            surviving voter (the correction stage's workload).
+        correction_pressure: fraction of pixels the full algorithm
+            would modify at this Λ.
+    """
+
+    sensitivity: float
+    window_a_bits: float
+    window_b_bits: float
+    window_c_bits: float
+    voter_survival: float
+    active_pixel_fraction: float
+    correction_pressure: float
+
+
+def analyze_windows(
+    pixels: np.ndarray, config: NGSTConfig | None = None
+) -> WindowDiagnostics:
+    """Dry-run the Algorithm 1 pre-analysis on a temporal stack."""
+    config = config or NGSTConfig()
+    if config.sensitivity == 0:
+        raise DataFormatError("window analysis needs sensitivity > 0")
+    matrix = VoterMatrix(pixels, config.upsilon)
+    thresholds = matrix.thresholds(
+        config.sensitivity, per_coordinate=config.per_coordinate_thresholds
+    )
+    nbits = bitops.bit_width(pixels.dtype)
+    windows = BitWindows.from_thresholds(thresholds, nbits)
+
+    a_bits = float(np.mean(bitops.popcount(np.atleast_1d(windows.window_a()))))
+    b_bits = float(np.mean(bitops.popcount(np.atleast_1d(windows.window_b()))))
+    c_bits = float(np.mean(bitops.popcount(np.atleast_1d(windows.window_c()))))
+
+    expanded = np.asarray(thresholds, dtype=np.uint64)
+    if expanded.ndim == 1:
+        keep = matrix.xors.astype(np.uint64) > expanded.reshape(
+            (-1,) + (1,) * (matrix.xors.ndim - 1)
+        )
+    else:
+        keep = matrix.xors.astype(np.uint64) > np.expand_dims(expanded, axis=1)
+    survival = float(keep.mean())
+    active = float(keep.any(axis=0).mean())
+
+    from repro.core.algo_ngst import AlgoNGST
+
+    result = AlgoNGST(config)(pixels)
+    pressure = result.n_pixels_corrected / pixels.size
+
+    return WindowDiagnostics(
+        sensitivity=config.sensitivity,
+        window_a_bits=a_bits,
+        window_b_bits=b_bits,
+        window_c_bits=c_bits,
+        voter_survival=survival,
+        active_pixel_fraction=active,
+        correction_pressure=float(pressure),
+    )
+
+
+def sensitivity_profile(
+    pixels: np.ndarray,
+    lambdas: tuple[float, ...] = (10.0, 30.0, 50.0, 70.0, 90.0, 100.0),
+    upsilon: int = 4,
+) -> list[WindowDiagnostics]:
+    """Window diagnostics across a Λ grid (the §3.2 tuning view)."""
+    return [
+        analyze_windows(pixels, NGSTConfig(upsilon=upsilon, sensitivity=lam))
+        for lam in lambdas
+    ]
+
+
+def render_profile(profile: list[WindowDiagnostics]) -> str:
+    """ASCII table of a sensitivity profile."""
+    header = (
+        f"{'L':>6} {'A bits':>8} {'B bits':>8} {'C bits':>8} "
+        f"{'voters':>8} {'active px':>10} {'corrected':>10}"
+    )
+    lines = [header]
+    for d in profile:
+        lines.append(
+            f"{d.sensitivity:>6.0f} {d.window_a_bits:>8.2f} "
+            f"{d.window_b_bits:>8.2f} {d.window_c_bits:>8.2f} "
+            f"{d.voter_survival:>8.3f} {d.active_pixel_fraction:>10.3f} "
+            f"{d.correction_pressure:>10.4f}"
+        )
+    return "\n".join(lines)

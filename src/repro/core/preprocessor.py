@@ -1,0 +1,109 @@
+"""Public preprocessing façades.
+
+These classes tie the pieces together the way the paper's system does:
+
+* :class:`NGSTPreprocessor` — at Λ = 0 it performs nothing but a FITS
+  header sanity analysis (negligible overhead, §3.2); at Λ > 0 it also
+  runs ``Algo_NGST`` over the temporal pixel stacks.
+* :class:`OTISPreprocessor` — wraps ``Algo_OTIS`` with the same Λ = 0
+  degenerate behaviour (bounds screening only).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.config import NGSTConfig, OTISConfig
+from repro.core.algo_ngst import AlgoNGST, NGSTResult
+from repro.core.algo_otis import AlgoOTIS, OTISResult
+from repro.exceptions import HeaderSanityError
+from repro.fits.file import HDU, decode_data_unit, write_hdu
+from repro.fits.sanity import HeaderSanityAnalyzer, SanityReport
+
+
+@dataclass
+class PreprocessOutcome:
+    """What a preprocessing pass produced.
+
+    Attributes:
+        data: the (possibly corrected) pixel data, or None when only the
+            header was analysed.
+        sanity: the FITS header sanity report, when FITS input was given.
+        result: the algorithm result, when the algorithm ran (Λ > 0).
+    """
+
+    data: np.ndarray | None = None
+    sanity: SanityReport | None = None
+    result: NGSTResult | OTISResult | None = None
+
+
+class NGSTPreprocessor:
+    """End-to-end input preprocessing for NGST temporal stacks."""
+
+    def __init__(self, config: NGSTConfig | None = None) -> None:
+        self.config = config or NGSTConfig()
+        self._algo = None if self.config.sensitivity == 0 else AlgoNGST(self.config)
+        self._sanity = HeaderSanityAnalyzer(repair=True)
+
+    def process_stack(self, pixels: np.ndarray) -> PreprocessOutcome:
+        """Preprocess a bare temporal stack (no FITS container).
+
+        At Λ = 0 the stack passes through untouched, mirroring the
+        header-sanity-only behaviour for raw arrays.
+        """
+        if self._algo is None:
+            return PreprocessOutcome(data=pixels)
+        result = self._algo(pixels)
+        return PreprocessOutcome(data=result.corrected, result=result)
+
+    def process_fits(self, raw: bytes) -> tuple[bytes, PreprocessOutcome]:
+        """Sanity-check a FITS byte stream and preprocess its data unit.
+
+        The N temporal variants are expected as the leading axis of the
+        primary HDU's data cube.  Returns the repaired, re-encoded FITS
+        bytes together with the outcome details.
+
+        Raises:
+            HeaderSanityError: if the header is damaged beyond repair.
+        """
+        report = self._sanity.analyze(raw)
+        if not report.ok:
+            fatal = "; ".join(
+                i.message for i in report.issues if i.severity.value == "fatal"
+            )
+            raise HeaderSanityError(f"unrecoverable FITS header: {fatal}")
+        # Decode the data unit through the *repaired* header, at the data
+        # offset of the original byte layout, so a damaged-but-repairable
+        # header still yields its pixels.
+        header = report.header
+        data_raw, _ = decode_data_unit(header, raw, report.header_length)
+        primary = HDU(header, data_raw)
+        data = primary.physical_data()
+        if self._algo is None or data is None:
+            encoded = header.to_bytes() + raw[report.header_length :]
+            return encoded, PreprocessOutcome(data=data, sanity=report)
+        stack = np.ascontiguousarray(data.astype(np.uint16))
+        result = self._algo(stack)
+        encoded = write_hdu(result.corrected)
+        outcome = PreprocessOutcome(data=result.corrected, sanity=report, result=result)
+        return encoded, outcome
+
+
+class OTISPreprocessor:
+    """End-to-end input preprocessing for OTIS radiance fields/cubes."""
+
+    def __init__(self, config: OTISConfig | None = None) -> None:
+        self.config = config or OTISConfig()
+        self._algo = AlgoOTIS(self.config)
+
+    def process(self, field: np.ndarray) -> PreprocessOutcome:
+        """Preprocess a 2-D band or 3-D cube of float32 radiance data.
+
+        The Λ = 0 degenerate case still applies the absolute-bounds
+        screen (hypothesis 2 costs next to nothing and catches the
+        catastrophic exponent-bit flips) but skips the voter stage.
+        """
+        result = self._algo(field)
+        return PreprocessOutcome(data=result.corrected, result=result)

@@ -1,0 +1,45 @@
+"""Sensitivity (Λ) to voter-matrix prune rank (Φ) mapping — §3.2.
+
+The sensitivity parameter Λ ∈ [0, 100] scales the preprocessing algorithm
+between "header sanity analysis only" (Λ = 0) and maximally aggressive
+correction (Λ = 100).  Internally Λ selects the rank Φ of the XOR statistic
+(1 = greatest) whose value becomes the pruning threshold ``V_val`` of each
+pairing way:
+
+    Φ(Λ) = clip( round( N/4 + ((Λ − 80)/100) · (N/4 − 1) ), 1, N )
+
+This is the paper's formula with the sign oriented so that a larger Λ
+yields a larger Φ, hence a *smaller* Φ-th-greatest element, hence a lower
+threshold and **more** surviving voters — exactly the monotonicity that
+§3.3 states ("If the sensitivity is higher, the total voters in the voter
+matrix will increase").  At the paper's reference point Λ = 80 the rank is
+N/4.  See DESIGN.md §4 for the full rationale.
+"""
+
+from __future__ import annotations
+
+from repro.exceptions import ConfigurationError
+
+
+def phi_rank(sensitivity: float, n_variants: int) -> int:
+    """Rank Φ (1-based, 1 = greatest element) selected by sensitivity Λ.
+
+    Args:
+        sensitivity: Λ ∈ (0, 100].  Λ = 0 is rejected here because the
+            algorithm never reaches the pruning stage at null sensitivity
+            (it short-circuits to header sanity analysis).
+        n_variants: N, the number of temporal variants in the dataset
+            (or the number of XOR statistics per way for spatial use).
+
+    Returns:
+        Φ, clipped into [1, n_variants].
+    """
+    if not 0 < sensitivity <= 100:
+        raise ConfigurationError(
+            f"phi_rank requires 0 < sensitivity <= 100, got {sensitivity}"
+        )
+    if n_variants < 2:
+        raise ConfigurationError(f"n_variants must be >= 2, got {n_variants}")
+    quarter = n_variants / 4.0
+    raw = quarter + ((sensitivity - 80.0) / 100.0) * (quarter - 1.0)
+    return int(min(max(round(raw), 1), n_variants))

@@ -1,0 +1,162 @@
+"""The Υ-way XOR voter matrix of Algorithm 1 (§3.3).
+
+Each pixel in the temporal stack is bit-compared (XOR) with its Υ/2
+immediately preceding and Υ/2 immediately following temporal variants —
+the pairing with the least average distance from the Υ neighbours that
+the paper prescribes.  The resulting per-pixel voters are then pruned by
+a dynamic, sensitivity-derived threshold: XOR magnitudes at or below the
+``V_val`` of their pairing way are natural variation and are zeroed, so
+they vote for no correction at any bit.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core import bitops
+from repro.core.sensitivity import phi_rank
+from repro.exceptions import ConfigurationError, DataFormatError
+
+
+def reflect_index(index: int, length: int) -> int:
+    """Mirror *index* into ``[0, length)`` without repeating the edge.
+
+    >>> [reflect_index(i, 5) for i in (-2, -1, 0, 4, 5, 6)]
+    [2, 1, 0, 4, 3, 2]
+    """
+    if length < 2:
+        raise ConfigurationError(f"length must be >= 2, got {length}")
+    period = 2 * (length - 1)
+    index %= period
+    if index < 0:
+        index += period
+    return index if index < length else period - index
+
+
+def neighbour_indices(n: int, offset: int) -> np.ndarray:
+    """Indices of the neighbour at signed *offset* for each of n pixels.
+
+    Out-of-range neighbours reflect at the boundaries so every pixel has a
+    full complement of Υ voters.
+    """
+    return np.array([reflect_index(i + offset, n) for i in range(n)], dtype=np.intp)
+
+
+class VoterMatrix:
+    """Voter matrix over a temporal stack of unsigned pixels.
+
+    Args:
+        pixels: array of shape ``(N, ...)`` with an unsigned dtype; axis 0
+            is the temporal axis (the N variants of §2.2.1).  Trailing
+            axes, if any, are independent image coordinates.
+        upsilon: Υ, positive even number of neighbours per pixel.
+
+    Attributes:
+        xors: array of shape ``(Υ, N, ...)``; ``xors[w, i]`` is the XOR of
+            pixel ``i`` with its ``w``-th neighbour.  Ways are ordered
+            ``+1, -1, +2, -2, …`` (forward/backward alternating).
+        offsets: the signed temporal offset of each way.
+    """
+
+    def __init__(self, pixels: np.ndarray, upsilon: int) -> None:
+        bitops.require_unsigned(pixels, "pixels")
+        if upsilon <= 0 or upsilon % 2 != 0:
+            raise ConfigurationError(
+                f"upsilon must be a positive even integer, got {upsilon}"
+            )
+        n = pixels.shape[0]
+        if n <= upsilon // 2:
+            raise DataFormatError(
+                f"need more than upsilon/2={upsilon // 2} temporal variants, got {n}"
+            )
+        self.pixels = pixels
+        self.upsilon = upsilon
+        self.n_variants = n
+        self.offsets = []
+        for d in range(1, upsilon // 2 + 1):
+            self.offsets.extend((d, -d))
+        self.xors = np.empty((upsilon,) + pixels.shape, dtype=pixels.dtype)
+        for way, offset in enumerate(self.offsets):
+            idx = neighbour_indices(n, offset)
+            self.xors[way] = np.bitwise_xor(pixels, pixels[idx])
+
+    def thresholds(self, sensitivity: float, per_coordinate: bool = True) -> np.ndarray:
+        """Dynamic pruning thresholds ``V_val`` per way (and coordinate).
+
+        The Φ(Λ)-th greatest XOR magnitude of each way is located and
+        rounded up to the nearest power of two.  With ``per_coordinate``
+        the statistic is taken independently for every image coordinate,
+        which is what makes the algorithm's bounds *regional*: quiet
+        regions get tight thresholds, turbulent ones get loose thresholds.
+
+        Returns:
+            uint64 array of shape ``(Υ,)`` (global) or ``(Υ,) + coord
+            shape`` (per coordinate), each element a power of two.
+        """
+        phi = phi_rank(sensitivity, self.n_variants)
+        # Φ-th greatest == (N - Φ)-th smallest (0-indexed) along the
+        # temporal axis of each way.
+        kth = self.n_variants - phi
+        if per_coordinate and self.xors.ndim > 2:
+            part = np.partition(self.xors, kth, axis=1)
+            selected = part[:, kth]
+        else:
+            flat = self.xors.reshape(self.upsilon, -1)
+            # Rank Φ is defined over N statistics; for the global variant
+            # scale the rank to the flattened length to keep the same
+            # quantile.
+            total = flat.shape[1]
+            kth_flat = min(total - 1, max(0, round(kth * total / self.n_variants)))
+            part = np.partition(flat, kth_flat, axis=1)
+            selected = part[:, kth_flat]
+        return np.asarray(bitops.ceil_pow2(selected), dtype=np.uint64)
+
+    def pruned(self, thresholds: np.ndarray) -> np.ndarray:
+        """Voters with natural-variation entries zeroed.
+
+        ``thresholds`` must come from :meth:`thresholds`; entries whose XOR
+        magnitude is <= the threshold of their way (and coordinate) are
+        discarded (set to zero ⇒ they vote for nothing).
+        """
+        thresholds = np.asarray(thresholds, dtype=np.uint64)
+        if thresholds.shape[0] != self.upsilon:
+            raise DataFormatError(
+                f"expected {self.upsilon} way thresholds, got {thresholds.shape[0]}"
+            )
+        # Broadcast (Υ, ...) thresholds against (Υ, N, ...) voters.
+        expanded = np.expand_dims(thresholds, axis=1)
+        keep = self.xors.astype(np.uint64) > expanded
+        return np.where(keep, self.xors, np.zeros_like(self.xors))
+
+    @staticmethod
+    def unanimous(voters: np.ndarray) -> np.ndarray:
+        """Bits asserted by *all* Υ voters (the Ξ combiner of Algorithm 1)."""
+        out = voters[0].copy()
+        for way in range(1, voters.shape[0]):
+            out &= voters[way]
+        return out
+
+    @staticmethod
+    def grt(voters: np.ndarray) -> np.ndarray:
+        """The GRT combiner: bits asserted by at least Υ−1 of the Υ voters.
+
+        Implemented as the union over k of the AND of all voters except k,
+        exactly the ``Max / Ξ`` construction in Algorithm 1.  For Υ = 2
+        the leave-one-out AND degenerates to a single voter — any lone
+        disagreement would trigger a window-A correction — so the
+        combiner falls back to unanimity, the only meaningful consensus
+        two voters can express.
+        """
+        upsilon = voters.shape[0]
+        if upsilon == 2:
+            return VoterMatrix.unanimous(voters)
+        out = np.zeros_like(voters[0])
+        for k in range(upsilon):
+            acc: np.ndarray | None = None
+            for j in range(upsilon):
+                if j == k:
+                    continue
+                acc = voters[j].copy() if acc is None else acc & voters[j]
+            if acc is not None:
+                out |= acc
+        return out

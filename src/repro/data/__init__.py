@@ -1,0 +1,25 @@
+"""Synthetic dataset generators standing in for the paper's data sources.
+
+* :mod:`repro.data.ngst` — the Eq. (1) Gaussian-random-walk model that
+  the paper itself uses for its NGST simulations (substitute for the
+  NGST Mission Simulator).
+* :mod:`repro.data.otis` — 2-D radiance fields with the morphologies of
+  the paper's three OTIS datasets: "Blob", "Stripe" and "Spots".
+* :mod:`repro.data.gamut` — mean-intensity sweep datasets for Figure 5.
+"""
+
+from repro.data.gamut import gamut_dataset, gamut_means
+from repro.data.ngst import generate_image_stack, generate_walk, synthetic_sky
+from repro.data.otis import blob, make_dataset, spots, stripe
+
+__all__ = [
+    "blob",
+    "gamut_dataset",
+    "gamut_means",
+    "generate_image_stack",
+    "generate_walk",
+    "make_dataset",
+    "spots",
+    "stripe",
+    "synthetic_sky",
+]

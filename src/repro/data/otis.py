@@ -1,0 +1,121 @@
+"""Synthetic OTIS radiance fields with the §7.3 morphologies.
+
+The paper evaluates on three datasets chosen for their physical
+characteristics, which "exemplify nearly the entire gamut of variations
+likely to be encountered on site":
+
+* **Blob** — broad areas of unchanging temperature with a few dark
+  spots scattered in the plot (representative of most OTIS data);
+* **Stripe** — a prominent vertical region of turbulent data through
+  the centre, calm elsewhere;
+* **Spots** — a plethora of conspicuous spots, large and small, spread
+  over the entire region.
+
+Fields are float32 "radiance-like" values in a physically plausible
+band (nominally spectral radiance integrated over an OTIS channel); the
+absolute scale only matters relative to the bounds configured for
+``Algo_OTIS``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import ConfigurationError
+
+#: Nominal background radiance level and gentle large-scale variation.
+BACKGROUND = 95.0
+LARGE_SCALE_AMPLITUDE = 6.0
+#: Default physical ceiling used when deriving OTIS bounds for these
+#: fields (values can never naturally exceed this).  Deliberately below
+#: the fixed-point encoding's full scale (≈262 at the default dn_scale)
+#: so the bounds screen has impossible headroom to catch flips into.
+PHYSICAL_MAX = 200.0
+
+DATASET_NAMES = ("blob", "stripe", "spots")
+
+
+def _large_scale(rows: int, cols: int, rng: np.random.Generator) -> np.ndarray:
+    """Smooth low-frequency background undulation."""
+    ys, xs = np.mgrid[0:rows, 0:cols]
+    phase_y = rng.uniform(0, 2 * np.pi)
+    phase_x = rng.uniform(0, 2 * np.pi)
+    wave = np.sin(2 * np.pi * ys / max(rows, 2) + phase_y) * np.cos(
+        2 * np.pi * xs / max(cols, 2) + phase_x
+    )
+    return LARGE_SCALE_AMPLITUDE * wave
+
+
+def _disc(rows: int, cols: int, cy: float, cx: float, radius: float) -> np.ndarray:
+    ys, xs = np.mgrid[0:rows, 0:cols]
+    return ((ys - cy) ** 2 + (xs - cx) ** 2) <= radius**2
+
+
+def _validate(rows: int, cols: int) -> None:
+    if rows < 8 or cols < 8:
+        raise ConfigurationError(
+            f"OTIS fields must be at least 8x8, got {rows}x{cols}"
+        )
+
+
+def blob(rows: int = 64, cols: int = 64, rng: np.random.Generator | None = None) -> np.ndarray:
+    """The "Blob" dataset: broad unchanging areas with a few dark spots."""
+    _validate(rows, cols)
+    rng = rng or np.random.default_rng(0)
+    field = BACKGROUND + _large_scale(rows, cols, rng)
+    field += rng.normal(0.0, 0.4, size=(rows, cols))
+    n_spots = max(3, (rows * cols) // 1200)
+    for _ in range(n_spots):
+        cy = rng.uniform(0, rows)
+        cx = rng.uniform(0, cols)
+        radius = rng.uniform(1.5, max(2.0, rows / 16))
+        depth = rng.uniform(15.0, 35.0)
+        field[_disc(rows, cols, cy, cx, radius)] -= depth
+    return np.clip(field, 1.0, PHYSICAL_MAX).astype(np.float32)
+
+
+def stripe(rows: int = 64, cols: int = 64, rng: np.random.Generator | None = None) -> np.ndarray:
+    """The "Stripe" dataset: a turbulent vertical band through the centre."""
+    _validate(rows, cols)
+    rng = rng or np.random.default_rng(1)
+    field = BACKGROUND + _large_scale(rows, cols, rng)
+    field += rng.normal(0.0, 0.4, size=(rows, cols))
+    half_width = max(2, cols // 8)
+    lo = cols // 2 - half_width
+    hi = cols // 2 + half_width
+    band = rng.normal(0.0, 25.0, size=(rows, hi - lo))
+    field[:, lo:hi] += band
+    return np.clip(field, 1.0, PHYSICAL_MAX).astype(np.float32)
+
+
+def spots(rows: int = 64, cols: int = 64, rng: np.random.Generator | None = None) -> np.ndarray:
+    """The "Spots" dataset: many conspicuous spots across the whole plot."""
+    _validate(rows, cols)
+    rng = rng or np.random.default_rng(2)
+    field = BACKGROUND + _large_scale(rows, cols, rng)
+    field += rng.normal(0.0, 0.6, size=(rows, cols))
+    n_spots = max(16, (rows * cols) // 100)
+    for _ in range(n_spots):
+        cy = rng.uniform(0, rows)
+        cx = rng.uniform(0, cols)
+        radius = rng.uniform(1.0, max(1.5, rows / 10))
+        delta = rng.uniform(-45.0, 70.0)
+        field[_disc(rows, cols, cy, cx, radius)] += delta
+    return np.clip(field, 1.0, PHYSICAL_MAX).astype(np.float32)
+
+
+def make_dataset(
+    name: str,
+    rows: int = 64,
+    cols: int = 64,
+    rng: np.random.Generator | None = None,
+) -> np.ndarray:
+    """Generate one of the three named OTIS datasets by name."""
+    generators = {"blob": blob, "stripe": stripe, "spots": spots}
+    try:
+        generator = generators[name.lower()]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown OTIS dataset {name!r}; choose from {sorted(generators)}"
+        ) from None
+    return generator(rows, cols, rng)

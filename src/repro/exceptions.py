@@ -1,0 +1,45 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+Every error raised deliberately by this library derives from
+:class:`ReproError`, so callers can catch the whole family with a single
+``except`` clause while still being able to discriminate on the specific
+failure mode.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class ConfigurationError(ReproError, ValueError):
+    """A parameter value is outside its documented domain.
+
+    Raised, e.g., for an odd ``upsilon``, a sensitivity outside [0, 100],
+    or a fault probability outside [0, 1].
+    """
+
+
+class DataFormatError(ReproError, ValueError):
+    """Input data has the wrong dtype, shape, or structure."""
+
+
+class FITSFormatError(DataFormatError):
+    """A FITS byte stream or header violates the FITS standard."""
+
+
+class HeaderSanityError(FITSFormatError):
+    """A FITS header failed sanity analysis and could not be repaired."""
+
+
+class CodecError(ReproError):
+    """Rice codec failure (corrupt bitstream, parameter mismatch)."""
+
+
+class SimulationError(ReproError):
+    """The discrete-event simulation reached an inconsistent state."""
+
+
+class ALFTError(ReproError):
+    """The ALFT executor could not produce any acceptable output."""

@@ -1,0 +1,12 @@
+"""Experiment harness: one module per paper figure, plus ablations.
+
+Every experiment returns an :class:`~repro.experiments.common.ExperimentResult`
+whose series can be rendered as the table/plot the paper reports.  The
+registry maps experiment ids (``fig2`` … ``fig9``, ``ablate-*``) to
+runnable callables; the CLI and the benchmark suite both go through it.
+"""
+
+from repro.experiments.common import ExperimentResult, Series
+from repro.experiments.registry import REGISTRY, run_experiment
+
+__all__ = ["ExperimentResult", "REGISTRY", "Series", "run_experiment"]

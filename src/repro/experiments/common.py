@@ -1,0 +1,136 @@
+"""Shared experiment machinery: result containers, averaging sweeps,
+optimal-sensitivity search, and ASCII rendering."""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Sequence
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.config import NGSTConfig
+from repro.core.algo_ngst import AlgoNGST
+from repro.exceptions import ConfigurationError
+from repro.metrics.relative_error import psi
+
+
+@dataclass
+class Series:
+    """One labelled curve: y values over the experiment's x grid."""
+
+    label: str
+    x: list[float]
+    y: list[float]
+
+    def __post_init__(self) -> None:
+        if len(self.x) != len(self.y):
+            raise ConfigurationError(
+                f"series {self.label!r}: {len(self.x)} x vs {len(self.y)} y values"
+            )
+
+
+@dataclass
+class ExperimentResult:
+    """The data behind one regenerated figure/table."""
+
+    experiment_id: str
+    title: str
+    x_label: str
+    y_label: str
+    series: list[Series] = field(default_factory=list)
+    notes: list[str] = field(default_factory=list)
+
+    def add(self, label: str, x: Sequence[float], y: Sequence[float]) -> None:
+        self.series.append(Series(label, list(x), list(y)))
+
+    def note(self, text: str) -> None:
+        self.notes.append(text)
+
+    def to_table(self) -> str:
+        """Render every series against the x grid as an ASCII table."""
+        if not self.series:
+            return f"[{self.experiment_id}] (no data)"
+        xs = self.series[0].x
+        header = [self.x_label] + [s.label for s in self.series]
+        widths = [max(14, len(h) + 2) for h in header]
+        lines = [
+            f"== {self.experiment_id}: {self.title} ==",
+            "".join(h.rjust(w) for h, w in zip(header, widths)),
+        ]
+        for i, x in enumerate(xs):
+            row = [_fmt(x)]
+            for s in self.series:
+                row.append(_fmt(s.y[i]) if i < len(s.y) else "-")
+            lines.append("".join(v.rjust(w) for v, w in zip(row, widths)))
+        for note in self.notes:
+            lines.append(f"  note: {note}")
+        return "\n".join(lines)
+
+    def to_dict(self) -> dict:
+        return {
+            "experiment_id": self.experiment_id,
+            "title": self.title,
+            "x_label": self.x_label,
+            "y_label": self.y_label,
+            "series": [
+                {"label": s.label, "x": s.x, "y": s.y} for s in self.series
+            ],
+            "notes": list(self.notes),
+        }
+
+    def series_by_label(self, label: str) -> Series:
+        for s in self.series:
+            if s.label == label:
+                return s
+        raise KeyError(label)
+
+
+def _fmt(value: float) -> str:
+    if value == 0:
+        return "0"
+    if abs(value) >= 1000 or abs(value) < 1e-3:
+        return f"{value:.3e}"
+    return f"{value:.5f}"
+
+
+def averaged(
+    runner: Callable[[np.random.Generator], float],
+    n_repeats: int,
+    seed: int,
+) -> float:
+    """Mean of *runner* over ``n_repeats`` independently seeded runs."""
+    if n_repeats < 1:
+        raise ConfigurationError(f"n_repeats must be >= 1, got {n_repeats}")
+    seeds = np.random.SeedSequence(seed).spawn(n_repeats)
+    values = [runner(np.random.default_rng(s)) for s in seeds]
+    return float(np.mean(values))
+
+
+def best_sensitivity(
+    corrupted: np.ndarray,
+    pristine: np.ndarray,
+    lambdas: Sequence[float],
+    upsilon: int = 4,
+) -> tuple[float, float]:
+    """The Λ from *lambdas* minimising Ψ on this dataset, with its Ψ.
+
+    Mirrors the paper's use of "experimentally optimized values of Υ and
+    sensitivity Λ" — the designer tunes Λ to the environment.
+    """
+    if not lambdas:
+        raise ConfigurationError("need at least one candidate sensitivity")
+    best_lam, best_psi = None, None
+    for lam in lambdas:
+        algo = AlgoNGST(NGSTConfig(upsilon=upsilon, sensitivity=lam))
+        value = psi(algo(corrupted).corrected, pristine)
+        if best_psi is None or value < best_psi:
+            best_lam, best_psi = lam, value
+    return float(best_lam), float(best_psi)
+
+
+#: Default Γ₀ grid for the uncorrelated-fault sweeps (log-spaced over
+#: the paper's "range of practical interest", Γ₀ ≤ 10 %).
+DEFAULT_GAMMA0_GRID = (0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1)
+
+#: Default Λ candidates when an experiment optimises the sensitivity.
+DEFAULT_LAMBDA_GRID = (10.0, 30.0, 50.0, 70.0, 80.0, 90.0, 100.0)

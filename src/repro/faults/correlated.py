@@ -1,0 +1,137 @@
+"""The correlated fault model of §2.2.3, Eq. (2).
+
+Memory upsets caused by alpha particles, polarisation, or power glitches
+concentrate around a worst-hit centre: the probability of a bit flipping
+grows with the length of the run of flipped bits immediately preceding
+it, in both the horizontal and vertical dimensions of the memory grid —
+the direction with the longer run dominates.
+
+With a preceding run of length R the flip probability is
+
+    Γcorr = Σ_{j=1..R+1} Γini^j          (Eq. 2, with Γ(0) = Γini)
+
+which converges to Γini / (1 − Γini) < 1 for Γini < 0.5.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.config import CorrelatedFaultConfig
+from repro.core import bitops
+from repro.exceptions import ConfigurationError
+from repro.faults.layout import MemoryLayout, RowMajorLayout
+
+
+def run_probability_table(gamma_ini: float, max_terms: int) -> np.ndarray:
+    """Γcorr(R) for R = 0 … max_terms−1 (cumulative geometric series).
+
+    ``table[R]`` is the flip probability given a preceding run of R
+    flipped bits.  Beyond ``max_terms`` the series has converged to its
+    limit Γini/(1−Γini) to double precision, so callers clamp R.
+    """
+    if not 0.0 <= gamma_ini < 0.5:
+        raise ConfigurationError(f"gamma_ini must be in [0, 0.5), got {gamma_ini}")
+    powers = gamma_ini ** np.arange(1, max_terms + 1, dtype=np.float64)
+    return np.cumsum(powers)
+
+
+def correlated_flip_grid(
+    shape: tuple[int, int],
+    gamma_ini: float,
+    rng: np.random.Generator,
+    max_terms: int = 64,
+) -> np.ndarray:
+    """Generate a boolean flip grid under the §2.2.3 run-length model.
+
+    The grid is scanned in raster order; each bit's flip probability is
+    ``table[max(horizontal_run, vertical_run)]`` where the runs count the
+    flipped bits immediately to the left and immediately above — the
+    "higher of the two directions" rule of the paper.
+    """
+    rows, cols = shape
+    if rows < 1 or cols < 1:
+        raise ConfigurationError(f"grid shape must be positive, got {shape}")
+    if gamma_ini == 0.0:
+        return np.zeros(shape, dtype=bool)
+    table = run_probability_table(gamma_ini, max_terms)
+    max_run = len(table) - 1
+    thresholds = rng.random(shape)
+    flips = np.zeros(shape, dtype=bool)
+    # Γcorr(R) increases strictly towards (but never reaches) the series
+    # limit Γini/(1−Γini), so a cell whose uniform draw is at or above the
+    # limit can never flip regardless of run history.  Visiting only the
+    # cells below the limit, in raster order, is exactly equivalent to the
+    # dense scan and typically orders of magnitude faster.
+    limit = gamma_ini / (1.0 - gamma_ini)
+    candidate_rows, candidate_cols = np.nonzero(thresholds < limit)
+    table_list = table.tolist()  # plain-float access is faster in the loop
+    gamma0 = table_list[0]
+    for r, c in zip(candidate_rows.tolist(), candidate_cols.tolist()):
+        draw = thresholds[r, c]
+        if draw >= gamma0:
+            # Count the run of flipped bits immediately to the left and
+            # immediately above; the longer run sets the probability.
+            run = 0
+            cc = c - 1
+            while cc >= 0 and flips[r, cc] and run < max_run:
+                run += 1
+                cc -= 1
+            rr = r - 1
+            vertical = 0
+            while rr >= 0 and flips[rr, c] and vertical < max_run:
+                vertical += 1
+                rr -= 1
+            if vertical > run:
+                run = vertical
+            if run > max_run:
+                run = max_run
+            if draw >= table_list[run]:
+                continue
+        flips[r, c] = True
+    return flips
+
+
+class CorrelatedFaultModel:
+    """Injects run-correlated bit-flips through a memory layout.
+
+    The logical data words are placed into the physical bit grid by the
+    given :class:`MemoryLayout` (naive row-major by default), the flip
+    grid is generated per Eq. (2), and the flipped bits are mapped back
+    into per-word XOR masks.
+    """
+
+    def __init__(
+        self,
+        config: CorrelatedFaultConfig | float = CorrelatedFaultConfig(),
+        layout: MemoryLayout | None = None,
+    ) -> None:
+        if isinstance(config, (int, float)):
+            config = CorrelatedFaultConfig(gamma_ini=float(config))
+        self.config = config
+        self.layout = layout or RowMajorLayout()
+
+    def corrupt(
+        self, data: np.ndarray, rng: np.random.Generator
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Return ``(corrupted_copy, flip_mask)`` for *data*.
+
+        The array is flattened into its logical word order for placement;
+        the returned mask matches the input shape.
+        """
+        if data.dtype == np.float32:
+            bits = bitops.float32_to_bits(np.ascontiguousarray(data))
+            corrupted_bits, mask = self.corrupt(bits, rng)
+            return bitops.bits_to_float32(corrupted_bits), mask
+        bitops.require_unsigned(data, "data")
+        nbits = bitops.bit_width(data.dtype)
+        n_words = data.size
+        grid = correlated_flip_grid(
+            self.layout.grid_shape(n_words, nbits),
+            self.config.gamma_ini,
+            rng,
+            self.config.max_run_terms,
+        )
+        mask_flat = self.layout.flip_mask_from_grid(grid, n_words, nbits)
+        mask = mask_flat.astype(data.dtype).reshape(data.shape)
+        return np.bitwise_xor(data, mask), mask

@@ -1,0 +1,68 @@
+"""The uncorrelated fault model of §2.2.2.
+
+Bit-flips occur independently at every bit of the input dataset with a
+static probability Γ₀ — at source, in transit, or while the data resides
+in memory.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.config import UncorrelatedFaultConfig
+from repro.core import bitops
+from repro.exceptions import ConfigurationError
+
+
+def uncorrelated_flip_mask(
+    shape: tuple[int, ...],
+    nbits: int,
+    gamma0: float,
+    rng: np.random.Generator,
+) -> np.ndarray:
+    """Random per-word flip masks: each bit set with probability Γ₀.
+
+    Returns a uint64 array of *shape*; callers cast to their word dtype.
+    """
+    if not 0.0 <= gamma0 <= 1.0:
+        raise ConfigurationError(f"gamma0 must be within [0, 1], got {gamma0}")
+    if nbits < 1 or nbits > 64:
+        raise ConfigurationError(f"nbits must be within [1, 64], got {nbits}")
+    if gamma0 == 0.0:
+        return np.zeros(shape, dtype=np.uint64)
+    mask = np.zeros(shape, dtype=np.uint64)
+    for bit in range(nbits):
+        flips = rng.random(shape) < gamma0
+        mask |= flips.astype(np.uint64) << np.uint64(bit)
+    return mask
+
+
+class UncorrelatedFaultModel:
+    """Injects i.i.d. Γ₀ bit-flips into unsigned-int or float32 arrays."""
+
+    def __init__(
+        self,
+        config: UncorrelatedFaultConfig | float = UncorrelatedFaultConfig(),
+    ) -> None:
+        if isinstance(config, (int, float)):
+            config = UncorrelatedFaultConfig(gamma0=float(config))
+        self.config = config
+
+    def corrupt(
+        self, data: np.ndarray, rng: np.random.Generator
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Return ``(corrupted_copy, flip_mask)`` for *data*.
+
+        float32 input is corrupted through its uint32 bit patterns, as
+        faults strike the stored representation, not the value.
+        """
+        if data.dtype == np.float32:
+            bits = bitops.float32_to_bits(np.ascontiguousarray(data))
+            mask = uncorrelated_flip_mask(bits.shape, 32, self.config.gamma0, rng)
+            flipped = np.bitwise_xor(bits, mask.astype(np.uint32))
+            return bitops.bits_to_float32(flipped), mask.astype(np.uint32)
+        bitops.require_unsigned(data, "data")
+        nbits = bitops.bit_width(data.dtype)
+        mask = uncorrelated_flip_mask(data.shape, nbits, self.config.gamma0, rng)
+        mask = mask.astype(data.dtype)
+        return np.bitwise_xor(data, mask), mask

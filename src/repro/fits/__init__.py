@@ -1,0 +1,33 @@
+"""A from-scratch minimal FITS (Flexible Image Transport System) codec.
+
+NGST inputs are stored as FITS images — Header + Data Units (HDUs) in
+2880-byte blocks (§2.2.1).  Header integrity is vital: a bit-flip in a
+keyword such as ``NAXIS`` or ``BITPIX`` corrupts the interpretation of
+the entire data unit.  This subpackage provides:
+
+* :mod:`repro.fits.cards` — 80-character card images;
+* :mod:`repro.fits.header` — header model with mandatory-keyword rules;
+* :mod:`repro.fits.file` — reading/writing image HDUs as numpy arrays;
+* :mod:`repro.fits.sanity` — the header sanity analysis (and repair)
+  that ``Algo_NGST`` performs even at null sensitivity (§3.2).
+"""
+
+from repro.fits.cards import Card, format_card, parse_card
+from repro.fits.file import HDU, read_fits, write_fits
+from repro.fits.header import BLOCK_SIZE, CARD_SIZE, Header
+from repro.fits.sanity import HeaderSanityAnalyzer, SanityIssue, SanityReport
+
+__all__ = [
+    "BLOCK_SIZE",
+    "CARD_SIZE",
+    "Card",
+    "HDU",
+    "Header",
+    "HeaderSanityAnalyzer",
+    "SanityIssue",
+    "SanityReport",
+    "format_card",
+    "parse_card",
+    "read_fits",
+    "write_fits",
+]

@@ -1,0 +1,158 @@
+"""FITS 80-character header card images.
+
+A card is ``KEYWORD = value / comment`` padded to exactly 80 ASCII
+characters.  Keywords are up to 8 characters from ``[A-Z0-9_-]``; value
+cards carry the value indicator ``"= "`` in columns 9–10.  Commentary
+keywords (``COMMENT``, ``HISTORY``, blank) and ``END`` carry no value.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.exceptions import FITSFormatError
+
+CARD_SIZE = 80
+KEYWORD_SIZE = 8
+_KEYWORD_CHARS = set("ABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789_-")
+COMMENTARY_KEYWORDS = frozenset({"COMMENT", "HISTORY", ""})
+
+#: Python value types a card may carry.
+CardValue = bool | int | float | str | None
+
+
+@dataclass(frozen=True)
+class Card:
+    """One parsed header card."""
+
+    keyword: str
+    value: CardValue = None
+    comment: str = ""
+
+    @property
+    def is_commentary(self) -> bool:
+        return self.keyword in COMMENTARY_KEYWORDS
+
+    @property
+    def is_end(self) -> bool:
+        return self.keyword == "END"
+
+
+def validate_keyword(keyword: str) -> str:
+    """Validate and return an upper-case FITS keyword."""
+    keyword = keyword.strip().upper()
+    if len(keyword) > KEYWORD_SIZE:
+        raise FITSFormatError(f"keyword too long: {keyword!r}")
+    if any(ch not in _KEYWORD_CHARS for ch in keyword):
+        raise FITSFormatError(f"illegal character in keyword: {keyword!r}")
+    return keyword
+
+
+def _format_value(value: CardValue) -> str:
+    """Render a value in its fixed-format FITS field (right-justified to col 30)."""
+    if isinstance(value, bool):
+        text = "T" if value else "F"
+        return text.rjust(20)
+    if isinstance(value, int):
+        return str(value).rjust(20)
+    if isinstance(value, float):
+        text = repr(float(value)).upper().replace("E", "E")
+        return text.rjust(20)
+    if isinstance(value, str):
+        escaped = value.replace("'", "''")
+        body = f"'{escaped:<8}'"
+        return body
+    raise FITSFormatError(f"unsupported card value type: {type(value).__name__}")
+
+
+def format_card(card: Card) -> bytes:
+    """Serialise a :class:`Card` to its 80-byte ASCII image."""
+    keyword = validate_keyword(card.keyword) if card.keyword else ""
+    if card.is_end:
+        return b"END" + b" " * (CARD_SIZE - 3)
+    if card.is_commentary:
+        body = f"{keyword:<8}{card.comment or ''}"
+        return body[:CARD_SIZE].ljust(CARD_SIZE).encode("ascii")
+    if card.value is None:
+        body = f"{keyword:<8}"
+        return body[:CARD_SIZE].ljust(CARD_SIZE).encode("ascii")
+    text = f"{keyword:<8}= {_format_value(card.value)}"
+    if card.comment:
+        text = f"{text} / {card.comment}"
+    if len(text) > CARD_SIZE:
+        raise FITSFormatError(f"card overflows 80 characters: {text!r}")
+    return text.ljust(CARD_SIZE).encode("ascii")
+
+
+def _parse_value(field: str) -> CardValue:
+    field = field.strip()
+    if not field:
+        return None
+    if field.startswith("'"):
+        # Quoted string; embedded quotes are doubled.
+        body = field[1:]
+        end = _closing_quote(body)
+        return body[:end].replace("''", "'").rstrip()
+    if field in ("T", "F"):
+        return field == "T"
+    try:
+        return int(field)
+    except ValueError:
+        pass
+    try:
+        return float(field.replace("D", "E").replace("d", "e"))
+    except ValueError:
+        raise FITSFormatError(f"unparseable card value: {field!r}") from None
+
+
+def _closing_quote(body: str) -> int:
+    i = 0
+    while i < len(body):
+        if body[i] == "'":
+            if i + 1 < len(body) and body[i + 1] == "'":
+                i += 2
+                continue
+            return i
+        i += 1
+    raise FITSFormatError(f"unterminated string value: {body!r}")
+
+
+def parse_card(image: bytes) -> Card:
+    """Parse one 80-byte card image into a :class:`Card`."""
+    if len(image) != CARD_SIZE:
+        raise FITSFormatError(f"card image must be {CARD_SIZE} bytes, got {len(image)}")
+    try:
+        text = image.decode("ascii")
+    except UnicodeDecodeError as exc:
+        raise FITSFormatError(f"card contains non-ASCII bytes: {image!r}") from exc
+    keyword = text[:KEYWORD_SIZE].rstrip()
+    if keyword == "END" and text[3:].strip() == "":
+        return Card("END")
+    if keyword in COMMENTARY_KEYWORDS:
+        return Card(keyword, comment=text[KEYWORD_SIZE:].rstrip())
+    keyword = validate_keyword(keyword)
+    if text[KEYWORD_SIZE : KEYWORD_SIZE + 2] != "= ":
+        # Keyword without a value indicator: treated as commentary-like.
+        return Card(keyword, comment=text[KEYWORD_SIZE:].rstrip())
+    rest = text[KEYWORD_SIZE + 2 :]
+    value_field, comment = _split_comment(rest)
+    return Card(keyword, value=_parse_value(value_field), comment=comment)
+
+
+def _split_comment(rest: str) -> tuple[str, str]:
+    """Split a value field from its '/' comment, honouring quoted strings."""
+    stripped = rest.lstrip()
+    if stripped.startswith("'"):
+        body = stripped[1:]
+        end = _closing_quote(body)
+        value_part = stripped[: end + 2]
+        remainder = stripped[end + 2 :]
+    else:
+        slash = rest.find("/")
+        if slash == -1:
+            return rest, ""
+        return rest[:slash], rest[slash + 1 :].strip()
+    slash = remainder.find("/")
+    if slash == -1:
+        return value_part, ""
+    return value_part, remainder[slash + 1 :].strip()

@@ -1,0 +1,150 @@
+"""The FITS checksum convention: DATASUM and CHECKSUM keywords.
+
+Implements the ones'-complement 32-bit checksum and the 16-character
+ASCII encoding of the Seaman convention adopted by the FITS standard:
+``DATASUM`` holds the decimal checksum of the data unit; ``CHECKSUM``
+holds the ASCII-encoded (complemented) HDU sum computed with the
+``CHECKSUM`` value field zeroed, so verification recomputes that sum
+and compares.  Either keyword detects bit-flips anywhere in the HDU —
+a detection-only complement to the correcting preprocessors in
+:mod:`repro.core`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.exceptions import FITSFormatError
+from repro.fits.header import Header
+
+#: ASCII codes that must not appear in the encoded checksum.
+_EXCLUDE = frozenset(b":;<=>?@[\\]^_`")
+_OFFSET = 0x30  # ASCII '0'
+_MASK32 = 0xFFFFFFFF
+
+
+def ones_complement_sum32(data: bytes, initial: int = 0) -> int:
+    """Ones'-complement (end-around carry) sum of big-endian 32-bit words.
+
+    The input is zero-padded to a multiple of four bytes; FITS blocks are
+    2880 bytes so padding never triggers for conforming HDUs.
+    """
+    if len(data) % 4:
+        data = data + b"\x00" * (4 - len(data) % 4)
+    total = initial & _MASK32
+    # Sum in chunks, folding carries back in.
+    for i in range(0, len(data), 4):
+        word = int.from_bytes(data[i : i + 4], "big")
+        total += word
+        total = (total & _MASK32) + (total >> 32)
+    while total >> 32:
+        total = (total & _MASK32) + (total >> 32)
+    return total
+
+
+def encode_checksum_value(value: int) -> str:
+    """Encode the complement of *value* into the 16-character ASCII form.
+
+    Each byte of ``~value`` is split into four roughly equal parts offset
+    from ASCII '0'; bytes that land on excluded punctuation are nudged in
+    balanced pairs so the sum is preserved.  The result is rotated right
+    by one character, per the convention.
+    """
+    complement = (~value) & _MASK32
+    bytes_ = [(complement >> shift) & 0xFF for shift in (24, 16, 8, 0)]
+    chars = [[0] * 4 for _ in range(4)]
+    for b, byte in enumerate(bytes_):
+        quotient = byte // 4 + _OFFSET
+        remainder = byte % 4
+        parts = [quotient] * 4
+        for i in range(remainder):
+            parts[i] += 1
+        # Nudge excluded codes in offsetting pairs (preserves the sum).
+        while any(p in _EXCLUDE for p in parts):
+            for i in range(0, 4, 2):
+                if parts[i] in _EXCLUDE or parts[i + 1] in _EXCLUDE:
+                    parts[i] += 1
+                    parts[i + 1] -= 1
+        for i in range(4):
+            chars[i][b] = parts[i]
+    flat = [chars[i][b] for i in range(4) for b in range(4)]
+    # Rotate right one character.
+    rotated = [flat[-1]] + flat[:-1]
+    return bytes(rotated).decode("ascii")
+
+
+def decode_checksum_value(encoded: str) -> int:
+    """Invert :func:`encode_checksum_value` back to the complement sum."""
+    if len(encoded) != 16:
+        raise FITSFormatError(f"CHECKSUM value must be 16 chars, got {len(encoded)}")
+    raw = encoded.encode("ascii")
+    flat = list(raw[1:]) + [raw[0]]  # rotate left
+    value = 0
+    for b in range(4):
+        byte = sum(flat[i * 4 + b] - _OFFSET for i in range(4)) & 0xFF
+        value = (value << 8) | byte
+    return (~value) & _MASK32
+
+
+@dataclass(frozen=True)
+class ChecksumVerdict:
+    """Result of verifying an HDU's checksum keywords."""
+
+    datasum_present: bool
+    datasum_ok: bool
+    checksum_present: bool
+    checksum_ok: bool
+
+    @property
+    def ok(self) -> bool:
+        return (not self.datasum_present or self.datasum_ok) and (
+            not self.checksum_present or self.checksum_ok
+        )
+
+
+def set_checksums(header: Header, data_bytes: bytes) -> Header:
+    """Fill in DATASUM and CHECKSUM for a header + block-padded data unit.
+
+    Returns the same header (mutated) for chaining.  Must be called last:
+    any further header edit invalidates CHECKSUM.
+    """
+    datasum = ones_complement_sum32(data_bytes)
+    header.set("DATASUM", str(datasum), "data unit checksum")
+    # CHECKSUM is computed with its own value set to all '0'.
+    header.set("CHECKSUM", "0" * 16, "HDU checksum")
+    header_sum = ones_complement_sum32(header.to_bytes(), initial=datasum)
+    header.set("CHECKSUM", encode_checksum_value(header_sum), "HDU checksum")
+    return header
+
+
+def verify_checksums(header: Header, data_bytes: bytes) -> ChecksumVerdict:
+    """Check the DATASUM/CHECKSUM keywords against the actual bytes."""
+    datasum_card = header.get("DATASUM")
+    datasum_present = datasum_card is not None
+    datasum_ok = False
+    actual_datasum = ones_complement_sum32(data_bytes)
+    if datasum_present:
+        try:
+            datasum_ok = int(str(datasum_card).strip()) == actual_datasum
+        except ValueError:
+            datasum_ok = False
+
+    checksum_card = header.get("CHECKSUM")
+    checksum_present = isinstance(checksum_card, str) and len(checksum_card) == 16
+    checksum_ok = False
+    if checksum_present:
+        # Recompute with CHECKSUM zeroed; the stored characters encode
+        # (the complement of) exactly that total.
+        probe = Header(header.cards)
+        probe.set("CHECKSUM", "0" * 16, "HDU checksum")
+        total = ones_complement_sum32(probe.to_bytes(), initial=actual_datasum)
+        try:
+            checksum_ok = decode_checksum_value(checksum_card) == total
+        except FITSFormatError:
+            checksum_ok = False
+    return ChecksumVerdict(
+        datasum_present=datasum_present,
+        datasum_ok=datasum_ok,
+        checksum_present=checksum_present,
+        checksum_ok=checksum_ok,
+    )

@@ -1,0 +1,196 @@
+"""Reading and writing FITS image HDUs as numpy arrays.
+
+Data units are big-endian per the standard; unsigned 16-bit data (the
+NGST pixel format) is stored as ``BITPIX = 16`` with the conventional
+``BZERO = 32768`` offset, exactly like flight FITS products.
+"""
+
+from __future__ import annotations
+
+import io
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.exceptions import FITSFormatError
+from repro.fits.header import BLOCK_SIZE, VALID_BITPIX, Header
+
+#: BITPIX → big-endian numpy dtype for the raw (on-disk) representation.
+_BITPIX_DTYPE = {
+    8: np.dtype(">u1"),
+    16: np.dtype(">i2"),
+    32: np.dtype(">i4"),
+    64: np.dtype(">i8"),
+    -32: np.dtype(">f4"),
+    -64: np.dtype(">f8"),
+}
+
+#: numpy dtype (native) → (BITPIX, BZERO) for writing.
+_WRITE_MAP = {
+    np.dtype(np.uint8): (8, 0),
+    np.dtype(np.int16): (16, 0),
+    np.dtype(np.uint16): (16, 32768),
+    np.dtype(np.int32): (32, 0),
+    np.dtype(np.uint32): (32, 2147483648),
+    np.dtype(np.int64): (64, 0),
+    np.dtype(np.float32): (-32, 0),
+    np.dtype(np.float64): (-64, 0),
+}
+
+
+@dataclass
+class HDU:
+    """One Header + Data Unit."""
+
+    header: Header
+    data: np.ndarray | None = field(default=None)
+
+    def physical_data(self) -> np.ndarray | None:
+        """Data with BSCALE/BZERO applied, in a natural native dtype."""
+        if self.data is None:
+            return None
+        bscale = self.header.get("BSCALE", 1)
+        bzero = self.header.get("BZERO", 0)
+        raw = self.data
+        if bscale == 1 and bzero == 0:
+            return raw
+        bitpix = self.header.get("BITPIX")
+        if bscale == 1 and bitpix == 16 and bzero == 32768:
+            return (raw.astype(np.int32) + 32768).astype(np.uint16)
+        if bscale == 1 and bitpix == 32 and bzero == 2147483648:
+            return (raw.astype(np.int64) + 2147483648).astype(np.uint32)
+        return raw.astype(np.float64) * float(bscale) + float(bzero)
+
+
+def _padded(raw: bytes) -> bytes:
+    pad = (-len(raw)) % BLOCK_SIZE
+    return raw + b"\x00" * pad
+
+
+def write_hdu(
+    array: np.ndarray,
+    extra_header: Header | None = None,
+    with_checksum: bool = False,
+    as_extension: bool = False,
+) -> bytes:
+    """Serialise one image HDU for *array* (native-dtype numpy array).
+
+    With ``with_checksum`` the DATASUM/CHECKSUM keywords are filled in
+    (see :mod:`repro.fits.checksum`), enabling bit-flip *detection* on
+    the receiving side.  ``as_extension`` emits a standard IMAGE
+    extension (XTENSION/PCOUNT/GCOUNT) instead of a primary HDU.
+    """
+    dtype = np.dtype(array.dtype).newbyteorder("=")
+    if dtype not in _WRITE_MAP:
+        raise FITSFormatError(f"cannot store dtype {array.dtype} in FITS")
+    bitpix, bzero = _WRITE_MAP[dtype]
+    header = (
+        Header.image_extension(bitpix, array.shape)
+        if as_extension
+        else Header.primary(bitpix, array.shape)
+    )
+    if bzero:
+        header.set("BSCALE", 1, "physical = raw * BSCALE + BZERO")
+        header.set("BZERO", bzero, "offset for unsigned storage")
+    if extra_header is not None:
+        for card in extra_header:
+            if card.is_commentary:
+                header.add_comment(card.comment)
+            elif card.keyword not in ("SIMPLE", "BITPIX", "NAXIS") and not card.keyword.startswith("NAXIS"):
+                header.set(card.keyword, card.value, card.comment)
+    raw_dtype = _BITPIX_DTYPE[bitpix]
+    if bzero:
+        stored = (array.astype(np.int64) - bzero).astype(raw_dtype)
+    else:
+        stored = array.astype(raw_dtype)
+    data_bytes = _padded(stored.tobytes())
+    if with_checksum:
+        from repro.fits.checksum import set_checksums
+
+        set_checksums(header, data_bytes)
+    return header.to_bytes() + data_bytes
+
+
+def write_fits(arrays: np.ndarray | list[np.ndarray], path_or_buffer) -> None:
+    """Write one or more arrays as a FITS file (primary HDU + extensions).
+
+    *path_or_buffer* may be a filesystem path or a binary file object.
+    """
+    if isinstance(arrays, np.ndarray):
+        arrays = [arrays]
+    if not arrays:
+        raise FITSFormatError("write_fits requires at least one array")
+    parts = []
+    for i, array in enumerate(arrays):
+        if i == 0 and len(arrays) > 1:
+            extra = Header()
+            extra.set("EXTEND", True, "extensions may follow")
+            parts.append(write_hdu(array, extra_header=extra))
+        else:
+            parts.append(write_hdu(array, as_extension=i > 0))
+    blob = b"".join(parts)
+    if hasattr(path_or_buffer, "write"):
+        path_or_buffer.write(blob)
+    else:
+        with open(path_or_buffer, "wb") as fh:
+            fh.write(blob)
+
+
+def decode_data_unit(header: Header, raw: bytes, offset: int) -> tuple[np.ndarray | None, int]:
+    """Decode the data unit that *header* describes, starting at *offset*.
+
+    Returns the native-endian array (or None for a dataless HDU) and the
+    offset just past the block-padded data unit.
+    """
+    bitpix = header.get("BITPIX")
+    if bitpix not in VALID_BITPIX:
+        raise FITSFormatError(f"invalid BITPIX in header: {bitpix!r}")
+    size = header.data_size_bytes()
+    if size == 0:
+        return None, offset
+    if offset + size > len(raw):
+        raise FITSFormatError(
+            f"truncated data unit: need {size} bytes, have {len(raw) - offset}"
+        )
+    flat = np.frombuffer(raw[offset : offset + size], dtype=_BITPIX_DTYPE[bitpix])
+    shape = tuple(reversed(header.axes()))
+    data = flat.reshape(shape).astype(_BITPIX_DTYPE[bitpix].newbyteorder("="))
+    return data, offset + size + ((-size) % BLOCK_SIZE)
+
+
+def _read_hdu(raw: bytes, offset: int) -> tuple[HDU, int]:
+    header, consumed = Header.from_bytes(raw[offset:])
+    offset += consumed
+    data, offset = decode_data_unit(header, raw, offset)
+    return HDU(header, data), offset
+
+
+def read_fits(path_or_buffer) -> list[HDU]:
+    """Read all HDUs from a FITS file or binary buffer."""
+    if hasattr(path_or_buffer, "read"):
+        raw = path_or_buffer.read()
+    elif isinstance(path_or_buffer, (bytes, bytearray)):
+        raw = bytes(path_or_buffer)
+    else:
+        with open(path_or_buffer, "rb") as fh:
+            raw = fh.read()
+    if not raw:
+        raise FITSFormatError("empty FITS stream")
+    hdus = []
+    offset = 0
+    while offset < len(raw):
+        # Trailing padding blocks of NULs or blanks are permitted.
+        chunk = raw[offset : offset + BLOCK_SIZE]
+        if chunk.strip(b"\x00 ") == b"":
+            offset += BLOCK_SIZE
+            continue
+        hdu, offset = _read_hdu(raw, offset)
+        hdus.append(hdu)
+    if not hdus:
+        raise FITSFormatError("no HDUs found in FITS stream")
+    return hdus
+
+
+def read_fits_bytes(raw: bytes) -> list[HDU]:
+    """Convenience wrapper: read HDUs from an in-memory byte string."""
+    return read_fits(io.BytesIO(raw))

@@ -1,0 +1,195 @@
+"""FITS header model: an ordered collection of cards with the mandatory
+keyword rules of the standard (NOST 100-2.0, the paper's ref. [14]).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterator
+
+from repro.exceptions import FITSFormatError
+from repro.fits.cards import CARD_SIZE, Card, CardValue, format_card, parse_card
+
+BLOCK_SIZE = 2880
+CARDS_PER_BLOCK = BLOCK_SIZE // CARD_SIZE
+
+#: BITPIX values the standard permits, and the numpy dtypes they map to.
+VALID_BITPIX = (8, 16, 32, 64, -32, -64)
+
+
+class Header:
+    """An ordered, keyword-addressable FITS header.
+
+    Supports dict-style access by keyword for value cards while preserving
+    card order and commentary cards for round-tripping.
+    """
+
+    def __init__(self, cards: list[Card] | None = None) -> None:
+        self._cards: list[Card] = list(cards) if cards else []
+
+    # -- dict-like access --------------------------------------------------
+
+    def __contains__(self, keyword: str) -> bool:
+        keyword = keyword.upper()
+        return any(c.keyword == keyword and not c.is_commentary for c in self._cards)
+
+    def __getitem__(self, keyword: str) -> CardValue:
+        keyword = keyword.upper()
+        for card in self._cards:
+            if card.keyword == keyword and not card.is_commentary:
+                return card.value
+        raise KeyError(keyword)
+
+    def get(self, keyword: str, default: CardValue = None) -> CardValue:
+        try:
+            return self[keyword]
+        except KeyError:
+            return default
+
+    def __setitem__(self, keyword: str, value: CardValue) -> None:
+        keyword = keyword.upper()
+        for i, card in enumerate(self._cards):
+            if card.keyword == keyword and not card.is_commentary:
+                self._cards[i] = Card(keyword, value, card.comment)
+                return
+        self._cards.append(Card(keyword, value))
+
+    def set(self, keyword: str, value: CardValue, comment: str = "") -> None:
+        """Set a value card, with an explicit comment."""
+        keyword = keyword.upper()
+        for i, card in enumerate(self._cards):
+            if card.keyword == keyword and not card.is_commentary:
+                self._cards[i] = Card(keyword, value, comment)
+                return
+        self._cards.append(Card(keyword, value, comment))
+
+    def __delitem__(self, keyword: str) -> None:
+        keyword = keyword.upper()
+        for i, card in enumerate(self._cards):
+            if card.keyword == keyword and not card.is_commentary:
+                del self._cards[i]
+                return
+        raise KeyError(keyword)
+
+    def __iter__(self) -> Iterator[Card]:
+        return iter(self._cards)
+
+    def __len__(self) -> int:
+        return len(self._cards)
+
+    def add_comment(self, text: str) -> None:
+        self._cards.append(Card("COMMENT", comment=text))
+
+    def add_history(self, text: str) -> None:
+        self._cards.append(Card("HISTORY", comment=text))
+
+    @property
+    def cards(self) -> list[Card]:
+        return list(self._cards)
+
+    # -- structural queries -------------------------------------------------
+
+    def axes(self) -> tuple[int, ...]:
+        """The (NAXIS1, NAXIS2, …) tuple, FITS order (fastest axis first)."""
+        naxis = self.get("NAXIS")
+        if not isinstance(naxis, int) or naxis < 0:
+            raise FITSFormatError(f"invalid NAXIS: {naxis!r}")
+        dims = []
+        for n in range(1, naxis + 1):
+            size = self.get(f"NAXIS{n}")
+            if not isinstance(size, int) or size < 0:
+                raise FITSFormatError(f"invalid NAXIS{n}: {size!r}")
+            dims.append(size)
+        return tuple(dims)
+
+    def data_size_bytes(self) -> int:
+        """Size of the data unit in bytes (before block padding)."""
+        bitpix = self.get("BITPIX")
+        if bitpix not in VALID_BITPIX:
+            raise FITSFormatError(f"invalid BITPIX: {bitpix!r}")
+        dims = self.axes()
+        if not dims:
+            return 0
+        count = 1
+        for d in dims:
+            count *= d
+        return count * abs(bitpix) // 8
+
+    # -- serialisation -------------------------------------------------------
+
+    def to_bytes(self) -> bytes:
+        """Serialise to one or more 2880-byte blocks, END-terminated."""
+        images = [format_card(c) for c in self._cards if not c.is_end]
+        images.append(format_card(Card("END")))
+        raw = b"".join(images)
+        pad = (-len(raw)) % BLOCK_SIZE
+        return raw + b" " * pad
+
+    @classmethod
+    def from_bytes(cls, raw: bytes) -> tuple["Header", int]:
+        """Parse a header from *raw*; returns (header, bytes consumed).
+
+        Consumes whole 2880-byte blocks until (and including) the one
+        containing the END card.
+        """
+        if len(raw) < BLOCK_SIZE:
+            raise FITSFormatError(
+                f"header requires at least one {BLOCK_SIZE}-byte block, got {len(raw)}"
+            )
+        cards: list[Card] = []
+        offset = 0
+        while True:
+            if offset + BLOCK_SIZE > len(raw):
+                raise FITSFormatError("header not terminated by END card")
+            block = raw[offset : offset + BLOCK_SIZE]
+            offset += BLOCK_SIZE
+            for i in range(CARDS_PER_BLOCK):
+                image = block[i * CARD_SIZE : (i + 1) * CARD_SIZE]
+                if image.strip() == b"":
+                    continue
+                card = parse_card(image)
+                if card.is_end:
+                    return cls(cards), offset
+                cards.append(card)
+
+    # -- construction helpers -----------------------------------------------
+
+    @classmethod
+    def primary(cls, bitpix: int, shape: tuple[int, ...]) -> "Header":
+        """A minimal standard-conforming primary header.
+
+        *shape* is given in numpy (row-major) order; it is reversed into
+        FITS axis order.
+        """
+        if bitpix not in VALID_BITPIX:
+            raise FITSFormatError(f"invalid BITPIX: {bitpix!r}")
+        header = cls()
+        header.set("SIMPLE", True, "conforms to FITS standard")
+        header.set("BITPIX", bitpix, "bits per data pixel")
+        header.set("NAXIS", len(shape), "number of data axes")
+        for n, size in enumerate(reversed(shape), start=1):
+            header.set(f"NAXIS{n}", int(size), f"length of data axis {n}")
+        return header
+
+    @classmethod
+    def image_extension(cls, bitpix: int, shape: tuple[int, ...]) -> "Header":
+        """A standard-conforming IMAGE extension header.
+
+        Extensions open with ``XTENSION= 'IMAGE   '`` instead of SIMPLE
+        and carry the mandatory PCOUNT/GCOUNT cards.
+        """
+        if bitpix not in VALID_BITPIX:
+            raise FITSFormatError(f"invalid BITPIX: {bitpix!r}")
+        header = cls()
+        header.set("XTENSION", "IMAGE   ", "IMAGE extension")
+        header.set("BITPIX", bitpix, "bits per data pixel")
+        header.set("NAXIS", len(shape), "number of data axes")
+        for n, size in enumerate(reversed(shape), start=1):
+            header.set(f"NAXIS{n}", int(size), f"length of data axis {n}")
+        header.set("PCOUNT", 0, "no varying-array heap")
+        header.set("GCOUNT", 1, "one data group")
+        return header
+
+    @property
+    def is_extension(self) -> bool:
+        """True when this header opens an extension HDU."""
+        return "XTENSION" in self

@@ -1,0 +1,289 @@
+"""FITS header sanity analysis — the Λ = 0 action of the preprocessor.
+
+§2.2.1: a bit-flip in the header region of a FITS file can be
+catastrophic — a misread ``NAXIS`` or ``BITPIX`` corrupts the entire
+data unit.  The analyzer walks the raw header bytes card by card,
+detects structural damage a bit-flip can cause, and applies conservative
+repairs:
+
+* non-ASCII bytes (high bit flipped) are restored by clearing bit 7;
+* an illegal ``BITPIX`` is snapped to the legal value at minimum Hamming
+  distance (the most likely pre-flip value);
+* ``NAXIS`` inconsistent with the set of ``NAXISn`` cards present is
+  rebuilt from that set;
+* negative or absurd axis lengths are flagged (and optionally clamped);
+* a missing ``END`` card within the scanned blocks is flagged as fatal.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+
+from repro.exceptions import FITSFormatError
+from repro.fits.cards import CARD_SIZE, parse_card
+from repro.fits.header import BLOCK_SIZE, CARDS_PER_BLOCK, VALID_BITPIX, Header
+
+
+class Severity(Enum):
+    """How bad a sanity finding is."""
+
+    INFO = "info"
+    REPAIRED = "repaired"
+    FATAL = "fatal"
+
+
+@dataclass(frozen=True)
+class SanityIssue:
+    """One finding of the sanity analysis."""
+
+    severity: Severity
+    keyword: str
+    message: str
+
+
+@dataclass
+class SanityReport:
+    """Aggregate result of one header sanity pass."""
+
+    issues: list[SanityIssue] = field(default_factory=list)
+    header: Header | None = None
+    repaired_bytes: bytes | None = None
+    #: Bytes of *raw* occupied by the header (whole blocks up to and
+    #: including the one containing END); -1 if END was never found.
+    header_length: int = -1
+
+    @property
+    def ok(self) -> bool:
+        """True when the header is usable (possibly after repairs)."""
+        return not any(i.severity is Severity.FATAL for i in self.issues)
+
+    @property
+    def n_repairs(self) -> int:
+        return sum(1 for i in self.issues if i.severity is Severity.REPAIRED)
+
+    def add(self, severity: Severity, keyword: str, message: str) -> None:
+        self.issues.append(SanityIssue(severity, keyword, message))
+
+
+def _hamming(a: int, b: int) -> int:
+    return bin(a ^ b).count("1")
+
+
+def nearest_bitpix(value: int) -> int:
+    """The legal BITPIX at minimum Hamming distance from *value*.
+
+    Distances are computed on the 64-bit two's-complement patterns, so
+    that e.g. a flipped sign bit mapping 16 → -16 repairs back cleanly.
+    Ties break toward the smaller magnitude (more common in practice).
+    """
+    mask = (1 << 64) - 1
+    pattern = value & mask
+    best = min(
+        VALID_BITPIX,
+        key=lambda legal: (_hamming(pattern, legal & mask), abs(legal)),
+    )
+    return best
+
+
+#: Axis length beyond which we consider the dimension absurd for the
+#: applications at hand (NGST's detector is 1024x1024; OTIS frames are
+#: of the same order).  A flipped high bit in NAXISn lands far above it.
+MAX_REASONABLE_AXIS = 1 << 20
+
+
+class HeaderSanityAnalyzer:
+    """Analyse (and optionally repair) the raw bytes of a FITS header."""
+
+    def __init__(self, repair: bool = True, max_blocks: int = 64) -> None:
+        self.repair = repair
+        self.max_blocks = max_blocks
+
+    def analyze(self, raw: bytes) -> SanityReport:
+        """Run the sanity pass over *raw*.
+
+        *raw* may be the header alone or a whole HDU/file: the pass
+        walks block by block and stops at the block containing END, so
+        data-unit bytes are never touched (they are binary, not cards).
+        """
+        report = SanityReport()
+        if len(raw) < BLOCK_SIZE:
+            report.add(Severity.FATAL, "", f"header shorter than one block ({len(raw)} bytes)")
+            return report
+
+        work = bytearray(raw)
+        cards: list = []
+        end_offset = None
+        blocks = min(len(work) // BLOCK_SIZE, self.max_blocks)
+        for b in range(blocks):
+            start = b * BLOCK_SIZE
+            self._repair_non_ascii(work, start, start + BLOCK_SIZE, report)
+            end_offset = self._scan_block_cards(
+                bytes(work[start : start + BLOCK_SIZE]), start, cards, report
+            )
+            if end_offset is not None:
+                break
+        if end_offset is None:
+            report.add(Severity.FATAL, "END", "no END card found in scanned blocks")
+            return report
+        # Round up to whole blocks: the header always occupies full blocks.
+        report.header_length = end_offset + ((-end_offset) % BLOCK_SIZE)
+
+        header = Header(cards)
+        self._check_simple(header, report)
+        self._check_bitpix(header, report)
+        self._check_naxis(header, report)
+        self._check_axes(header, report)
+
+        if report.ok:
+            report.header = header
+            report.repaired_bytes = header.to_bytes() if self.repair else bytes(work)
+        return report
+
+    # -- byte-level ---------------------------------------------------------
+
+    def _repair_non_ascii(
+        self, work: bytearray, start: int, stop: int, report: SanityReport
+    ) -> None:
+        """Clear bit 7 of bytes outside printable ASCII in [start, stop)."""
+        for i in range(start, min(stop, len(work))):
+            byte = work[i]
+            if byte < 0x20 or byte > 0x7E:
+                repaired = byte & 0x7F
+                if repaired < 0x20:
+                    repaired = 0x20
+                card_no = i // CARD_SIZE
+                report.add(
+                    Severity.REPAIRED if self.repair else Severity.FATAL,
+                    "",
+                    f"non-ASCII byte 0x{byte:02x} at offset {i} (card {card_no})",
+                )
+                if self.repair:
+                    work[i] = repaired
+
+    # -- card-level -----------------------------------------------------------
+
+    def _scan_block_cards(
+        self, block: bytes, block_offset: int, cards: list, report: SanityReport
+    ) -> int | None:
+        """Scan one block's cards into *cards*.
+
+        Returns the absolute offset just past the END card when it is
+        found in this block, else None.
+        """
+        for i in range(CARDS_PER_BLOCK):
+            image = block[i * CARD_SIZE : (i + 1) * CARD_SIZE]
+            if image.strip() == b"":
+                continue
+            try:
+                card = parse_card(image)
+            except FITSFormatError as exc:
+                report.add(Severity.INFO, "", f"unparseable card skipped: {exc}")
+                continue
+            if card.is_end:
+                return block_offset + (i + 1) * CARD_SIZE
+            cards.append(card)
+        return None
+
+    # -- keyword-level -----------------------------------------------------
+
+    def _check_simple(self, header: Header, report: SanityReport) -> None:
+        if "XTENSION" in header:
+            xtension = header.get("XTENSION")
+            if isinstance(xtension, str) and xtension.strip() in (
+                "IMAGE",
+                "TABLE",
+                "BINTABLE",
+            ):
+                return
+            report.add(
+                Severity.FATAL, "XTENSION", f"unknown extension type {xtension!r}"
+            )
+            return
+        simple = header.get("SIMPLE")
+        if simple is True:
+            return
+        if simple is None:
+            report.add(Severity.FATAL, "SIMPLE", "missing SIMPLE card")
+        elif self.repair:
+            header["SIMPLE"] = True
+            report.add(Severity.REPAIRED, "SIMPLE", f"SIMPLE was {simple!r}, reset to T")
+        else:
+            report.add(Severity.FATAL, "SIMPLE", f"SIMPLE is {simple!r}")
+
+    def _check_bitpix(self, header: Header, report: SanityReport) -> None:
+        bitpix = header.get("BITPIX")
+        if bitpix in VALID_BITPIX:
+            return
+        if bitpix is None:
+            report.add(Severity.FATAL, "BITPIX", "missing BITPIX card")
+            return
+        if isinstance(bitpix, int) and self.repair:
+            fixed = nearest_bitpix(bitpix)
+            header["BITPIX"] = fixed
+            report.add(
+                Severity.REPAIRED,
+                "BITPIX",
+                f"illegal BITPIX {bitpix} snapped to {fixed} (min Hamming distance)",
+            )
+        else:
+            report.add(Severity.FATAL, "BITPIX", f"illegal BITPIX {bitpix!r}")
+
+    def _check_naxis(self, header: Header, report: SanityReport) -> None:
+        naxis = header.get("NAXIS")
+        present = self._present_axes(header)
+        expected = len(present)
+        consistent = (
+            isinstance(naxis, int)
+            and 0 <= naxis <= 999
+            and present == list(range(1, naxis + 1))
+        )
+        if consistent:
+            return
+        if self.repair and present == list(range(1, expected + 1)):
+            header["NAXIS"] = expected
+            report.add(
+                Severity.REPAIRED,
+                "NAXIS",
+                f"NAXIS was {naxis!r}; rebuilt as {expected} from NAXISn cards",
+            )
+        else:
+            report.add(
+                Severity.FATAL,
+                "NAXIS",
+                f"NAXIS {naxis!r} inconsistent with axis cards {present}",
+            )
+
+    def _check_axes(self, header: Header, report: SanityReport) -> None:
+        for n in self._present_axes(header):
+            keyword = f"NAXIS{n}"
+            size = header.get(keyword)
+            if isinstance(size, int) and 0 < size <= MAX_REASONABLE_AXIS:
+                continue
+            if isinstance(size, int) and size > MAX_REASONABLE_AXIS and self.repair:
+                # A single flipped high bit is the most likely cause; clear
+                # the highest set bit that brings the size back in range.
+                fixed = size
+                bit = 1 << (size.bit_length() - 1)
+                while fixed > MAX_REASONABLE_AXIS and bit:
+                    if fixed & bit:
+                        fixed ^= bit
+                    bit >>= 1
+                if 0 < fixed <= MAX_REASONABLE_AXIS:
+                    header[keyword] = fixed
+                    report.add(
+                        Severity.REPAIRED,
+                        keyword,
+                        f"absurd axis length {size} reduced to {fixed}",
+                    )
+                    continue
+            report.add(Severity.FATAL, keyword, f"invalid axis length {size!r}")
+
+    @staticmethod
+    def _present_axes(header: Header) -> list[int]:
+        present = []
+        for card in header:
+            kw = card.keyword
+            if kw.startswith("NAXIS") and kw != "NAXIS" and kw[5:].isdigit():
+                present.append(int(kw[5:]))
+        return sorted(present)

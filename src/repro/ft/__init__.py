@@ -1,0 +1,22 @@
+"""Classic software fault-tolerance schemes the paper positions itself
+against (§1): Algorithm-Based Fault Tolerance for matrix operations,
+and N-Version Programming with majority / T-out-of-(N−1) voting.
+
+These exist to reproduce the paper's *motivating* claim: such schemes
+recover from faults in the instruction memory or processing units, but
+"a recomputed or secondary output may only be expected to produce
+equally spurious or worse results than the primary as the corrupted
+input affects both" — input preprocessing is the missing layer.
+"""
+
+from repro.ft.abft import ABFTMatrix, ABFTReport, abft_matmul
+from repro.ft.nvp import NVPResult, NVPVoter, VersionOutcome
+
+__all__ = [
+    "ABFTMatrix",
+    "ABFTReport",
+    "NVPResult",
+    "NVPVoter",
+    "VersionOutcome",
+    "abft_matmul",
+]

@@ -1,0 +1,118 @@
+"""N-Version Programming with majority and T/(N−1) voting (§1, ref. [4]).
+
+N independently developed versions compute the same function; a voter
+adjudicates their outputs.  The classic scheme masks faults confined to
+individual versions (design bugs, node-local upsets).  The paper's
+point: when the *shared input* is corrupted, all N versions agree on
+the same wrong answer and the voter happily certifies it.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Sequence
+from dataclasses import dataclass
+from enum import Enum
+
+import numpy as np
+
+from repro.exceptions import ConfigurationError
+
+
+class VersionOutcome(Enum):
+    """How one version's run ended."""
+
+    AGREED = "agreed"
+    OUTVOTED = "outvoted"
+    CRASHED = "crashed"
+
+
+@dataclass(frozen=True)
+class NVPResult:
+    """Voter verdict over the N versions.
+
+    Attributes:
+        output: the adjudicated output, or None if no agreement group
+            reached the required quorum.
+        agreed: whether a quorum existed.
+        outcomes: per-version classification.
+        agreement_size: size of the winning agreement group.
+    """
+
+    output: np.ndarray | None
+    agreed: bool
+    outcomes: tuple[VersionOutcome, ...]
+    agreement_size: int
+
+
+class NVPVoter:
+    """Runs N versions and votes on their outputs.
+
+    Args:
+        versions: the N independent implementations.
+        quorum: votes required to accept an output.  ``None`` selects a
+            strict majority (⌊N/2⌋+1).  The T/(N−1) scheme of the paper
+            corresponds to ``quorum=T`` with one version treated as the
+            primary whose output must be seconded by T of the others.
+        atol: numeric tolerance when comparing version outputs (versions
+            may legitimately differ in rounding).
+    """
+
+    def __init__(
+        self,
+        versions: Sequence[Callable[[np.ndarray], np.ndarray]],
+        quorum: int | None = None,
+        atol: float = 1e-9,
+    ) -> None:
+        if len(versions) < 2:
+            raise ConfigurationError(f"NVP needs >= 2 versions, got {len(versions)}")
+        n = len(versions)
+        if quorum is None:
+            quorum = n // 2 + 1
+        if not 1 <= quorum <= n:
+            raise ConfigurationError(f"quorum must be within [1, {n}], got {quorum}")
+        self.versions = list(versions)
+        self.quorum = quorum
+        self.atol = atol
+
+    def run(self, input_data: np.ndarray) -> NVPResult:
+        """Execute all versions on *input_data* and adjudicate."""
+        outputs: list[np.ndarray | None] = []
+        for version in self.versions:
+            try:
+                outputs.append(np.asarray(version(input_data)))
+            except Exception:
+                outputs.append(None)
+
+        # Group equivalent outputs (within tolerance).
+        groups: list[list[int]] = []
+        for i, out in enumerate(outputs):
+            if out is None:
+                continue
+            placed = False
+            for group in groups:
+                reference = outputs[group[0]]
+                if reference.shape == out.shape and np.allclose(
+                    reference, out, atol=self.atol
+                ):
+                    group.append(i)
+                    placed = True
+                    break
+            if not placed:
+                groups.append([i])
+
+        winner = max(groups, key=len, default=[])
+        agreed = len(winner) >= self.quorum
+        outcomes = []
+        for i, out in enumerate(outputs):
+            if out is None:
+                outcomes.append(VersionOutcome.CRASHED)
+            elif agreed and i in winner:
+                outcomes.append(VersionOutcome.AGREED)
+            else:
+                outcomes.append(VersionOutcome.OUTVOTED)
+        return NVPResult(
+            output=outputs[winner[0]] if agreed else None,
+            agreed=agreed,
+            outcomes=tuple(outcomes),
+            agreement_size=len(winner),
+        )

@@ -1,0 +1,5 @@
+"""Dataset persistence for reproducible fault-injection campaigns."""
+
+from repro.io.archive import CampaignArchive, load_trial, save_trial
+
+__all__ = ["CampaignArchive", "load_trial", "save_trial"]

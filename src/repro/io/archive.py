@@ -1,0 +1,149 @@
+"""On-disk archives of fault-injection trials.
+
+A trial is the triple the whole evaluation revolves around — pristine
+dataset Π, corrupted dataset P and the flip mask that links them — plus
+the parameters that produced it.  Persisting trials lets a campaign be
+re-analysed (new algorithms, new metrics) without re-generating data,
+and makes cross-machine reproduction byte-exact.
+
+Format: one FITS file per trial (primary HDU = pristine, IMAGE
+extensions = corrupted and flip mask, all with checksum keywords) and a
+JSON manifest listing trials with their metadata.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+
+import numpy as np
+
+from repro.exceptions import DataFormatError
+from repro.fits.checksum import verify_checksums
+from repro.fits.file import read_fits, write_hdu
+from repro.fits.header import Header
+
+MANIFEST_NAME = "manifest.json"
+
+
+@dataclass(frozen=True)
+class Trial:
+    """One persisted injection trial."""
+
+    name: str
+    pristine: np.ndarray
+    corrupted: np.ndarray
+    flip_mask: np.ndarray
+    metadata: dict
+
+
+def save_trial(
+    path: str | Path,
+    pristine: np.ndarray,
+    corrupted: np.ndarray,
+    flip_mask: np.ndarray,
+    metadata: dict | None = None,
+) -> None:
+    """Write one trial as a checksummed multi-HDU FITS file."""
+    pristine = np.asarray(pristine)
+    corrupted = np.asarray(corrupted)
+    flip_mask = np.asarray(flip_mask)
+    if not (pristine.shape == corrupted.shape == flip_mask.shape):
+        raise DataFormatError(
+            f"trial arrays must share a shape, got {pristine.shape}/"
+            f"{corrupted.shape}/{flip_mask.shape}"
+        )
+    extra = Header()
+    extra.set("EXTEND", True, "extensions follow")
+    if metadata:
+        # Human-readable copies in the header; the authoritative,
+        # machine-readable metadata lives in the manifest.
+        for key, value in sorted(metadata.items()):
+            extra.add_comment(f"{key} = {value!r}")
+    blob = write_hdu(pristine, extra_header=extra, with_checksum=True)
+    blob += write_hdu(corrupted, with_checksum=True, as_extension=True)
+    blob += write_hdu(flip_mask, with_checksum=True, as_extension=True)
+    Path(path).write_bytes(blob)
+
+
+def load_trial(path: str | Path, verify: bool = True) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Read a trial back; optionally verify every HDU's checksums."""
+    raw = Path(path).read_bytes()
+    hdus = read_fits(raw)
+    if len(hdus) != 3:
+        raise DataFormatError(f"{path}: expected 3 HDUs, found {len(hdus)}")
+    if verify:
+        offset = 0
+        for index, hdu in enumerate(hdus):
+            header, consumed = Header.from_bytes(raw[offset:])
+            data_size = header.data_size_bytes()
+            padded = data_size + ((-data_size) % 2880)
+            data_bytes = raw[offset + consumed : offset + consumed + padded]
+            verdict = verify_checksums(header, data_bytes)
+            if not verdict.ok:
+                raise DataFormatError(
+                    f"{path}: HDU {index} failed checksum verification "
+                    "(bit-flips on disk or in transfer)"
+                )
+            offset += consumed + padded
+    pristine, corrupted, mask = (h.physical_data() for h in hdus)
+    return pristine, corrupted, mask
+
+
+class CampaignArchive:
+    """A directory of persisted trials with a JSON manifest."""
+
+    def __init__(self, root: str | Path) -> None:
+        self.root = Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+        self._manifest_path = self.root / MANIFEST_NAME
+        if self._manifest_path.exists():
+            self._manifest = json.loads(self._manifest_path.read_text())
+        else:
+            self._manifest = {"trials": {}}
+
+    def save(
+        self,
+        name: str,
+        pristine: np.ndarray,
+        corrupted: np.ndarray,
+        flip_mask: np.ndarray,
+        metadata: dict | None = None,
+    ) -> Path:
+        """Persist one named trial and record it in the manifest."""
+        if not name or "/" in name:
+            raise DataFormatError(f"invalid trial name: {name!r}")
+        path = self.root / f"{name}.fits"
+        save_trial(path, pristine, corrupted, flip_mask, metadata)
+        self._manifest["trials"][name] = {
+            "file": path.name,
+            "shape": list(np.asarray(pristine).shape),
+            "dtype": str(np.asarray(pristine).dtype),
+            "metadata": dict(metadata or {}),
+        }
+        self._manifest_path.write_text(json.dumps(self._manifest, indent=2))
+        return path
+
+    def load(self, name: str, verify: bool = True) -> Trial:
+        """Load one named trial (checksum-verified by default)."""
+        try:
+            entry = self._manifest["trials"][name]
+        except KeyError:
+            raise DataFormatError(
+                f"unknown trial {name!r}; have {sorted(self._manifest['trials'])}"
+            ) from None
+        pristine, corrupted, mask = load_trial(self.root / entry["file"], verify)
+        return Trial(
+            name=name,
+            pristine=pristine,
+            corrupted=corrupted,
+            flip_mask=mask,
+            metadata=dict(entry.get("metadata", {})),
+        )
+
+    def names(self) -> list[str]:
+        return sorted(self._manifest["trials"])
+
+    def __len__(self) -> int:
+        return len(self._manifest["trials"])

@@ -1,0 +1,89 @@
+"""Bit-level confusion accounting for a preprocessing pass.
+
+Given the pristine, corrupted and preprocessed datasets, classifies
+every bit position into:
+
+* **true corrections** — injected flips that the algorithm reverted;
+* **false alarms** (pseudo-corrections) — clean bits the algorithm
+  flipped, the §7.2 failure mode;
+* **missed** — injected flips the algorithm left in place.
+
+These drive the false-alarm analyses behind Figures 2, 6 and 9.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core import bitops
+from repro.exceptions import DataFormatError
+
+
+@dataclass(frozen=True)
+class BitConfusion:
+    """Counts of bit-level outcomes of one preprocessing pass."""
+
+    true_corrections: int
+    false_alarms: int
+    missed: int
+    total_bits: int
+
+    @property
+    def injected(self) -> int:
+        """Number of injected bit-flips (= corrected + missed)."""
+        return self.true_corrections + self.missed
+
+    @property
+    def precision(self) -> float:
+        """Fraction of the algorithm's flips that were genuine repairs."""
+        acted = self.true_corrections + self.false_alarms
+        return self.true_corrections / acted if acted else 1.0
+
+    @property
+    def recall(self) -> float:
+        """Fraction of injected flips that were repaired."""
+        return self.true_corrections / self.injected if self.injected else 1.0
+
+    @property
+    def residual_flips(self) -> int:
+        """Bits still wrong after preprocessing (missed + false alarms)."""
+        return self.missed + self.false_alarms
+
+
+def _as_bits(arr: np.ndarray, name: str) -> np.ndarray:
+    arr = np.asarray(arr)
+    if arr.dtype == np.float32:
+        return bitops.float32_to_bits(np.ascontiguousarray(arr))
+    bitops.require_unsigned(arr, name)
+    return arr
+
+
+def bit_confusion(
+    pristine: np.ndarray, corrupted: np.ndarray, processed: np.ndarray
+) -> BitConfusion:
+    """Classify every bit of the dataset after a preprocessing pass."""
+    p = _as_bits(pristine, "pristine")
+    c = _as_bits(corrupted, "corrupted")
+    o = _as_bits(processed, "processed")
+    if not (p.shape == c.shape == o.shape):
+        raise DataFormatError(
+            f"shape mismatch: {p.shape} / {c.shape} / {o.shape}"
+        )
+    if not (p.dtype == c.dtype == o.dtype):
+        raise DataFormatError(
+            f"dtype mismatch: {p.dtype} / {c.dtype} / {o.dtype}"
+        )
+    injected = np.bitwise_xor(p, c)
+    residual = np.bitwise_xor(p, o)
+    nbits = bitops.bit_width(p.dtype)
+    true_corrections = int(bitops.popcount(injected & ~residual).sum())
+    false_alarms = int(bitops.popcount(~injected & residual).sum())
+    missed = int(bitops.popcount(injected & residual).sum())
+    return BitConfusion(
+        true_corrections=true_corrections,
+        false_alarms=false_alarms,
+        missed=missed,
+        total_bits=int(p.size * nbits),
+    )

@@ -1,0 +1,79 @@
+"""Execution-overhead measurement (Figure 3).
+
+The paper measures preprocessing overhead on a Pentium III 750 MHz;
+absolute numbers are hardware-bound, so the reproduction reports the
+*relative* overhead curve across sensitivities and algorithms, measured
+with a monotonic high-resolution timer.
+"""
+
+from __future__ import annotations
+
+import time
+from collections.abc import Callable
+from dataclasses import dataclass
+
+from repro.exceptions import ConfigurationError
+
+
+@dataclass(frozen=True)
+class TimingResult:
+    """Summary of repeated timings of one callable."""
+
+    best_seconds: float
+    mean_seconds: float
+    repeats: int
+
+    def relative_to(self, baseline: "TimingResult") -> float:
+        """This timing as a multiple of *baseline* (best-of comparison)."""
+        if baseline.best_seconds <= 0:
+            return float("inf")
+        return self.best_seconds / baseline.best_seconds
+
+
+def time_callable(
+    func: Callable[[], object], repeats: int = 5, warmup: int = 1
+) -> TimingResult:
+    """Time ``func()`` with warm-up; returns best and mean of *repeats*."""
+    if repeats < 1:
+        raise ConfigurationError(f"repeats must be >= 1, got {repeats}")
+    if warmup < 0:
+        raise ConfigurationError(f"warmup must be >= 0, got {warmup}")
+    for _ in range(warmup):
+        func()
+    samples = []
+    for _ in range(repeats):
+        start = time.perf_counter()
+        func()
+        samples.append(time.perf_counter() - start)
+    return TimingResult(
+        best_seconds=min(samples),
+        mean_seconds=sum(samples) / len(samples),
+        repeats=repeats,
+    )
+
+
+class OverheadTimer:
+    """Accumulates named timings and renders them as a comparison table."""
+
+    def __init__(self, repeats: int = 5) -> None:
+        self.repeats = repeats
+        self.results: dict[str, TimingResult] = {}
+
+    def measure(self, name: str, func: Callable[[], object]) -> TimingResult:
+        result = time_callable(func, repeats=self.repeats)
+        self.results[name] = result
+        return result
+
+    def table(self, baseline: str | None = None) -> str:
+        """ASCII table of all timings, optionally relative to *baseline*."""
+        if not self.results:
+            return "(no timings)"
+        base = self.results.get(baseline) if baseline else None
+        lines = [f"{'name':<32} {'best ms':>10} {'mean ms':>10} {'rel':>8}"]
+        for name, result in self.results.items():
+            rel = f"{result.relative_to(base):.2f}x" if base else "-"
+            lines.append(
+                f"{name:<32} {result.best_seconds * 1e3:>10.3f} "
+                f"{result.mean_seconds * 1e3:>10.3f} {rel:>8}"
+            )
+        return "\n".join(lines)

@@ -1,0 +1,116 @@
+"""Per-bit-position error spectra.
+
+The whole bit-window idea of §3.1 rests on *where in the word* errors
+live: flips in the most significant bits dominate Ψ, flips in the least
+significant bits are indistinguishable from natural variation.  These
+helpers histogram injected/residual flips by bit position and attribute
+the residual error to positions, which is how the window boundaries
+were diagnosed during this reproduction (and how a mission would audit
+a deployed configuration).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core import bitops
+from repro.exceptions import DataFormatError
+
+
+@dataclass(frozen=True)
+class BitSpectrum:
+    """Flip counts and error weight per bit position (0 = LSB).
+
+    Attributes:
+        flips: number of flipped bits per position.
+        weights: the summed binary weight of those flips (the absolute
+            damage each position contributes before interactions).
+        nbits: word width.
+    """
+
+    flips: np.ndarray
+    weights: np.ndarray
+    nbits: int
+
+    @property
+    def total_flips(self) -> int:
+        return int(self.flips.sum())
+
+    @property
+    def total_weight(self) -> float:
+        return float(self.weights.sum())
+
+    def dominant_positions(self, fraction: float = 0.9) -> list[int]:
+        """The smallest set of positions carrying *fraction* of the damage
+        weight, most damaging first."""
+        if not 0 < fraction <= 1:
+            raise DataFormatError(f"fraction must be in (0, 1], got {fraction}")
+        order = np.argsort(self.weights)[::-1]
+        cumulative = np.cumsum(self.weights[order])
+        if self.total_weight == 0:
+            return []
+        cut = np.searchsorted(cumulative, fraction * self.total_weight) + 1
+        return [int(b) for b in order[:cut]]
+
+
+def _xor_of(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    a = np.asarray(a)
+    b = np.asarray(b)
+    if a.dtype == np.float32:
+        a = bitops.float32_to_bits(np.ascontiguousarray(a))
+        b = bitops.float32_to_bits(np.ascontiguousarray(b))
+    bitops.require_unsigned(a, "first array")
+    if a.shape != b.shape or a.dtype != b.dtype:
+        raise DataFormatError(
+            f"arrays must match: {a.shape}/{a.dtype} vs {b.shape}/{b.dtype}"
+        )
+    return np.bitwise_xor(a, b)
+
+
+def bit_spectrum(reference: np.ndarray, observed: np.ndarray) -> BitSpectrum:
+    """Spectrum of the bits at which *observed* differs from *reference*."""
+    diff = _xor_of(reference, observed)
+    nbits = bitops.bit_width(diff.dtype)
+    flips = np.empty(nbits, dtype=np.int64)
+    for b in range(nbits):
+        flips[b] = int(
+            ((diff >> np.asarray(b, dtype=diff.dtype)) & np.asarray(1, dtype=diff.dtype)).sum()
+        )
+    weights = flips.astype(np.float64) * (2.0 ** np.arange(nbits))
+    return BitSpectrum(flips=flips, weights=weights, nbits=nbits)
+
+
+def residual_attribution(
+    pristine: np.ndarray, corrupted: np.ndarray, processed: np.ndarray
+) -> dict[str, BitSpectrum]:
+    """Spectra of what was injected, repaired, missed and falsely flipped."""
+    injected = _xor_of(pristine, corrupted)
+    residual = _xor_of(pristine, processed)
+    repaired = injected & ~residual
+    missed = injected & residual
+    false_alarms = ~injected & residual
+    zero = np.zeros_like(injected)
+    return {
+        "injected": bit_spectrum(zero, injected),
+        "repaired": bit_spectrum(zero, repaired),
+        "missed": bit_spectrum(zero, missed),
+        "false_alarms": bit_spectrum(zero, false_alarms),
+    }
+
+
+def render_spectrum(spectra: dict[str, BitSpectrum]) -> str:
+    """ASCII table of per-position counts for each spectrum."""
+    if not spectra:
+        return "(no spectra)"
+    nbits = next(iter(spectra.values())).nbits
+    names = list(spectra)
+    header = f"{'bit':>4}" + "".join(f"{name:>14}" for name in names)
+    lines = [header]
+    for b in range(nbits - 1, -1, -1):
+        row = f"{b:>4}" + "".join(
+            f"{int(spectra[name].flips[b]):>14}" for name in names
+        )
+        lines.append(row)
+    return "\n".join(lines)

@@ -1,0 +1,93 @@
+"""Integrated preprocessing — the paper's closing suggestion.
+
+§9: "Integrating our algorithm into conforming applications while in
+the design phase itself, rather than as a separate preprocessing layer
+in the fault-tolerance scheme, can further lower the overhead."
+
+As a separate layer, preprocessing sits between the FITS transport and
+the application: the layer decodes the file, repairs the pixels, and
+re-encodes a clean file for the application to decode again.  The
+integrated variant gives the application the repaired arrays directly
+— one decode, no re-encode — and fuses the header sanity check into the
+same pass.  Both paths produce identical science output; the integrated
+one removes the transport round-trip from the critical path.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.config import NGSTConfig
+from repro.core.algo_ngst import AlgoNGST
+from repro.core.preprocessor import NGSTPreprocessor
+from repro.exceptions import HeaderSanityError
+from repro.fits.file import decode_data_unit, read_fits_bytes, write_hdu
+from repro.fits.sanity import HeaderSanityAnalyzer
+from repro.ngst.cosmic_rays import reject_cosmic_rays
+from repro.ngst.ramp import RampModel
+
+
+@dataclass(frozen=True)
+class IntegratedResult:
+    """Science output of one integrated run."""
+
+    flux: np.ndarray
+    n_pixels_corrected: int
+    n_header_repairs: int
+
+
+def layered_run(
+    fits_bytes: bytes, ramp_model: RampModel, config: NGSTConfig
+) -> np.ndarray:
+    """The separate-layer architecture: preprocess-as-a-service.
+
+    The preprocessing layer consumes the FITS stream and emits a
+    repaired FITS stream; the application then decodes that stream and
+    runs CR rejection.  This is the §9 baseline.
+    """
+    preprocessor = NGSTPreprocessor(config)
+    repaired_bytes, _ = preprocessor.process_fits(fits_bytes)
+    stack = read_fits_bytes(repaired_bytes)[0].physical_data()
+    flux, _ = reject_cosmic_rays(np.ascontiguousarray(stack), ramp_model)
+    return flux
+
+
+def integrated_run(
+    fits_bytes: bytes, ramp_model: RampModel, config: NGSTConfig
+) -> IntegratedResult:
+    """The integrated architecture: repair inside the application.
+
+    One header sanity pass, one data-unit decode, correction vectors
+    applied in place, CR rejection straight after — no intermediate
+    FITS re-encode/decode.
+    """
+    analyzer = HeaderSanityAnalyzer(repair=True)
+    report = analyzer.analyze(fits_bytes)
+    if not report.ok:
+        fatal = "; ".join(
+            i.message for i in report.issues if i.severity.value == "fatal"
+        )
+        raise HeaderSanityError(f"unrecoverable FITS header: {fatal}")
+    data_raw, _ = decode_data_unit(report.header, fits_bytes, report.header_length)
+    from repro.fits.file import HDU
+
+    stack = HDU(report.header, data_raw).physical_data()
+    stack = np.ascontiguousarray(stack.astype(np.uint16))
+    n_corrected = 0
+    if config.sensitivity > 0:
+        result = AlgoNGST(config)(stack)
+        stack = result.corrected
+        n_corrected = result.n_pixels_corrected
+    flux, _ = reject_cosmic_rays(stack, ramp_model)
+    return IntegratedResult(
+        flux=flux,
+        n_pixels_corrected=n_corrected,
+        n_header_repairs=report.n_repairs,
+    )
+
+
+def make_transport(stack: np.ndarray) -> bytes:
+    """Package a readout stack the way the detector electronics would."""
+    return write_hdu(np.ascontiguousarray(stack))

@@ -1,0 +1,86 @@
+"""Non-destructive-readout ramp model for the NGST detector.
+
+Within one 1000-second baseline the detector is read out N = 64 (or 65)
+times without resetting; counts accumulate linearly with the incident
+flux, so readout i of a pixel with flux φ is
+
+    counts(i) = bias + φ · tᵢ + read-noise
+
+Cosmic-ray hits deposit charge instantaneously, adding a *step* to all
+subsequent readouts — the signature the rejection algorithm looks for.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.exceptions import ConfigurationError, DataFormatError
+
+U16_MAX = np.iinfo(np.uint16).max
+
+
+@dataclass(frozen=True)
+class RampModel:
+    """Parameters of one baseline's readout sequence.
+
+    Attributes:
+        n_readouts: N, readouts per baseline (64 or 65 in the cited CR
+            management schemes).
+        baseline_s: exposure length; readouts are equally spaced.
+        bias: detector bias level in counts.
+        read_noise: Gaussian read-noise sigma in counts.
+    """
+
+    n_readouts: int = 64
+    baseline_s: float = 1000.0
+    bias: float = 1000.0
+    read_noise: float = 15.0
+
+    def __post_init__(self) -> None:
+        if self.n_readouts < 3:
+            raise ConfigurationError(
+                f"need >= 3 readouts for ramp fitting, got {self.n_readouts}"
+            )
+        if self.baseline_s <= 0:
+            raise ConfigurationError(f"baseline must be > 0, got {self.baseline_s}")
+        if self.bias < 0 or self.read_noise < 0:
+            raise ConfigurationError("bias and read_noise must be >= 0")
+
+    def readout_times(self) -> np.ndarray:
+        """Sample times of the N readouts (first at one interval in)."""
+        dt = self.baseline_s / self.n_readouts
+        return dt * np.arange(1, self.n_readouts + 1)
+
+    def generate(
+        self, flux: np.ndarray, rng: np.random.Generator | None = None
+    ) -> np.ndarray:
+        """Pristine readout stack ``(N,) + flux.shape`` as uint16 counts.
+
+        Args:
+            flux: per-pixel count rate (counts/second), any shape.
+            rng: read-noise source; noiseless when omitted.
+        """
+        flux = np.asarray(flux, dtype=np.float64)
+        if np.any(flux < 0):
+            raise DataFormatError("flux must be non-negative")
+        times = self.readout_times()
+        stack = self.bias + flux[None] * times.reshape((-1,) + (1,) * flux.ndim)
+        if rng is not None and self.read_noise > 0:
+            stack = stack + rng.normal(0.0, self.read_noise, size=stack.shape)
+        return np.clip(np.rint(stack), 0, U16_MAX).astype(np.uint16)
+
+    def fit_slope(self, stack: np.ndarray) -> np.ndarray:
+        """Least-squares flux estimate per pixel from a readout stack."""
+        if stack.shape[0] != self.n_readouts:
+            raise DataFormatError(
+                f"stack has {stack.shape[0]} readouts, model expects {self.n_readouts}"
+            )
+        times = self.readout_times()
+        t_mean = times.mean()
+        t_var = ((times - t_mean) ** 2).sum()
+        counts = stack.astype(np.float64)
+        centred = counts - counts.mean(axis=0, keepdims=True)
+        weights = (times - t_mean).reshape((-1,) + (1,) * (stack.ndim - 1))
+        return (centred * weights).sum(axis=0) / t_var

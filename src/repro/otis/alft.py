@@ -1,0 +1,160 @@
+"""Application-Level Fault Tolerance with logic-grid output selection.
+
+§7 positions OTIS as a natural ALFT host [ref. 5]: a primary task runs
+on one node, and a *scaled-down secondary* can run on another as a
+backup.  The extended scheme the paper cites develops "suitable filters
+for the primary output to determine whether to run the secondary, and
+then to decide on which output to choose based on a logic grid" — and
+it fails catastrophically exactly when primary *and* secondary both
+produce spurious output, the case input preprocessing eliminates.
+
+This module reproduces that executor so the end-to-end OTIS experiments
+can measure the catastrophic-failure rate with and without input
+preprocessing.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+from dataclasses import dataclass
+from enum import Enum
+
+import numpy as np
+
+from repro.exceptions import ALFTError
+
+
+class OutputSource(Enum):
+    """Which run produced the accepted output."""
+
+    PRIMARY = "primary"
+    SECONDARY = "secondary"
+
+
+@dataclass(frozen=True)
+class ALFTOutcome:
+    """Result of one ALFT execution.
+
+    Attributes:
+        output: the accepted output array.
+        source: which run produced it.
+        primary_crashed: the primary raised (process-killing fault).
+        primary_accepted: the primary output passed the acceptance filter.
+        secondary_ran: whether the scaled-down secondary executed.
+        secondary_accepted: the secondary output passed the filter.
+    """
+
+    output: np.ndarray
+    source: OutputSource
+    primary_crashed: bool
+    primary_accepted: bool
+    secondary_ran: bool
+    secondary_accepted: bool
+
+
+class LogicGrid:
+    """Decision table mapping filter verdicts to an output choice.
+
+    The default grid prefers a passing primary (full-quality output),
+    falls back to a passing secondary, and — only when *both* fail the
+    filter but at least one produced output — optionally degrades to the
+    primary rather than dropping the frame entirely.
+    """
+
+    def __init__(self, degrade_to_primary: bool = False) -> None:
+        self.degrade_to_primary = degrade_to_primary
+
+    def decide(
+        self, primary_accepted: bool, secondary_accepted: bool, secondary_ran: bool
+    ) -> OutputSource | None:
+        """The source to use, or None for a catastrophic failure."""
+        if primary_accepted:
+            return OutputSource.PRIMARY
+        if secondary_ran and secondary_accepted:
+            return OutputSource.SECONDARY
+        if self.degrade_to_primary:
+            return OutputSource.PRIMARY
+        return None
+
+
+class ALFTExecutor:
+    """Primary/secondary execution with acceptance filtering.
+
+    Args:
+        primary: the full-quality task, ``input -> output array``.
+        secondary: the scaled-down backup task; may be None (basic ALFT
+            recovers only process-killing faults of the primary then).
+        acceptance_test: filter over an output array; ``True`` = sane.
+        logic_grid: the output-selection policy.
+        run_secondary_always: when False (the paper's extension), the
+            secondary runs only if the primary crashed or failed the
+            filter — the lower-overhead mode.
+    """
+
+    def __init__(
+        self,
+        primary: Callable[[np.ndarray], np.ndarray],
+        secondary: Callable[[np.ndarray], np.ndarray] | None,
+        acceptance_test: Callable[[np.ndarray], bool],
+        logic_grid: LogicGrid | None = None,
+        run_secondary_always: bool = False,
+    ) -> None:
+        self.primary = primary
+        self.secondary = secondary
+        self.acceptance_test = acceptance_test
+        self.logic_grid = logic_grid or LogicGrid()
+        self.run_secondary_always = run_secondary_always
+
+    def run(self, input_data: np.ndarray) -> ALFTOutcome:
+        """Execute the ALFT scheme on one input frame.
+
+        Raises:
+            ALFTError: catastrophic failure — no run produced output that
+                the logic grid would accept (both spurious, or the
+                primary crashed with no secondary available).
+        """
+        primary_output: np.ndarray | None = None
+        primary_crashed = False
+        try:
+            primary_output = self.primary(input_data)
+        except Exception:
+            primary_crashed = True
+        primary_accepted = (
+            primary_output is not None and self.acceptance_test(primary_output)
+        )
+
+        need_secondary = self.run_secondary_always or not primary_accepted
+        secondary_ran = False
+        secondary_accepted = False
+        secondary_output: np.ndarray | None = None
+        if need_secondary and self.secondary is not None:
+            try:
+                secondary_output = self.secondary(input_data)
+                secondary_ran = True
+                secondary_accepted = self.acceptance_test(secondary_output)
+            except Exception:
+                secondary_ran = True
+                secondary_accepted = False
+
+        source = self.logic_grid.decide(primary_accepted, secondary_accepted, secondary_ran)
+        if source is OutputSource.PRIMARY and primary_output is not None:
+            output = primary_output
+        elif source is OutputSource.SECONDARY and secondary_output is not None:
+            output = secondary_output
+        else:
+            raise ALFTError(
+                "catastrophic ALFT failure: "
+                + (
+                    "primary crashed and no acceptable secondary output"
+                    if primary_crashed
+                    else "both primary and secondary outputs are spurious"
+                )
+            )
+        return ALFTOutcome(
+            output=output,
+            source=source,
+            primary_crashed=primary_crashed,
+            primary_accepted=primary_accepted,
+            secondary_ran=secondary_ran,
+            secondary_accepted=secondary_accepted,
+        )

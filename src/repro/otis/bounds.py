@@ -1,0 +1,38 @@
+"""Bound presets for the OTIS preprocessing (§7.2, hypothesis 2).
+
+"In addition to the global absolute theoretical limits, there can also
+be logical cut-off bounds, depending on the localized geographical
+characteristics of the target area being scanned by the OTIS satellite,
+such as 'tropical' or 'arctic' bounds."
+
+The radiance-like presets are matched to the synthetic field scale of
+:mod:`repro.data.otis` (background ≈ 95, physical ceiling 200); the
+kelvin presets apply to the temperature output product.
+"""
+
+from __future__ import annotations
+
+from repro.config import OTISBounds
+
+
+def default_bounds() -> OTISBounds:
+    """Global theoretical limits for the synthetic radiance fields."""
+    return OTISBounds(lower=0.0, upper=200.0)
+
+
+def tropical_bounds() -> OTISBounds:
+    """Geographic cut-offs for a warm target area: radiance never drops
+    to near-zero and hyper-thermal activity (volcanism) stays possible."""
+    return OTISBounds(lower=0.0, upper=200.0, geographic_lower=30.0)
+
+
+def arctic_bounds() -> OTISBounds:
+    """Geographic cut-offs for a cold target area: the radiance ceiling
+    tightens well below the global physical limit."""
+    return OTISBounds(lower=0.0, upper=200.0, geographic_upper=140.0)
+
+
+def kelvin_bounds() -> OTISBounds:
+    """Physical limits for the temperature product: terrestrial surface
+    temperatures live within [150, 400] K."""
+    return OTISBounds(lower=150.0, upper=400.0)

@@ -1,0 +1,67 @@
+"""Planck radiation law and brightness-temperature inversion.
+
+OTIS converts sensed spectral radiance into temperature and emissivity
+products (§7.1).  Radiance is expressed in W·m⁻²·sr⁻¹·µm⁻¹ with
+wavelengths in µm and temperatures in kelvin — the conventional units
+of thermal-infrared remote sensing.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import ConfigurationError
+
+# First and second radiation constants for the spectral-radiance form
+# L(λ, T) = C1 / (λ⁵ · (exp(C2 / (λ·T)) − 1)) with λ in µm.
+C1 = 1.191042972e8  # W · µm⁴ · m⁻² · sr⁻¹
+C2 = 1.4387752e4  # µm · K
+
+
+def _check_wavelength(wavelength_um: float) -> None:
+    if not 0.1 <= wavelength_um <= 1000.0:
+        raise ConfigurationError(
+            f"wavelength must be within [0.1, 1000] um, got {wavelength_um}"
+        )
+
+
+def planck_radiance(wavelength_um: float, temperature_k: np.ndarray | float) -> np.ndarray | float:
+    """Blackbody spectral radiance at *wavelength_um* and *temperature_k*.
+
+    Temperatures at or below 0 K yield zero radiance rather than a
+    numerical error, which keeps fault-damaged pipelines well-defined.
+    """
+    _check_wavelength(wavelength_um)
+    t = np.asarray(temperature_k, dtype=np.float64)
+    scalar = t.ndim == 0
+    t = np.atleast_1d(t)
+    out = np.zeros_like(t)
+    valid = t > 0
+    with np.errstate(over="ignore"):
+        exponent = C2 / (wavelength_um * t[valid])
+        out[valid] = C1 / (wavelength_um**5 * np.expm1(exponent))
+    if scalar:
+        return float(out[0])
+    return out
+
+
+def brightness_temperature(
+    wavelength_um: float, radiance: np.ndarray | float
+) -> np.ndarray | float:
+    """Invert Planck's law: the temperature whose blackbody radiance at
+    *wavelength_um* equals *radiance*.
+
+    Non-positive radiance maps to 0 K (no signal).
+    """
+    _check_wavelength(wavelength_um)
+    rad = np.asarray(radiance, dtype=np.float64)
+    scalar = rad.ndim == 0
+    rad = np.atleast_1d(rad)
+    out = np.zeros_like(rad)
+    valid = rad > 0
+    out[valid] = C2 / (
+        wavelength_um * np.log1p(C1 / (wavelength_um**5 * rad[valid]))
+    )
+    if scalar:
+        return float(out[0])
+    return out

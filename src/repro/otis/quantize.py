@@ -1,0 +1,52 @@
+"""Fixed-point DN (data number) storage encoding for OTIS radiance.
+
+The application consumes 32-bit floating point radiance (§7.1), but the
+values the detector electronics *store and ship* are fixed-point data
+numbers — the representation in which memory bit-flips manifest.  Our
+reproduction injects faults into this 16-bit DN encoding, which is what
+makes the §8 error levels come out at the magnitudes the paper reports
+(DESIGN.md §2 records the substitution).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import ConfigurationError, DataFormatError
+
+#: Default physical value per DN count; full scale 65535 × 0.004 ≈ 262.
+DEFAULT_DN_SCALE = 0.004
+
+DN_MAX = np.iinfo(np.uint16).max
+
+
+def encode_dn(values: np.ndarray, scale: float = DEFAULT_DN_SCALE) -> np.ndarray:
+    """Quantise physical values into 16-bit DN counts.
+
+    Values are clipped into the representable range [0, 65535 × scale];
+    NaN/inf inputs are rejected (the sensor never produces them).
+    """
+    if scale <= 0:
+        raise ConfigurationError(f"scale must be > 0, got {scale}")
+    values = np.asarray(values, dtype=np.float64)
+    if not np.all(np.isfinite(values)):
+        raise DataFormatError("cannot encode non-finite physical values")
+    dn = np.rint(values / scale)
+    return np.clip(dn, 0, DN_MAX).astype(np.uint16)
+
+
+def decode_dn(dn: np.ndarray, scale: float = DEFAULT_DN_SCALE) -> np.ndarray:
+    """Recover physical values (float32) from DN counts."""
+    if scale <= 0:
+        raise ConfigurationError(f"scale must be > 0, got {scale}")
+    dn = np.asarray(dn)
+    if dn.dtype != np.uint16:
+        raise DataFormatError(f"DN arrays are uint16, got {dn.dtype}")
+    return (dn.astype(np.float64) * scale).astype(np.float32)
+
+
+def quantization_error_bound(scale: float = DEFAULT_DN_SCALE) -> float:
+    """Worst-case absolute error introduced by one encode/decode trip."""
+    if scale <= 0:
+        raise ConfigurationError(f"scale must be > 0, got {scale}")
+    return scale / 2.0

@@ -1,0 +1,236 @@
+"""Overlapping-swath scanning: inter-frame redundancy for OTIS.
+
+§9 generalises the approach to "temporal, spatial, spectral, and other
+forms of inherent redundancy".  An orbiting imager revisits ground
+pixels as its swath advances: consecutive frames overlap, so most
+ground coordinates are observed several times.  Those repeated
+observations form exactly the kind of short temporal stack
+``Algo_NGST`` consumes — a fourth redundancy axis the paper's two
+benchmarks do not exercise, built here from the same primitives.
+
+Pipeline: :func:`scan_scene` acquires overlapping DN frames of a ground
+scene → faults strike the stored frames → :func:`cross_frame_preprocess`
+stacks each ground pixel's observations and votes → :func:`mosaic`
+composites the swath.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.exceptions import ConfigurationError, DataFormatError
+
+
+@dataclass(frozen=True)
+class ScanConfig:
+    """Swath geometry.
+
+    Attributes:
+        frame_rows / frame_cols: the imager's frame footprint (ground
+            pixels).
+        step_rows: ground distance the footprint advances between
+            frames; ``frame_rows - step_rows`` rows overlap, so each
+            ground row is observed ``ceil(frame_rows / step_rows)``
+            times (for interior rows, exactly ``frame_rows // step_rows``
+            when divisible).
+    """
+
+    frame_rows: int = 32
+    frame_cols: int = 64
+    step_rows: int = 8
+
+    def __post_init__(self) -> None:
+        if self.frame_rows < 1 or self.frame_cols < 1:
+            raise ConfigurationError("frame dimensions must be positive")
+        if not 1 <= self.step_rows <= self.frame_rows:
+            raise ConfigurationError(
+                f"step_rows must be within [1, frame_rows], got {self.step_rows}"
+            )
+
+    @property
+    def revisits(self) -> int:
+        """Observations of an interior ground row."""
+        return self.frame_rows // self.step_rows
+
+
+@dataclass(frozen=True)
+class Frame:
+    """One acquired frame: DN data plus its ground-row origin."""
+
+    origin_row: int
+    dn: np.ndarray
+
+
+def scan_scene(
+    scene_dn: np.ndarray,
+    config: ScanConfig,
+    rng: np.random.Generator | None = None,
+    read_noise_dn: float = 0.0,
+) -> list[Frame]:
+    """Acquire overlapping frames down a ground scene (uint16 DN).
+
+    The scene's row count must allow at least one full frame; the scan
+    advances by ``step_rows`` until the footprint would leave the scene.
+    """
+    scene_dn = np.asarray(scene_dn)
+    if scene_dn.dtype != np.uint16 or scene_dn.ndim != 2:
+        raise DataFormatError("scene must be a 2-D uint16 DN field")
+    rows, cols = scene_dn.shape
+    if rows < config.frame_rows or cols < config.frame_cols:
+        raise DataFormatError(
+            f"scene {scene_dn.shape} smaller than frame "
+            f"{(config.frame_rows, config.frame_cols)}"
+        )
+    frames = []
+    for origin in range(0, rows - config.frame_rows + 1, config.step_rows):
+        window = scene_dn[
+            origin : origin + config.frame_rows, : config.frame_cols
+        ].astype(np.float64)
+        if rng is not None and read_noise_dn > 0:
+            window = window + rng.normal(0.0, read_noise_dn, size=window.shape)
+        frames.append(
+            Frame(
+                origin_row=origin,
+                dn=np.clip(np.rint(window), 0, 0xFFFF).astype(np.uint16),
+            )
+        )
+    if not frames:
+        raise DataFormatError("scan produced no frames")
+    return frames
+
+
+def _observation_stacks(
+    frames: list[Frame], config: ScanConfig, n_rows: int
+) -> tuple[np.ndarray, np.ndarray]:
+    """Stack every ground pixel's observations.
+
+    Returns ``(stack, counts)`` where ``stack`` has shape
+    ``(max_revisits, n_rows, frame_cols)`` (unobserved slots repeat the
+    first observation so the voter sees a full stack) and ``counts``
+    holds the true observation count per ground row.
+    """
+    cols = config.frame_cols
+    max_rev = max(
+        sum(
+            1
+            for f in frames
+            if f.origin_row <= r < f.origin_row + config.frame_rows
+        )
+        for r in range(n_rows)
+    )
+    stack = np.zeros((max_rev, n_rows, cols), dtype=np.uint16)
+    counts = np.zeros(n_rows, dtype=np.int64)
+    for frame in frames:
+        for local_row in range(config.frame_rows):
+            ground_row = frame.origin_row + local_row
+            if ground_row >= n_rows:
+                continue
+            slot = counts[ground_row]
+            if slot < max_rev:
+                stack[slot, ground_row] = frame.dn[local_row]
+                counts[ground_row] += 1
+    # Pad unobserved slots by cycling the available observations, so
+    # padded entries are consistent with the real ones.
+    for r in range(n_rows):
+        c = int(counts[r])
+        if c == 0:
+            raise DataFormatError(f"ground row {r} never observed")
+        for slot in range(c, max_rev):
+            stack[slot, r] = stack[slot % c, r]
+    return stack, counts
+
+
+def cross_frame_preprocess(
+    frames: list[Frame],
+    config: ScanConfig,
+    min_margin: int = 1,
+) -> list[Frame]:
+    """Repair bit-flips by consensus across each ground pixel's revisits.
+
+    Unlike the NGST temporal stack, revisit observations of a ground
+    pixel are samples of the *same* value (up to read noise), so the
+    right estimator is a per-bit majority over the observations: every
+    observation is snapped to the consensus word wherever the vote
+    margin (majority minus minority) reaches ``min_margin``; contested
+    bits keep their original reading.
+
+    Returns repaired frames (same origins and shapes).  Requires at
+    least 3 revisits of interior rows so a single corrupted observation
+    can always be outvoted.
+    """
+    if not frames:
+        raise DataFormatError("no frames to preprocess")
+    if min_margin < 1:
+        raise ConfigurationError(f"min_margin must be >= 1, got {min_margin}")
+    if config.revisits < 3:
+        raise ConfigurationError(
+            f"need >= 3 revisits for majority consensus, got {config.revisits} "
+            "(reduce step_rows)"
+        )
+    n_rows = max(f.origin_row + config.frame_rows for f in frames)
+    stack, counts = _observation_stacks(frames, config, n_rows)
+    max_rev = stack.shape[0]
+
+    # Per-bit vote counts over the true observations of each ground
+    # pixel (padded slots cycle true observations, so count them once by
+    # masking slots >= counts[row]).
+    slot_index = np.arange(max_rev).reshape(-1, 1, 1)
+    valid = slot_index < counts.reshape(1, -1, 1)
+    ones = np.zeros(stack.shape[1:] + (16,), dtype=np.int32)
+    for b in range(16):
+        plane = (stack >> np.uint16(b)) & np.uint16(1)
+        ones[..., b] = (plane * valid).sum(axis=0)
+    totals = counts.reshape(-1, 1, 1)
+    zeros = totals - ones
+    set_wins = ones - zeros >= min_margin
+    clear_wins = zeros - ones >= min_margin
+    consensus_set = np.zeros(stack.shape[1:], dtype=np.uint16)
+    decided = np.zeros(stack.shape[1:], dtype=np.uint16)
+    for b in range(16):
+        bit = np.uint16(1 << b)
+        consensus_set |= set_wins[..., b].astype(np.uint16) * bit
+        decided |= (set_wins[..., b] | clear_wins[..., b]).astype(np.uint16) * bit
+
+    # Snap each observation's decided bits to the consensus; keep its
+    # own reading for contested bits.
+    repaired_stack = (stack & ~decided) | (consensus_set & decided)
+
+    # Scatter repaired observations back into their frames.
+    slots = np.zeros(n_rows, dtype=np.int64)
+    repaired_frames = []
+    for frame in frames:
+        data = frame.dn.copy()
+        for local_row in range(config.frame_rows):
+            ground_row = frame.origin_row + local_row
+            if ground_row >= n_rows:
+                continue
+            slot = slots[ground_row]
+            if slot < max_rev:
+                data[local_row] = repaired_stack[slot, ground_row]
+                slots[ground_row] += 1
+        repaired_frames.append(Frame(origin_row=frame.origin_row, dn=data))
+    return repaired_frames
+
+
+def mosaic(frames: list[Frame], config: ScanConfig) -> np.ndarray:
+    """Composite the swath: per-ground-pixel median over observations."""
+    if not frames:
+        raise DataFormatError("no frames to composite")
+    n_rows = max(f.origin_row + config.frame_rows for f in frames)
+    cols = config.frame_cols
+    accumulator: list[list[np.ndarray]] = [[] for _ in range(n_rows)]
+    for frame in frames:
+        for local_row in range(config.frame_rows):
+            ground_row = frame.origin_row + local_row
+            if ground_row < n_rows:
+                accumulator[ground_row].append(frame.dn[local_row])
+    out = np.zeros((n_rows, cols), dtype=np.uint16)
+    for r, observations in enumerate(accumulator):
+        if not observations:
+            raise DataFormatError(f"ground row {r} never observed")
+        out[r] = np.median(
+            np.stack(observations).astype(np.float64), axis=0
+        ).astype(np.uint16)
+    return out

@@ -1,0 +1,140 @@
+"""OTIS sensing model: spectral bands and radiance-cube acquisition.
+
+Input to OTIS is a three-dimensional array — x and y for geography, z
+for "the radiation intensity of the same region in various wavelengths"
+(§7.1).  The :class:`Spectrometer` generates such cubes from a surface
+temperature scene: per band, radiance is emissivity × Planck blackbody
+radiance plus detector noise, then quantised into the 16-bit DN words
+the electronics store.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.exceptions import ConfigurationError, DataFormatError
+from repro.otis.planck import planck_radiance
+from repro.otis.quantize import encode_dn
+
+
+@dataclass(frozen=True)
+class Band:
+    """One spectral channel of the instrument."""
+
+    name: str
+    wavelength_um: float
+
+    def __post_init__(self) -> None:
+        if not 0.1 <= self.wavelength_um <= 1000.0:
+            raise ConfigurationError(
+                f"band wavelength must be within [0.1, 1000] um, "
+                f"got {self.wavelength_um}"
+            )
+
+
+def default_bands(n_bands: int = 8) -> tuple[Band, ...]:
+    """Thermal-infrared channels spanning the 8–12 µm window.
+
+    Spectral correlation "falls drastically on either side of a band of
+    wavelengths" (§7.1); keeping the defaults inside one atmospheric
+    window keeps neighbouring bands well correlated, as for real OTIS
+    data.
+    """
+    if n_bands < 1:
+        raise ConfigurationError(f"need at least one band, got {n_bands}")
+    wavelengths = np.linspace(8.0, 12.0, n_bands)
+    return tuple(
+        Band(name=f"B{i + 1}", wavelength_um=float(w))
+        for i, w in enumerate(wavelengths)
+    )
+
+
+class Spectrometer:
+    """Radiance-cube acquisition from a surface temperature scene.
+
+    Args:
+        bands: spectral channels to sense.
+        dn_scale: physical radiance per DN count of the storage encoding.
+            The default resolves typical 8–12 µm radiances (≈ 3–13
+            W·m⁻²·sr⁻¹·µm⁻¹) with ~0.0005 resolution and full scale ≈ 33.
+        noise_sigma: additive Gaussian detector noise per sample.
+    """
+
+    def __init__(
+        self,
+        bands: tuple[Band, ...] | None = None,
+        dn_scale: float = 5e-4,
+        noise_sigma: float = 0.002,
+    ) -> None:
+        if dn_scale <= 0:
+            raise ConfigurationError(f"dn_scale must be > 0, got {dn_scale}")
+        if noise_sigma < 0:
+            raise ConfigurationError(f"noise_sigma must be >= 0, got {noise_sigma}")
+        self.bands = tuple(bands) if bands is not None else default_bands()
+        if not self.bands:
+            raise ConfigurationError("spectrometer needs at least one band")
+        self.dn_scale = dn_scale
+        self.noise_sigma = noise_sigma
+
+    def sense_radiance(
+        self,
+        temperature_k: np.ndarray,
+        emissivity: np.ndarray | float = 0.97,
+        rng: np.random.Generator | None = None,
+    ) -> np.ndarray:
+        """Acquire a float64 radiance cube ``(n_bands, rows, cols)``.
+
+        Args:
+            temperature_k: 2-D surface temperature scene in kelvin.
+            emissivity: scalar, 2-D map, or per-band ``(n_bands, rows,
+                cols)`` cube of emissivities in (0, 1].
+            rng: source of detector noise; noiseless when omitted.
+        """
+        temperature_k = np.asarray(temperature_k, dtype=np.float64)
+        if temperature_k.ndim != 2:
+            raise DataFormatError(
+                f"temperature scene must be 2-D, got {temperature_k.ndim}-D"
+            )
+        emissivity = self._broadcast_emissivity(emissivity, temperature_k.shape)
+        cube = np.empty((len(self.bands),) + temperature_k.shape, dtype=np.float64)
+        for z, band in enumerate(self.bands):
+            cube[z] = emissivity[z] * planck_radiance(band.wavelength_um, temperature_k)
+        if rng is not None and self.noise_sigma > 0:
+            cube += rng.normal(0.0, self.noise_sigma, size=cube.shape)
+            np.clip(cube, 0.0, None, out=cube)
+        return cube
+
+    def sense_dn(
+        self,
+        temperature_k: np.ndarray,
+        emissivity: np.ndarray | float = 0.97,
+        rng: np.random.Generator | None = None,
+    ) -> np.ndarray:
+        """Acquire a stored DN cube (uint16) — the fault-exposed form."""
+        return encode_dn(self.sense_radiance(temperature_k, emissivity, rng), self.dn_scale)
+
+    def _broadcast_emissivity(
+        self, emissivity: np.ndarray | float, shape: tuple[int, int]
+    ) -> np.ndarray:
+        n = len(self.bands)
+        eps = np.asarray(emissivity, dtype=np.float64)
+        if eps.ndim == 0:
+            eps = np.full((n,) + shape, float(eps))
+        elif eps.ndim == 2:
+            if eps.shape != shape:
+                raise DataFormatError(
+                    f"emissivity map {eps.shape} does not match scene {shape}"
+                )
+            eps = np.broadcast_to(eps, (n,) + shape).copy()
+        elif eps.ndim == 3:
+            if eps.shape != (n,) + shape:
+                raise DataFormatError(
+                    f"emissivity cube {eps.shape} does not match {(n,) + shape}"
+                )
+        else:
+            raise DataFormatError(f"emissivity must be scalar/2-D/3-D, got {eps.ndim}-D")
+        if np.any(eps <= 0) or np.any(eps > 1):
+            raise DataFormatError("emissivities must lie in (0, 1]")
+        return eps

@@ -1,0 +1,70 @@
+"""OTIS science output products (§7.1): the two-dimensional temperature
+diagram in kelvin and the three-dimensional emissivity diagram.
+
+Since OTIS has "no inherent averaging or multiple imaging as in NGST,
+the correlation between precision at output and input is much higher"
+— these products are where input bit-flips surface, which is what the
+end-to-end OTIS experiments measure.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import DataFormatError
+from repro.otis.planck import brightness_temperature, planck_radiance
+from repro.otis.spectrometer import Band
+
+
+def _check_cube(cube: np.ndarray, bands: tuple[Band, ...]) -> np.ndarray:
+    cube = np.asarray(cube, dtype=np.float64)
+    if cube.ndim != 3:
+        raise DataFormatError(f"radiance cube must be 3-D, got {cube.ndim}-D")
+    if cube.shape[0] != len(bands):
+        raise DataFormatError(
+            f"cube has {cube.shape[0]} bands but {len(bands)} band defs given"
+        )
+    return cube
+
+
+def temperature_map(
+    cube: np.ndarray,
+    bands: tuple[Band, ...],
+    emissivity: float = 0.97,
+) -> np.ndarray:
+    """The 2-D temperature product: per-pixel kelvin estimate.
+
+    Each band's radiance is corrected for the assumed emissivity and
+    inverted through Planck's law; the per-pixel estimate is the median
+    over bands, which tolerates residual single-band damage.
+    """
+    cube = _check_cube(cube, bands)
+    if not 0 < emissivity <= 1:
+        raise DataFormatError(f"emissivity must be in (0, 1], got {emissivity}")
+    temps = np.empty_like(cube)
+    for z, band in enumerate(bands):
+        temps[z] = brightness_temperature(band.wavelength_um, cube[z] / emissivity)
+    return np.median(temps, axis=0)
+
+
+def emissivity_cube(
+    cube: np.ndarray,
+    bands: tuple[Band, ...],
+    temperature_k: np.ndarray,
+) -> np.ndarray:
+    """The 3-D emissivity product: per-band ratio of sensed to blackbody
+    radiance at the retrieved temperature, clipped into (0, 1]."""
+    cube = _check_cube(cube, bands)
+    temperature_k = np.asarray(temperature_k, dtype=np.float64)
+    if temperature_k.shape != cube.shape[1:]:
+        raise DataFormatError(
+            f"temperature map {temperature_k.shape} does not match cube "
+            f"spatial shape {cube.shape[1:]}"
+        )
+    out = np.empty_like(cube)
+    for z, band in enumerate(bands):
+        blackbody = planck_radiance(band.wavelength_um, temperature_k)
+        with np.errstate(divide="ignore", invalid="ignore"):
+            ratio = np.where(blackbody > 0, cube[z] / blackbody, 0.0)
+        out[z] = np.clip(ratio, 1e-6, 1.0)
+    return out

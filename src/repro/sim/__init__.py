@@ -1,0 +1,14 @@
+"""A small discrete-event simulation substrate.
+
+Models the §2.1 system architecture: a 16-node COTS workstation cluster
+joined by a Myrinet-class network, over which the master fragments each
+1024×1024 exposure into 128×128 segments for slave-side processing.
+The simulator provides deterministic, seedable event ordering so the
+cluster experiments are exactly reproducible.
+"""
+
+from repro.sim.engine import Event, Simulator
+from repro.sim.network import Link, Network
+from repro.sim.node import Node, ProcessingModel
+
+__all__ = ["Event", "Link", "Network", "Node", "ProcessingModel", "Simulator"]

@@ -1,0 +1,103 @@
+"""Heap-based discrete-event engine.
+
+Events are ``(time, sequence, callback)`` triples; the sequence number
+makes simultaneous events fire in schedule order, so runs are fully
+deterministic.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from collections.abc import Callable
+from dataclasses import dataclass, field
+
+from repro.exceptions import SimulationError
+
+
+@dataclass(order=True)
+class Event:
+    """One scheduled event; ordering is (time, sequence)."""
+
+    time: float
+    sequence: int
+    callback: Callable[[], None] = field(compare=False)
+    cancelled: bool = field(default=False, compare=False)
+    label: str | None = field(default=None, compare=False)
+
+    def cancel(self) -> None:
+        """Mark the event so the engine skips it when popped."""
+        self.cancelled = True
+
+
+class Simulator:
+    """A minimal deterministic discrete-event simulator.
+
+    With ``trace=True``, every processed event that carries a label is
+    recorded as ``(time, label)`` in :attr:`trace_events` — a cheap
+    timeline for debugging cluster schedules.
+    """
+
+    def __init__(self, trace: bool = False) -> None:
+        self._queue: list[Event] = []
+        self._sequence = itertools.count()
+        self._now = 0.0
+        self._processed = 0
+        self._tracing = trace
+        self.trace_events: list[tuple[float, str]] = []
+
+    @property
+    def now(self) -> float:
+        """Current simulation time (seconds)."""
+        return self._now
+
+    @property
+    def events_processed(self) -> int:
+        return self._processed
+
+    def schedule(
+        self, delay: float, callback: Callable[[], None], label: str | None = None
+    ) -> Event:
+        """Schedule *callback* to fire ``delay`` seconds from now."""
+        if delay < 0:
+            raise SimulationError(f"cannot schedule into the past (delay={delay})")
+        event = Event(self._now + delay, next(self._sequence), callback, label=label)
+        heapq.heappush(self._queue, event)
+        return event
+
+    def schedule_at(
+        self, time: float, callback: Callable[[], None], label: str | None = None
+    ) -> Event:
+        """Schedule *callback* at absolute simulation time *time*."""
+        return self.schedule(time - self._now, callback, label=label)
+
+    def run(self, until: float | None = None, max_events: int = 10_000_000) -> float:
+        """Process events until the queue drains or *until* is reached.
+
+        Returns the final simulation time.  ``max_events`` guards against
+        runaway feedback loops in user callbacks.
+        """
+        while self._queue:
+            if self._processed >= max_events:
+                raise SimulationError(
+                    f"exceeded max_events={max_events}; runaway event loop?"
+                )
+            event = heapq.heappop(self._queue)
+            if event.cancelled:
+                continue
+            if until is not None and event.time > until:
+                heapq.heappush(self._queue, event)
+                self._now = until
+                return self._now
+            if event.time < self._now:
+                raise SimulationError(
+                    f"event time {event.time} precedes current time {self._now}"
+                )
+            self._now = event.time
+            self._processed += 1
+            if self._tracing and event.label is not None:
+                self.trace_events.append((self._now, event.label))
+            event.callback()
+        if until is not None:
+            self._now = max(self._now, until)
+        return self._now

@@ -1,0 +1,98 @@
+"""Network model: point-to-point links with latency and bandwidth.
+
+Calibrated by default to Myrinet-class figures (the interconnect STSci's
+16-processor estimate assumes): ~10 µs end-to-end latency and
+~1 Gbit/s effective bandwidth.  Transfers on one link serialise, which
+is what creates the master-side fan-out bottleneck the cluster
+experiments show.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+
+from repro.exceptions import ConfigurationError, SimulationError
+from repro.sim.engine import Simulator
+
+MYRINET_LATENCY_S = 10e-6
+MYRINET_BANDWIDTH_BPS = 1.0e9  # bits per second
+
+
+class Link:
+    """A serialising point-to-point link."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        latency_s: float = MYRINET_LATENCY_S,
+        bandwidth_bps: float = MYRINET_BANDWIDTH_BPS,
+    ) -> None:
+        if latency_s < 0:
+            raise ConfigurationError(f"latency must be >= 0, got {latency_s}")
+        if bandwidth_bps <= 0:
+            raise ConfigurationError(f"bandwidth must be > 0, got {bandwidth_bps}")
+        self.sim = sim
+        self.latency_s = latency_s
+        self.bandwidth_bps = bandwidth_bps
+        self._free_at = 0.0
+        self.bytes_carried = 0
+        self.transfers = 0
+
+    def transfer_time(self, n_bytes: int) -> float:
+        """Pure wire time for *n_bytes* (excluding queueing)."""
+        return self.latency_s + (n_bytes * 8) / self.bandwidth_bps
+
+    def send(self, n_bytes: int, on_delivered: Callable[[], None]) -> float:
+        """Queue a transfer; fires *on_delivered* at completion.
+
+        Returns the absolute delivery time.  Transfers serialise: a send
+        issued while the link is busy waits for the wire to free up.
+        """
+        if n_bytes < 0:
+            raise SimulationError(f"cannot send negative bytes: {n_bytes}")
+        start = max(self.sim.now, self._free_at)
+        done = start + self.transfer_time(n_bytes)
+        self._free_at = done
+        self.bytes_carried += n_bytes
+        self.transfers += 1
+        self.sim.schedule_at(done, on_delivered)
+        return done
+
+
+class Network:
+    """A star network: every node reaches every other through one switch.
+
+    Each (src, dst) pair gets a lazily created dedicated link, which
+    approximates Myrinet's full-bisection fabric while still modelling
+    per-path serialisation.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        latency_s: float = MYRINET_LATENCY_S,
+        bandwidth_bps: float = MYRINET_BANDWIDTH_BPS,
+    ) -> None:
+        self.sim = sim
+        self.latency_s = latency_s
+        self.bandwidth_bps = bandwidth_bps
+        self._links: dict[tuple[str, str], Link] = {}
+
+    def link(self, src: str, dst: str) -> Link:
+        """The (lazily created) link for the ordered pair (src, dst)."""
+        if src == dst:
+            raise SimulationError(f"no self-links: {src!r} -> {dst!r}")
+        key = (src, dst)
+        if key not in self._links:
+            self._links[key] = Link(self.sim, self.latency_s, self.bandwidth_bps)
+        return self._links[key]
+
+    def send(
+        self, src: str, dst: str, n_bytes: int, on_delivered: Callable[[], None]
+    ) -> float:
+        """Send *n_bytes* from *src* to *dst*; returns delivery time."""
+        return self.link(src, dst).send(n_bytes, on_delivered)
+
+    @property
+    def total_bytes(self) -> int:
+        return sum(link.bytes_carried for link in self._links.values())

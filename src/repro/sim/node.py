@@ -1,0 +1,98 @@
+"""Processing-node model: a single-server queue with a calibrated
+per-byte service rate.
+
+Slave nodes of the §2.1 architecture process one 128×128 fragment at a
+time; work queued while the CPU is busy waits in FIFO order.  "The
+slack CPU time in the slave nodes can be very well utilized for a
+suitable fault-tolerance scheme" — the preprocessing overhead factor
+models exactly that extra work.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+from dataclasses import dataclass
+
+from repro.exceptions import ConfigurationError, SimulationError
+from repro.sim.engine import Simulator
+
+
+@dataclass(frozen=True)
+class ProcessingModel:
+    """Service-time model for one class of work.
+
+    ``seconds = fixed_s + n_bytes * per_byte_s``
+    """
+
+    fixed_s: float = 1e-4
+    per_byte_s: float = 3e-9
+
+    def __post_init__(self) -> None:
+        if self.fixed_s < 0 or self.per_byte_s < 0:
+            raise ConfigurationError("processing model times must be >= 0")
+
+    def service_time(self, n_bytes: int) -> float:
+        return self.fixed_s + n_bytes * self.per_byte_s
+
+
+class Node:
+    """A named single-server FIFO processing node.
+
+    ``speed`` models heterogeneous COTS hardware: service times divide
+    by it (a 2.0 node is twice as fast as nominal).
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        name: str,
+        model: ProcessingModel | None = None,
+        speed: float = 1.0,
+    ) -> None:
+        if not name:
+            raise ConfigurationError("node needs a non-empty name")
+        if speed <= 0:
+            raise ConfigurationError(f"speed must be > 0, got {speed}")
+        self.sim = sim
+        self.name = name
+        self.model = model or ProcessingModel()
+        self.speed = speed
+        self._free_at = 0.0
+        self.busy_seconds = 0.0
+        self.jobs_done = 0
+
+    @property
+    def free_at(self) -> float:
+        """Earliest time the node's server is free (master's view)."""
+        return self._free_at
+
+    def submit(
+        self,
+        n_bytes: int,
+        on_done: Callable[[], None],
+        work_factor: float = 1.0,
+        label: str | None = None,
+    ) -> float:
+        """Queue *n_bytes* of work; fires *on_done* at completion.
+
+        ``work_factor`` scales the service time (e.g. the preprocessing
+        overhead multiplier at a given sensitivity).  Returns the
+        absolute completion time.  ``label`` tags the completion in the
+        simulator's trace (default: ``"<node>:done"``).
+        """
+        if work_factor < 0:
+            raise SimulationError(f"work_factor must be >= 0, got {work_factor}")
+        start = max(self.sim.now, self._free_at)
+        service = self.model.service_time(n_bytes) * work_factor / self.speed
+        done = start + service
+        self._free_at = done
+        self.busy_seconds += service
+        self.jobs_done += 1
+        self.sim.schedule_at(done, on_done, label=label or f"{self.name}:done")
+        return done
+
+    def utilisation(self, horizon_s: float) -> float:
+        """Busy fraction of the node over a horizon."""
+        if horizon_s <= 0:
+            raise SimulationError(f"horizon must be > 0, got {horizon_s}")
+        return min(1.0, self.busy_seconds / horizon_s)

@@ -1,0 +1,118 @@
+"""Tests for Algorithm 3 (bitwise majority voting) and variants."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis.extra import numpy as hnp
+
+from repro.baselines.majority import (
+    majority_vote_spatial,
+    majority_vote_temporal,
+    majority_vote_window,
+)
+from repro.exceptions import ConfigurationError, DataFormatError
+
+
+class TestTemporalMajority:
+    def test_constant_sequence_unchanged(self):
+        seq = np.full(8, 0xABCD, dtype=np.uint16)
+        assert np.array_equal(majority_vote_temporal(seq), seq)
+
+    def test_single_bit_outlier_removed(self):
+        seq = np.full(8, 1000, dtype=np.uint16)
+        seq[3] ^= 1 << 12
+        out = majority_vote_temporal(seq)
+        assert out[3] == 1000
+
+    def test_all_bits_vote_independently(self):
+        # One pixel flipped at two distinct bits: both revert.
+        seq = np.full(8, 0x0F0F, dtype=np.uint16)
+        seq[4] ^= (1 << 15) | 1
+        out = majority_vote_temporal(seq)
+        assert out[4] == 0x0F0F
+
+    def test_edge_padding_matches_paper(self):
+        # P(0) = P(3): the first pixel votes with pixels[1] and pixels[2].
+        seq = np.array([0, 0xFFFF, 0xFFFF, 0xFFFF, 0, 0, 0, 0], dtype=np.uint16)
+        out = majority_vote_temporal(seq)
+        assert out[0] == 0xFFFF
+
+    def test_preserves_shape_on_stack(self, walk_stack):
+        out = majority_vote_temporal(walk_stack)
+        assert out.shape == walk_stack.shape
+
+    def test_rejects_short_sequence(self):
+        with pytest.raises(DataFormatError):
+            majority_vote_temporal(np.zeros(3, dtype=np.uint16))
+
+    def test_rejects_float(self):
+        with pytest.raises(DataFormatError):
+            majority_vote_temporal(np.zeros(8, dtype=np.float64))
+
+    @given(hnp.arrays(dtype=np.uint16, shape=(10, 3)))
+    def test_idempotent_on_majority_stable_bits(self, stack):
+        once = majority_vote_temporal(stack)
+        twice = majority_vote_temporal(once)
+        # Bits already majority-stable stay put; a second pass changes
+        # strictly fewer bits than the first (convergence).
+        diff1 = np.bitwise_count(stack ^ once).sum()
+        diff2 = np.bitwise_count(once ^ twice).sum()
+        assert diff2 <= diff1
+
+
+class TestSpatialMajority:
+    def test_constant_field_unchanged(self):
+        field = np.full((8, 8), 0x1234, dtype=np.uint16)
+        assert np.array_equal(majority_vote_spatial(field), field)
+
+    def test_isolated_bit_flip_removed(self):
+        field = np.full((8, 8), 1000, dtype=np.uint16)
+        field[4, 4] ^= 1 << 14
+        out = majority_vote_spatial(field)
+        assert out[4, 4] == 1000
+
+    def test_float32_path(self):
+        field = np.full((8, 8), 7.5, dtype=np.float32)
+        assert np.array_equal(majority_vote_spatial(field), field)
+
+    def test_cube_path(self):
+        cube = np.full((2, 8, 8), 7.5, dtype=np.float32)
+        assert majority_vote_spatial(cube).shape == cube.shape
+
+    def test_horizontal_only_variant(self):
+        field = np.full((8, 8), 1000, dtype=np.uint16)
+        out = majority_vote_spatial(field, axis_pairs=False)
+        assert np.array_equal(out, field)
+
+    def test_rejects_1d_unsigned(self):
+        with pytest.raises(DataFormatError):
+            majority_vote_spatial(np.zeros(8, dtype=np.uint16))
+
+    def test_rejects_tiny_field(self):
+        with pytest.raises(DataFormatError):
+            majority_vote_spatial(np.zeros((2, 2), dtype=np.uint16))
+
+
+class TestWindowedMajority:
+    def test_matches_window3_on_interior(self):
+        seq = np.full(12, 4096, dtype=np.uint16)
+        seq[5] ^= 1 << 9
+        out3 = majority_vote_window(seq, window=3)
+        assert out3[5] == 4096
+
+    def test_window5_survives_adjacent_pair(self):
+        # Two adjacent pixels flipped at the same bit defeat window 3 for
+        # the midpoint but not window 5.
+        seq = np.full(12, 4096, dtype=np.uint16)
+        seq[5] ^= 1 << 9
+        seq[6] ^= 1 << 9
+        out5 = majority_vote_window(seq, window=5)
+        assert out5[5] == 4096 and out5[6] == 4096
+
+    def test_rejects_even_window(self):
+        with pytest.raises(ConfigurationError):
+            majority_vote_window(np.zeros(8, dtype=np.uint16), window=4)
+
+    def test_rejects_short_input(self):
+        with pytest.raises(DataFormatError):
+            majority_vote_window(np.zeros(3, dtype=np.uint16), window=5)

@@ -1,0 +1,95 @@
+"""Tests for Algorithm 2 (median smoothing) and its spatial variant."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis.extra import numpy as hnp
+
+from repro.baselines.median import median_smooth_spatial, median_smooth_temporal
+from repro.exceptions import ConfigurationError, DataFormatError
+
+
+class TestTemporalMedian:
+    def test_constant_sequence_unchanged(self):
+        seq = np.full(10, 500, dtype=np.uint16)
+        assert np.array_equal(median_smooth_temporal(seq), seq)
+
+    def test_single_outlier_removed(self):
+        seq = np.full(10, 500, dtype=np.uint16)
+        seq[4] = 40000
+        out = median_smooth_temporal(seq)
+        assert out[4] == 500
+
+    def test_matches_algorithm2_interior(self):
+        # Interior: P(i) = median{P(i-1), P(i), P(i+1)}.
+        seq = np.array([1, 9, 2, 8, 3, 7, 4], dtype=np.uint16)
+        out = median_smooth_temporal(seq)
+        for i in range(1, 6):
+            assert out[i] == sorted(seq[i - 1 : i + 2])[1]
+
+    def test_edge_handling_uses_first_window(self):
+        # P(1) = median{P(1), P(2), P(3)} in the paper's 1-based notation.
+        seq = np.array([100, 1, 2, 3, 4], dtype=np.uint16)
+        out = median_smooth_temporal(seq)
+        assert out[0] == 2
+
+    def test_works_on_stacks(self, walk_stack):
+        out = median_smooth_temporal(walk_stack)
+        assert out.shape == walk_stack.shape
+        assert out.dtype == walk_stack.dtype
+
+    def test_wider_window(self):
+        seq = np.array([0, 0, 100, 0, 0, 0, 0], dtype=np.uint16)
+        assert median_smooth_temporal(seq, window=5)[2] == 0
+
+    def test_rejects_even_window(self):
+        with pytest.raises(ConfigurationError):
+            median_smooth_temporal(np.zeros(8, dtype=np.uint16), window=4)
+
+    def test_rejects_short_sequence(self):
+        with pytest.raises(DataFormatError):
+            median_smooth_temporal(np.zeros(2, dtype=np.uint16))
+
+    def test_input_not_mutated(self):
+        seq = np.array([1, 9, 2, 8, 3], dtype=np.uint16)
+        snapshot = seq.copy()
+        median_smooth_temporal(seq)
+        assert np.array_equal(seq, snapshot)
+
+    @given(hnp.arrays(dtype=np.uint16, shape=(12,)))
+    def test_output_within_input_range(self, seq):
+        out = median_smooth_temporal(seq)
+        assert out.min() >= seq.min()
+        assert out.max() <= seq.max()
+
+
+class TestSpatialMedian:
+    def test_constant_field_unchanged(self):
+        field = np.full((8, 8), 9.0, dtype=np.float32)
+        assert np.allclose(median_smooth_spatial(field), 9.0)
+
+    def test_isolated_spike_removed(self):
+        field = np.full((8, 8), 10.0, dtype=np.float32)
+        field[4, 4] = 1e6
+        out = median_smooth_spatial(field)
+        assert out[4, 4] == pytest.approx(10.0)
+
+    def test_works_on_uint16(self, blob_dn):
+        out = median_smooth_spatial(blob_dn)
+        assert out.dtype == np.uint16
+
+    def test_cube_processed_per_band(self):
+        cube = np.full((3, 8, 8), 5.0, dtype=np.float32)
+        assert median_smooth_spatial(cube).shape == cube.shape
+
+    def test_rejects_1d(self):
+        with pytest.raises(DataFormatError):
+            median_smooth_spatial(np.zeros(8, dtype=np.float32))
+
+    def test_rejects_small_field(self):
+        with pytest.raises(DataFormatError):
+            median_smooth_spatial(np.zeros((2, 8), dtype=np.float32))
+
+    def test_rejects_even_window(self):
+        with pytest.raises(ConfigurationError):
+            median_smooth_spatial(np.zeros((8, 8), dtype=np.float32), window=2)

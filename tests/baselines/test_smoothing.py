@@ -1,0 +1,111 @@
+"""Tests for the §4 catalogue of generic smoothers."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.smoothing import (
+    bisquare_smooth,
+    inverse_square_smooth,
+    mean_smooth,
+    negative_exponential_smooth,
+    running_average_smooth,
+)
+from repro.exceptions import ConfigurationError, DataFormatError
+
+ALL_WINDOWED = [
+    mean_smooth,
+    negative_exponential_smooth,
+    inverse_square_smooth,
+    bisquare_smooth,
+]
+
+
+@pytest.mark.parametrize("smoother", ALL_WINDOWED)
+class TestWindowedSmoothersCommon:
+    def test_constant_sequence_unchanged(self, smoother):
+        seq = np.full(12, 700, dtype=np.uint16)
+        assert np.array_equal(smoother(seq), seq)
+
+    def test_output_dtype_preserved(self, smoother):
+        seq = np.arange(12, dtype=np.uint16)
+        assert smoother(seq).dtype == np.uint16
+
+    def test_reduces_outlier(self, smoother):
+        seq = np.full(12, 700, dtype=np.uint16)
+        seq[6] = 30000
+        out = smoother(seq)
+        assert out[6] < 30000
+
+    def test_rejects_short_input(self, smoother):
+        with pytest.raises(DataFormatError):
+            smoother(np.zeros(2, dtype=np.uint16))
+
+    def test_works_on_stacks(self, smoother, walk_stack):
+        out = smoother(walk_stack)
+        assert out.shape == walk_stack.shape
+
+
+class TestMeanSmooth:
+    def test_window3_exact(self):
+        seq = np.array([3.0, 6.0, 9.0, 12.0], dtype=np.float64)
+        out = mean_smooth(seq)
+        assert out[1] == pytest.approx(6.0)
+        assert out[2] == pytest.approx(9.0)
+
+    def test_less_robust_than_median(self):
+        # The §4.1 claim: median beats mean on outliers.
+        from repro.baselines.median import median_smooth_temporal
+
+        seq = np.full(12, 700, dtype=np.uint16)
+        seq[6] = 60000
+        mean_err = abs(int(mean_smooth(seq)[5]) - 700)
+        median_err = abs(int(median_smooth_temporal(seq)[5]) - 700)
+        assert median_err < mean_err
+
+    def test_rejects_even_window(self):
+        with pytest.raises(ConfigurationError):
+            mean_smooth(np.zeros(8, dtype=np.uint16), window=4)
+
+
+class TestRunningAverage:
+    def test_alpha_one_is_identity(self):
+        seq = np.array([1, 5, 2, 9], dtype=np.uint16)
+        assert np.array_equal(running_average_smooth(seq, alpha=1.0), seq)
+
+    def test_smooths_forward(self):
+        seq = np.array([0.0, 100.0, 0.0, 0.0], dtype=np.float64)
+        out = running_average_smooth(seq, alpha=0.5)
+        assert out[1] == pytest.approx(50.0)
+        assert out[2] == pytest.approx(25.0)
+
+    def test_rejects_bad_alpha(self):
+        with pytest.raises(ConfigurationError):
+            running_average_smooth(np.zeros(4, dtype=np.uint16), alpha=0.0)
+
+    def test_rejects_short(self):
+        with pytest.raises(DataFormatError):
+            running_average_smooth(np.zeros(1, dtype=np.uint16))
+
+
+class TestKernelShapes:
+    def test_negative_exponential_scale_validated(self):
+        with pytest.raises(ConfigurationError):
+            negative_exponential_smooth(np.zeros(8, dtype=np.uint16), scale=0)
+
+    def test_inverse_square_weights_decay(self):
+        # A distant outlier perturbs less than an adjacent one.
+        seq = np.full(13, 100.0, dtype=np.float64)
+        seq_adjacent = seq.copy()
+        seq_adjacent[7] = 1100.0
+        seq_far = seq.copy()
+        seq_far[8] = 1100.0
+        adj = inverse_square_smooth(seq_adjacent, window=5)[6]
+        far = inverse_square_smooth(seq_far, window=5)[6]
+        assert abs(adj - 100) > abs(far - 100)
+
+    def test_bisquare_zero_at_edge(self):
+        # The bi-square weight at the window edge is small but positive
+        # inside the window; the kernel is symmetric.
+        seq = np.full(13, 100.0, dtype=np.float64)
+        out = bisquare_smooth(seq, window=5)
+        assert np.allclose(out, 100.0)

@@ -1,0 +1,36 @@
+"""Shared fixtures for the repro test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.config import NGSTDatasetConfig
+from repro.data.ngst import generate_walk
+from repro.data.otis import blob
+from repro.otis.quantize import encode_dn
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    """A deterministic generator; reseed per test."""
+    return np.random.default_rng(20030622)
+
+
+@pytest.fixture
+def walk_stack(rng: np.random.Generator) -> np.ndarray:
+    """A 32-variant Eq.(1) walk over an 8x8 coordinate grid."""
+    config = NGSTDatasetConfig(n_variants=32, sigma=25.0)
+    return generate_walk(config, rng, shape=(8, 8))
+
+
+@pytest.fixture
+def flat_stack() -> np.ndarray:
+    """A constant 16-variant stack (the easiest correction target)."""
+    return np.full((16, 4, 4), 27000, dtype=np.uint16)
+
+
+@pytest.fixture
+def blob_dn(rng: np.random.Generator) -> np.ndarray:
+    """The 'Blob' OTIS dataset in its DN storage encoding (32x32)."""
+    return encode_dn(blob(32, 32, rng))

@@ -1,0 +1,155 @@
+"""Behavioural tests for Algorithm 1 (Algo_NGST)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.config import NGSTConfig, NGSTDatasetConfig
+from repro.core.algo_ngst import AlgoNGST
+from repro.data.ngst import generate_walk
+from repro.exceptions import ConfigurationError, DataFormatError
+from repro.faults.injector import FaultInjector
+from repro.faults.uncorrelated import UncorrelatedFaultModel
+from repro.metrics.confusion import bit_confusion
+from repro.metrics.relative_error import psi
+
+
+class TestConstruction:
+    def test_default_config(self):
+        assert AlgoNGST().config.upsilon == 4
+
+    def test_rejects_zero_sensitivity(self):
+        with pytest.raises(ConfigurationError, match="sensitivity"):
+            AlgoNGST(NGSTConfig(sensitivity=0))
+
+    def test_rejects_scalar_input(self):
+        with pytest.raises(DataFormatError):
+            AlgoNGST()(np.uint16(5))
+
+    def test_rejects_float_stack(self):
+        with pytest.raises(DataFormatError):
+            AlgoNGST()(np.zeros((8, 2), dtype=np.float32))
+
+
+class TestSingleFlipRepair:
+    @pytest.mark.parametrize("bit", [10, 12, 14, 15])
+    def test_high_bit_flip_on_flat_stack_repaired(self, flat_stack, bit):
+        damaged = flat_stack.copy()
+        damaged[5, 1, 2] ^= np.uint16(1 << bit)
+        result = AlgoNGST(NGSTConfig(sensitivity=80))(damaged)
+        assert result.corrected[5, 1, 2] == 27000
+        assert result.n_bits_corrected >= 1
+
+    def test_clean_flat_stack_untouched(self, flat_stack):
+        result = AlgoNGST(NGSTConfig(sensitivity=80))(flat_stack)
+        assert np.array_equal(result.corrected, flat_stack)
+        assert result.n_pixels_corrected == 0
+
+    def test_neighbours_not_falsely_corrected(self, flat_stack):
+        damaged = flat_stack.copy()
+        damaged[5, 1, 2] ^= np.uint16(1 << 14)
+        result = AlgoNGST(NGSTConfig(sensitivity=80))(damaged)
+        mask = np.ones_like(damaged, dtype=bool)
+        mask[5, 1, 2] = False
+        assert np.array_equal(result.corrected[mask], flat_stack[mask])
+
+    def test_multiple_isolated_flips_repaired(self, flat_stack):
+        damaged = flat_stack.copy()
+        damaged[2, 0, 0] ^= np.uint16(1 << 13)
+        damaged[9, 3, 3] ^= np.uint16(1 << 15)
+        result = AlgoNGST(NGSTConfig(sensitivity=80))(damaged)
+        assert np.array_equal(result.corrected, flat_stack)
+
+
+class TestStatisticalBehaviour:
+    def test_improves_psi_on_realistic_faults(self, walk_stack):
+        corrupted, _ = FaultInjector(
+            UncorrelatedFaultModel(0.01), seed=3
+        ).inject(walk_stack)
+        result = AlgoNGST(NGSTConfig(sensitivity=80))(corrupted)
+        assert psi(result.corrected, walk_stack) < psi(corrupted, walk_stack) / 3
+
+    def test_precision_reasonable(self, walk_stack):
+        corrupted, _ = FaultInjector(
+            UncorrelatedFaultModel(0.01), seed=3
+        ).inject(walk_stack)
+        result = AlgoNGST(NGSTConfig(sensitivity=80))(corrupted)
+        conf = bit_confusion(walk_stack, corrupted, result.corrected)
+        assert conf.precision > 0.5
+
+    def test_correction_vectors_consistent(self, walk_stack):
+        corrupted, _ = FaultInjector(
+            UncorrelatedFaultModel(0.01), seed=3
+        ).inject(walk_stack)
+        result = AlgoNGST()(corrupted)
+        assert np.array_equal(
+            np.bitwise_xor(corrupted, result.correction_vectors),
+            result.corrected,
+        )
+
+    def test_window_c_never_touched(self, walk_stack):
+        corrupted, _ = FaultInjector(
+            UncorrelatedFaultModel(0.02), seed=5
+        ).inject(walk_stack)
+        result = AlgoNGST(NGSTConfig(sensitivity=70))(corrupted)
+        vectors = result.correction_vectors.astype(np.uint64)
+        window_c = result.windows.window_c()
+        # No correction bit may fall inside window C at its coordinate.
+        assert not np.any(vectors & window_c[None])
+
+    def test_deterministic(self, walk_stack):
+        corrupted, _ = FaultInjector(
+            UncorrelatedFaultModel(0.01), seed=3
+        ).inject(walk_stack)
+        algo = AlgoNGST()
+        first = algo(corrupted)
+        second = algo(corrupted)
+        assert np.array_equal(first.corrected, second.corrected)
+
+    def test_input_not_mutated(self, walk_stack):
+        corrupted, _ = FaultInjector(
+            UncorrelatedFaultModel(0.01), seed=3
+        ).inject(walk_stack)
+        snapshot = corrupted.copy()
+        AlgoNGST()(corrupted)
+        assert np.array_equal(corrupted, snapshot)
+
+    def test_works_on_1d_sequences(self):
+        pixels = np.full(64, 27000, dtype=np.uint16)
+        pixels[10] ^= np.uint16(1 << 14)
+        result = AlgoNGST(NGSTConfig(sensitivity=80))(pixels)
+        assert result.corrected[10] == 27000
+
+    def test_global_thresholds_variant(self, walk_stack):
+        corrupted, _ = FaultInjector(
+            UncorrelatedFaultModel(0.01), seed=3
+        ).inject(walk_stack)
+        cfg = NGSTConfig(sensitivity=80, per_coordinate_thresholds=False)
+        result = AlgoNGST(cfg)(corrupted)
+        assert psi(result.corrected, walk_stack) < psi(corrupted, walk_stack)
+
+
+class TestUpsilonVariants:
+    @pytest.mark.parametrize("upsilon", [2, 4, 6, 8])
+    def test_all_upsilons_run(self, walk_stack, upsilon):
+        corrupted, _ = FaultInjector(
+            UncorrelatedFaultModel(0.005), seed=3
+        ).inject(walk_stack)
+        result = AlgoNGST(NGSTConfig(upsilon=upsilon, sensitivity=80))(corrupted)
+        assert result.corrected.shape == corrupted.shape
+
+    @settings(max_examples=20, deadline=None)
+    @given(
+        st.integers(min_value=0, max_value=15),
+        st.integers(min_value=0, max_value=63),
+        st.sampled_from([30.0, 60.0, 90.0]),
+    )
+    def test_never_worse_than_raw_on_flat_data(self, bit, index, lam):
+        """Property: on constant data a single flip never makes Psi worse."""
+        pixels = np.full(64, 20000, dtype=np.uint16)
+        damaged = pixels.copy()
+        damaged[index] ^= np.uint16(1 << bit)
+        result = AlgoNGST(NGSTConfig(sensitivity=lam))(damaged)
+        pristine = np.full(64, 20000, dtype=np.uint16)
+        assert psi(result.corrected, pristine) <= psi(damaged, pristine)

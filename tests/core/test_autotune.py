@@ -1,0 +1,108 @@
+"""Tests for ground-truth-free sensitivity selection."""
+
+import numpy as np
+import pytest
+
+from repro.config import NGSTConfig, NGSTDatasetConfig
+from repro.core.algo_ngst import AlgoNGST
+from repro.core.autotune import (
+    autotune_sensitivity,
+    estimate_gamma,
+    estimate_sigma,
+)
+from repro.data.ngst import generate_walk
+from repro.exceptions import DataFormatError
+from repro.faults.injector import FaultInjector
+from repro.faults.uncorrelated import UncorrelatedFaultModel
+from repro.metrics.relative_error import psi
+
+
+def world(sigma, gamma, seed=42, shape=(16, 16)):
+    rng = np.random.default_rng(seed)
+    pristine = generate_walk(
+        NGSTDatasetConfig(n_variants=64, sigma=sigma), rng, shape
+    )
+    corrupted, _ = FaultInjector(UncorrelatedFaultModel(gamma), seed=3).inject(
+        pristine
+    )
+    return pristine, corrupted
+
+
+class TestEstimateSigma:
+    def test_recovers_sigma(self):
+        _, corrupted = world(sigma=100.0, gamma=0.0)
+        assert estimate_sigma(corrupted) == pytest.approx(100.0, rel=0.2)
+
+    def test_robust_to_flips(self):
+        _, corrupted = world(sigma=100.0, gamma=0.01)
+        assert estimate_sigma(corrupted) == pytest.approx(100.0, rel=0.3)
+
+    def test_zero_sigma(self):
+        _, corrupted = world(sigma=0.0, gamma=0.001)
+        assert estimate_sigma(corrupted) < 5.0
+
+    def test_rejects_single_variant(self):
+        with pytest.raises(DataFormatError):
+            estimate_sigma(np.zeros((1, 4), dtype=np.uint16))
+
+
+class TestEstimateGamma:
+    @pytest.mark.parametrize("gamma", [0.001, 0.01, 0.05])
+    def test_recovers_gamma(self, gamma):
+        _, corrupted = world(sigma=25.0, gamma=gamma)
+        sigma_hat = estimate_sigma(corrupted)
+        estimate = estimate_gamma(corrupted, sigma_hat)
+        assert estimate == pytest.approx(gamma, rel=0.45)
+
+    def test_clean_data_near_zero(self):
+        _, corrupted = world(sigma=25.0, gamma=0.0)
+        assert estimate_gamma(corrupted, 25.0) < 1e-3
+
+    def test_turbulent_fallback_bits(self):
+        _, corrupted = world(sigma=8000.0, gamma=0.01)
+        sigma_hat = estimate_sigma(corrupted)
+        # Works (falls back to the top two bits) and stays in [0, 0.5].
+        estimate = estimate_gamma(corrupted, sigma_hat)
+        assert 0.0 <= estimate < 0.5
+
+
+class TestAutotune:
+    @pytest.mark.parametrize(
+        "sigma,gamma", [(0.0, 0.01), (25.0, 0.001), (25.0, 0.05), (250.0, 0.01)]
+    )
+    def test_within_striking_distance_of_oracle(self, sigma, gamma):
+        pristine, corrupted = world(sigma=sigma, gamma=gamma)
+        result = autotune_sensitivity(corrupted)
+        auto = psi(
+            AlgoNGST(NGSTConfig(sensitivity=result.sensitivity))(
+                corrupted
+            ).corrected,
+            pristine,
+        )
+        oracle = min(
+            psi(
+                AlgoNGST(NGSTConfig(sensitivity=lam))(corrupted).corrected,
+                pristine,
+            )
+            for lam in (10, 30, 50, 70, 90, 100)
+        )
+        assert auto <= oracle * 1.5 + 1e-12
+
+    def test_result_fields(self):
+        _, corrupted = world(sigma=25.0, gamma=0.01)
+        result = autotune_sensitivity(corrupted)
+        assert result.sensitivity in (10.0, 30.0, 50.0, 70.0, 90.0, 100.0)
+        assert result.estimated_sigma >= 0
+        assert 0 <= result.estimated_gamma < 0.5
+        assert result.calibration_psi >= 0
+
+    def test_deterministic(self):
+        _, corrupted = world(sigma=25.0, gamma=0.01)
+        a = autotune_sensitivity(corrupted, seed=5)
+        b = autotune_sensitivity(corrupted, seed=5)
+        assert a == b
+
+    def test_custom_grid_respected(self):
+        _, corrupted = world(sigma=25.0, gamma=0.01)
+        result = autotune_sensitivity(corrupted, lambda_grid=(40.0, 60.0))
+        assert result.sensitivity in (40.0, 60.0)

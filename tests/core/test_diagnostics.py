@@ -1,0 +1,61 @@
+"""Tests for the Υ/Λ tuning diagnostics."""
+
+import numpy as np
+import pytest
+
+from repro.config import NGSTConfig
+from repro.core.diagnostics import (
+    analyze_windows,
+    render_profile,
+    sensitivity_profile,
+)
+from repro.exceptions import DataFormatError
+from repro.faults.injector import FaultInjector
+from repro.faults.uncorrelated import UncorrelatedFaultModel
+
+
+class TestAnalyzeWindows:
+    def test_windows_partition_word(self, walk_stack):
+        diag = analyze_windows(walk_stack)
+        total = diag.window_a_bits + diag.window_b_bits + diag.window_c_bits
+        assert total == pytest.approx(16.0)
+
+    def test_rejects_zero_sensitivity(self, walk_stack):
+        with pytest.raises(DataFormatError):
+            analyze_windows(walk_stack, NGSTConfig(sensitivity=0))
+
+    def test_fractions_in_unit_interval(self, walk_stack):
+        corrupted, _ = FaultInjector(
+            UncorrelatedFaultModel(0.01), seed=1
+        ).inject(walk_stack)
+        diag = analyze_windows(corrupted)
+        assert 0.0 <= diag.voter_survival <= 1.0
+        assert 0.0 <= diag.active_pixel_fraction <= 1.0
+        assert 0.0 <= diag.correction_pressure <= 1.0
+
+    def test_clean_flat_stack_zero_pressure(self, flat_stack):
+        diag = analyze_windows(flat_stack, NGSTConfig(sensitivity=80))
+        assert diag.correction_pressure == 0.0
+
+
+class TestSensitivityProfile:
+    def test_voter_survival_grows_with_lambda(self, walk_stack):
+        corrupted, _ = FaultInjector(
+            UncorrelatedFaultModel(0.01), seed=1
+        ).inject(walk_stack)
+        profile = sensitivity_profile(corrupted, lambdas=(10.0, 50.0, 100.0))
+        survivals = [d.voter_survival for d in profile]
+        assert survivals == sorted(survivals)
+
+    def test_correction_pressure_grows_with_lambda(self, walk_stack):
+        corrupted, _ = FaultInjector(
+            UncorrelatedFaultModel(0.01), seed=1
+        ).inject(walk_stack)
+        profile = sensitivity_profile(corrupted, lambdas=(10.0, 100.0))
+        assert profile[-1].correction_pressure >= profile[0].correction_pressure
+
+    def test_render(self, walk_stack):
+        profile = sensitivity_profile(walk_stack, lambdas=(50.0,))
+        table = render_profile(profile)
+        assert "A bits" in table
+        assert "50" in table

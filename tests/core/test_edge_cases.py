@@ -1,0 +1,112 @@
+"""Edge-case coverage across the core algorithms."""
+
+import numpy as np
+import pytest
+
+from repro.config import NGSTConfig, OTISBounds, OTISConfig
+from repro.core import bitops
+from repro.core.algo_ngst import AlgoNGST
+from repro.core.algo_otis import AlgoOTIS
+from repro.core.voter import VoterMatrix
+from repro.exceptions import DataFormatError
+
+
+class TestBitopsOtherWidths:
+    def test_popcount_uint8(self):
+        arr = np.array([0xFF, 0x0F], dtype=np.uint8)
+        assert bitops.popcount(arr).tolist() == [8, 4]
+
+    def test_popcount_uint64(self):
+        arr = np.array([(1 << 64) - 1], dtype=np.uint64)
+        assert bitops.popcount(arr).tolist() == [64]
+
+    def test_mask_at_or_above_64bit(self):
+        mask = bitops.mask_at_or_above(1 << 63, 64)
+        assert mask == 1 << 63
+
+    def test_bit_planes_uint32(self):
+        arr = np.array([1 << 31], dtype=np.uint32)
+        planes = bitops.to_bit_planes(arr)
+        assert planes.shape == (32, 1)
+        assert planes[0, 0] == 1
+        assert np.array_equal(bitops.from_bit_planes(planes, np.uint32), arr)
+
+    def test_highest_set_bit_uint32(self):
+        arr = np.array([0x80000000, 0x00000001], dtype=np.uint32)
+        out = bitops.highest_set_bit_value(arr)
+        assert out.tolist() == [0x80000000, 1]
+
+
+class TestAlgoNGSTShapes:
+    def test_3d_coordinate_stack(self):
+        stack = np.full((16, 2, 3, 4), 5000, dtype=np.uint16)
+        stack[7, 1, 2, 3] ^= np.uint16(1 << 13)
+        result = AlgoNGST(NGSTConfig(sensitivity=80))(stack)
+        assert result.corrected[7, 1, 2, 3] == 5000
+
+    def test_minimum_viable_stack(self):
+        # Upsilon 2 requires more than 1 variant.
+        stack = np.full(4, 1000, dtype=np.uint16)
+        result = AlgoNGST(NGSTConfig(upsilon=2, sensitivity=80))(stack)
+        assert result.corrected.shape == (4,)
+
+    def test_all_zero_stack(self):
+        stack = np.zeros((16, 4), dtype=np.uint16)
+        result = AlgoNGST()(stack)
+        assert not result.corrected.any()
+
+    def test_all_max_stack(self):
+        stack = np.full((16, 4), 0xFFFF, dtype=np.uint16)
+        result = AlgoNGST()(stack)
+        assert np.all(result.corrected == 0xFFFF)
+
+    def test_single_coordinate_column(self):
+        stack = np.full((32, 1), 27000, dtype=np.uint16)
+        stack[5, 0] ^= np.uint16(1 << 15)
+        result = AlgoNGST(NGSTConfig(sensitivity=80))(stack)
+        assert result.corrected[5, 0] == 27000
+
+
+class TestVoterMatrixUpsilon8:
+    def test_offsets(self, walk_stack):
+        matrix = VoterMatrix(walk_stack, 8)
+        assert matrix.offsets == [1, -1, 2, -2, 3, -3, 4, -4]
+
+    def test_thresholds_shape(self, walk_stack):
+        matrix = VoterMatrix(walk_stack, 8)
+        thr = matrix.thresholds(50)
+        assert thr.shape == (8,) + walk_stack.shape[1:]
+
+
+class TestAlgoOTISEdges:
+    def test_minimum_field(self):
+        field = np.full((3, 3), 23750, dtype=np.uint16)
+        result = AlgoOTIS()(field)
+        assert result.corrected.shape == (3, 3)
+
+    def test_non_square_field(self, rng):
+        field = np.full((5, 40), 23750, dtype=np.uint16)
+        field[2, 20] ^= np.uint16(1 << 14)
+        result = AlgoOTIS(OTISConfig(trend_exemption=False))(field)
+        assert result.corrected.shape == (5, 40)
+
+    def test_tile_larger_than_field_is_global(self):
+        field = np.full((8, 8), 23750, dtype=np.uint16)
+        result = AlgoOTIS(OTISConfig(tile=64))(field)
+        assert np.array_equal(result.corrected, field)
+
+    def test_all_pixels_out_of_bounds(self):
+        cfg = OTISConfig(sensitivity=0, bounds=OTISBounds(lower=10.0, upper=20.0))
+        field = np.full((6, 6), 60000, dtype=np.uint16)  # 240 physical
+        result = AlgoOTIS(cfg)(field)
+        values = result.corrected.astype(np.float64) * cfg.dn_scale
+        assert np.all(values >= 10.0 - cfg.dn_scale)
+        assert np.all(values <= 20.0 + cfg.dn_scale)
+        assert result.n_bounds_repairs == 36
+
+    def test_float32_negative_values_screened(self):
+        field = np.full((6, 6), 95.0, dtype=np.float32)
+        field[2, 2] = -50.0
+        result = AlgoOTIS(OTISConfig(sensitivity=0))(field)
+        lo, _ = OTISConfig().bounds.effective()
+        assert result.corrected[2, 2] >= lo

@@ -1,0 +1,91 @@
+"""Tests for the NGST/OTIS preprocessing façades."""
+
+import numpy as np
+import pytest
+
+from repro.config import NGSTConfig, OTISConfig
+from repro.core.preprocessor import NGSTPreprocessor, OTISPreprocessor
+from repro.exceptions import HeaderSanityError
+from repro.faults.injector import FaultInjector
+from repro.faults.uncorrelated import UncorrelatedFaultModel
+from repro.fits.file import read_fits_bytes, write_hdu
+from repro.metrics.relative_error import psi
+
+
+class TestNGSTStackPath:
+    def test_zero_sensitivity_passthrough(self, walk_stack):
+        pre = NGSTPreprocessor(NGSTConfig(sensitivity=0))
+        outcome = pre.process_stack(walk_stack)
+        assert outcome.data is walk_stack
+        assert outcome.result is None
+
+    def test_positive_sensitivity_corrects(self, walk_stack):
+        corrupted, _ = FaultInjector(
+            UncorrelatedFaultModel(0.01), seed=1
+        ).inject(walk_stack)
+        pre = NGSTPreprocessor(NGSTConfig(sensitivity=80))
+        outcome = pre.process_stack(corrupted)
+        assert outcome.result is not None
+        assert psi(outcome.data, walk_stack) < psi(corrupted, walk_stack)
+
+
+class TestNGSTFitsPath:
+    def test_clean_fits_roundtrip(self, walk_stack):
+        raw = write_hdu(walk_stack)
+        pre = NGSTPreprocessor(NGSTConfig(sensitivity=80))
+        encoded, outcome = pre.process_fits(raw)
+        assert outcome.sanity is not None and outcome.sanity.ok
+        decoded = read_fits_bytes(encoded)[0].physical_data()
+        assert np.array_equal(decoded, outcome.data)
+
+    def test_zero_sensitivity_preserves_data_bit_exact(self, walk_stack):
+        raw = write_hdu(walk_stack)
+        pre = NGSTPreprocessor(NGSTConfig(sensitivity=0))
+        encoded, outcome = pre.process_fits(raw)
+        decoded = read_fits_bytes(encoded)[0].physical_data()
+        assert np.array_equal(decoded, walk_stack)
+
+    def test_damaged_header_repaired(self, walk_stack):
+        raw = bytearray(write_hdu(walk_stack))
+        # Flip the high bit of a keyword character in card 2 (BITPIX).
+        raw[80] ^= 0x80
+        pre = NGSTPreprocessor(NGSTConfig(sensitivity=0))
+        encoded, outcome = pre.process_fits(bytes(raw))
+        assert outcome.sanity.n_repairs >= 1
+        decoded = read_fits_bytes(encoded)[0].physical_data()
+        assert np.array_equal(decoded, walk_stack)
+
+    def test_unrecoverable_header_raises(self, walk_stack):
+        raw = write_hdu(walk_stack)
+        # Destroy every block: no END card anywhere.
+        raw = raw[:2880].replace(b"END", b"XXX") + raw[2880:]
+        pre = NGSTPreprocessor(NGSTConfig(sensitivity=0))
+        with pytest.raises(HeaderSanityError):
+            pre.process_fits(raw)
+
+    def test_preprocessed_fits_corrects_pixels(self, walk_stack):
+        corrupted, _ = FaultInjector(
+            UncorrelatedFaultModel(0.01), seed=1
+        ).inject(walk_stack)
+        raw = write_hdu(corrupted)
+        pre = NGSTPreprocessor(NGSTConfig(sensitivity=80))
+        encoded, outcome = pre.process_fits(raw)
+        assert psi(outcome.data, walk_stack) < psi(corrupted, walk_stack)
+
+
+class TestOTISPreprocessor:
+    def test_processes_dn_field(self, blob_dn):
+        corrupted, _ = FaultInjector(
+            UncorrelatedFaultModel(0.02), seed=2
+        ).inject(blob_dn)
+        pre = OTISPreprocessor(OTISConfig())
+        outcome = pre.process(corrupted)
+        assert outcome.result is not None
+        assert outcome.data.shape == corrupted.shape
+
+    def test_zero_sensitivity_still_screens_bounds(self, blob_dn):
+        damaged = blob_dn.copy()
+        damaged[1, 1] = np.uint16(60000)
+        pre = OTISPreprocessor(OTISConfig(sensitivity=0))
+        outcome = pre.process(damaged)
+        assert outcome.result.n_bounds_repairs == 1

@@ -1,0 +1,63 @@
+"""Tests for the Λ → Φ mapping of §3.2."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.sensitivity import phi_rank
+from repro.exceptions import ConfigurationError
+
+
+class TestPhiRank:
+    def test_reference_point_lambda80(self):
+        # The paper's formula anchors Λ = 80 at Φ = N/4.
+        assert phi_rank(80, 64) == 16
+
+    def test_monotone_in_lambda(self):
+        ranks = [phi_rank(lam, 64) for lam in (1, 20, 40, 60, 80, 100)]
+        assert ranks == sorted(ranks)
+
+    def test_small_lambda_is_strict(self):
+        assert phi_rank(1, 64) < phi_rank(80, 64)
+
+    def test_max_lambda_is_most_lenient(self):
+        assert phi_rank(100, 64) > phi_rank(80, 64)
+
+    def test_clipped_to_at_least_one(self):
+        assert phi_rank(0.01, 8) >= 1
+
+    def test_clipped_to_n(self):
+        assert phi_rank(100, 4) <= 4
+
+    def test_rejects_zero(self):
+        with pytest.raises(ConfigurationError):
+            phi_rank(0, 64)
+
+    def test_rejects_negative(self):
+        with pytest.raises(ConfigurationError):
+            phi_rank(-5, 64)
+
+    def test_rejects_above_100(self):
+        with pytest.raises(ConfigurationError):
+            phi_rank(101, 64)
+
+    def test_rejects_tiny_n(self):
+        with pytest.raises(ConfigurationError):
+            phi_rank(50, 1)
+
+    @given(
+        st.floats(min_value=0.01, max_value=100),
+        st.integers(min_value=2, max_value=4096),
+    )
+    def test_always_a_valid_rank(self, lam, n):
+        rank = phi_rank(lam, n)
+        assert 1 <= rank <= n
+        assert isinstance(rank, int)
+
+    @given(st.integers(min_value=8, max_value=1024))
+    def test_monotonicity_property(self, n):
+        previous = 0
+        for lam in (1, 25, 50, 75, 100):
+            rank = phi_rank(lam, n)
+            assert rank >= previous
+            previous = rank

@@ -1,0 +1,95 @@
+"""Tests for the A/B/C bit-window masks."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.windows import BitWindows
+from repro.exceptions import DataFormatError
+
+
+def windows_from(values, nbits=16):
+    return BitWindows.from_thresholds(np.array(values, dtype=np.uint64), nbits)
+
+
+class TestFromThresholds:
+    def test_scalar_masks(self):
+        w = windows_from([4, 16])
+        assert int(w.lsb_mask) == 0xFFFC  # bits >= 4
+        assert int(w.msb_mask) == 0xFFF0  # bits >= 16
+
+    def test_min_max_selection(self):
+        w = windows_from([16, 4, 8, 8])
+        assert int(w.lsb_mask) == 0xFFFC
+        assert int(w.msb_mask) == 0xFFF0
+
+    def test_per_coordinate_masks(self):
+        thr = np.array([[1, 256], [4, 1024]], dtype=np.uint64)  # (ways, coords)
+        w = BitWindows.from_thresholds(thr, 16)
+        assert w.lsb_mask.shape == (2,)
+        assert int(w.lsb_mask[0]) == 0xFFFF
+        assert int(w.msb_mask[1]) == 0xFC00
+
+    def test_rejects_scalar_thresholds(self):
+        with pytest.raises(DataFormatError):
+            BitWindows.from_thresholds(np.uint64(4), 16)
+
+
+class TestWindowPartition:
+    def test_windows_partition_word(self):
+        w = windows_from([8, 128])
+        union = int(w.window_a()) | int(w.window_b()) | int(w.window_c())
+        assert union == 0xFFFF
+        assert int(w.window_a()) & int(w.window_b()) == 0
+        assert int(w.window_b()) & int(w.window_c()) == 0
+        assert int(w.window_a()) & int(w.window_c()) == 0
+
+    def test_equal_thresholds_empty_window_b(self):
+        w = windows_from([32, 32])
+        assert int(w.window_b()) == 0
+
+    def test_threshold_one_empty_window_c(self):
+        w = windows_from([1, 64])
+        assert int(w.window_c()) == 0
+
+    def test_beyond_top_all_window_c(self):
+        w = windows_from([1 << 16, 1 << 16])
+        assert int(w.window_c()) == 0xFFFF
+
+    @given(
+        st.integers(0, 16),
+        st.integers(0, 16),
+    )
+    def test_partition_property(self, e1, e2):
+        w = windows_from([1 << e1, 1 << e2])
+        a, b, c = int(w.window_a()), int(w.window_b()), int(w.window_c())
+        assert a | b | c == 0xFFFF
+        assert a & b == b & c == a & c == 0
+
+
+class TestCombine:
+    def test_window_b_requires_unanimity(self):
+        w = windows_from([2, 0x4000])  # B covers bits 1..13
+        unanimous = np.array([0b0100], dtype=np.uint64)
+        grt = np.array([0b1100], dtype=np.uint64)
+        corr = w.combine(unanimous, grt)
+        assert corr.tolist() == [0b0100]
+
+    def test_window_a_accepts_grt(self):
+        w = windows_from([2, 0x4000])
+        unanimous = np.array([0], dtype=np.uint64)
+        grt = np.array([0x8000], dtype=np.uint64)
+        assert w.combine(unanimous, grt).tolist() == [0x8000]
+
+    def test_window_c_blocked_even_if_unanimous(self):
+        w = windows_from([16, 0x4000])
+        unanimous = np.array([0b1111], dtype=np.uint64)  # bits 0-3 < 16
+        grt = np.array([0b1111], dtype=np.uint64)
+        assert w.combine(unanimous, grt).tolist() == [0]
+
+    def test_combine_broadcasts_over_stack(self):
+        w = windows_from([2, 0x4000])
+        unanimous = np.zeros((5, 3), dtype=np.uint64)
+        grt = np.zeros((5, 3), dtype=np.uint64)
+        assert w.combine(unanimous, grt).shape == (5, 3)

@@ -1,0 +1,48 @@
+"""Tests for the Figure 5 gamut datasets."""
+
+import numpy as np
+import pytest
+
+from repro.data.gamut import BACKGROUND_FLOOR, gamut_dataset, gamut_means
+from repro.exceptions import ConfigurationError
+
+
+class TestGamutMeans:
+    def test_spans_gamut(self):
+        means = gamut_means(16)
+        assert means[0] == BACKGROUND_FLOOR
+        assert means[-1] == 65535
+
+    def test_monotone(self):
+        means = gamut_means(10)
+        assert np.all(np.diff(means) > 0)
+
+    def test_rejects_single_point(self):
+        with pytest.raises(ConfigurationError):
+            gamut_means(1)
+
+
+class TestGamutDataset:
+    def test_starts_near_mean(self, rng):
+        walk = gamut_dataset(30000, rng, sigma=0.0)
+        assert np.all(walk == 30000)
+
+    def test_floor_enforced(self, rng):
+        walk = gamut_dataset(0, rng, sigma=0.0)
+        assert walk.min() >= BACKGROUND_FLOOR
+
+    def test_floor_enforced_under_noise(self, rng):
+        walk = gamut_dataset(100, rng, sigma=5000.0)
+        assert walk.min() >= BACKGROUND_FLOOR
+
+    def test_top_of_gamut_truncated(self, rng):
+        walk = gamut_dataset(65535, rng, sigma=5000.0)
+        assert walk.max() <= 65535
+
+    def test_rejects_out_of_gamut_mean(self, rng):
+        with pytest.raises(ConfigurationError):
+            gamut_dataset(70000, rng)
+
+    def test_shape_with_coordinates(self, rng):
+        walk = gamut_dataset(10000, rng, n_variants=8, shape=(4, 4))
+        assert walk.shape == (8, 4, 4)

@@ -1,0 +1,75 @@
+"""Tests for the synthetic OTIS datasets (Blob / Stripe / Spots)."""
+
+import numpy as np
+import pytest
+
+from repro.data.otis import (
+    BACKGROUND,
+    DATASET_NAMES,
+    PHYSICAL_MAX,
+    blob,
+    make_dataset,
+    spots,
+    stripe,
+)
+from repro.exceptions import ConfigurationError
+
+
+@pytest.mark.parametrize("generator", [blob, stripe, spots])
+class TestCommonProperties:
+    def test_shape_and_dtype(self, generator):
+        field = generator(32, 48)
+        assert field.shape == (32, 48)
+        assert field.dtype == np.float32
+
+    def test_within_physical_bounds(self, generator):
+        field = generator(64, 64)
+        assert field.min() >= 1.0
+        assert field.max() <= PHYSICAL_MAX
+
+    def test_deterministic_default_seed(self, generator):
+        assert np.array_equal(generator(16, 16), generator(16, 16))
+
+    def test_custom_rng_changes_field(self, generator):
+        a = generator(16, 16, np.random.default_rng(10))
+        b = generator(16, 16, np.random.default_rng(11))
+        assert not np.array_equal(a, b)
+
+    def test_rejects_tiny_field(self, generator):
+        with pytest.raises(ConfigurationError):
+            generator(4, 64)
+
+
+class TestMorphologies:
+    def test_blob_mostly_flat_with_dark_spots(self):
+        field = blob(64, 64)
+        assert np.median(field) == pytest.approx(BACKGROUND, rel=0.15)
+        assert field.min() < BACKGROUND - 10  # dark spots exist
+
+    def test_stripe_centre_turbulent(self):
+        field = stripe(64, 64)
+        centre = field[:, 24:40]
+        flanks = np.concatenate([field[:, :16], field[:, -16:]], axis=1)
+        assert centre.std() > 3 * flanks.std()
+
+    def test_spots_more_variable_than_blob(self):
+        assert spots(64, 64).std() > blob(64, 64).std()
+
+    def test_spots_has_bright_and_dark(self):
+        field = spots(64, 64)
+        assert field.max() > BACKGROUND + 20
+        assert field.min() < BACKGROUND - 20
+
+
+class TestMakeDataset:
+    @pytest.mark.parametrize("name", DATASET_NAMES)
+    def test_by_name(self, name):
+        field = make_dataset(name, 16, 16)
+        assert field.shape == (16, 16)
+
+    def test_case_insensitive(self):
+        assert make_dataset("Blob", 16, 16).shape == (16, 16)
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(ConfigurationError, match="unknown"):
+            make_dataset("nebula", 16, 16)

@@ -1,0 +1,76 @@
+"""Tests for the machine-checkable reproduction claims."""
+
+from pathlib import Path
+
+import pytest
+
+from repro.experiments.claims import (
+    CLAIMS,
+    ClaimVerdict,
+    render_verdicts,
+    verify_claims,
+)
+from repro.experiments.common import ExperimentResult
+
+RESULTS_JSON = Path(__file__).parent.parent.parent / "results_full.json"
+
+
+def minimal_fig3(lambda0=0.001, lambda100=1.0):
+    panel = ExperimentResult("fig3", "t", "sensitivity", "ms")
+    panel.add("Algo_NGST", [0.0, 50.0, 100.0], [lambda0, lambda100 / 2, lambda100])
+    return panel
+
+
+class TestVerifyClaims:
+    def test_missing_panels_fail_gracefully(self):
+        verdicts = verify_claims([])
+        assert len(verdicts) == len(CLAIMS)
+        assert all(not v.passed for v in verdicts)
+        assert all("missing" in v.detail for v in verdicts)
+
+    def test_fig3_claim_passes_on_good_shape(self):
+        verdicts = verify_claims([minimal_fig3()])
+        fig3 = next(v for v in verdicts if v.claim_id == "fig3-overhead")
+        assert fig3.passed
+
+    def test_fig3_claim_fails_on_flat_overhead(self):
+        verdicts = verify_claims([minimal_fig3(lambda0=1.0, lambda100=1.0)])
+        fig3 = next(v for v in verdicts if v.claim_id == "fig3-overhead")
+        assert not fig3.passed
+
+    def test_incomplete_panel_reported(self):
+        panel = ExperimentResult("fig2", "t", "Gamma0", "Psi")
+        panel.add("no-preprocessing", [0.5], [0.1])  # missing grid points
+        verdicts = verify_claims([panel])
+        fig2 = next(v for v in verdicts if v.claim_id == "fig2-gain")
+        assert not fig2.passed
+        assert "incomplete" in fig2.detail
+
+    def test_every_claim_has_unique_id(self):
+        ids = [c.claim_id for c in CLAIMS]
+        assert len(ids) == len(set(ids))
+
+
+class TestRender:
+    def test_render_marks(self):
+        verdicts = [
+            ClaimVerdict("a", "first", True),
+            ClaimVerdict("b", "second", False, "broke"),
+        ]
+        text = render_verdicts(verdicts)
+        assert "[PASS] a" in text
+        assert "[FAIL] b" in text
+        assert "broke" in text
+        assert "1/2 claims reproduced" in text
+
+
+@pytest.mark.skipif(
+    not RESULTS_JSON.exists(), reason="full results not generated"
+)
+class TestAgainstFullResults:
+    def test_all_claims_reproduce(self):
+        from repro.experiments.report import load_results_json
+
+        verdicts = verify_claims(load_results_json(str(RESULTS_JSON)))
+        failed = [v for v in verdicts if not v.passed]
+        assert not failed, render_verdicts(verdicts)

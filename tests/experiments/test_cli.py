@@ -1,0 +1,49 @@
+"""Tests for the command-line interface."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+
+
+class TestCLI:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "fig2" in out and "ablate-layout" in out
+
+    def test_unknown_experiment(self, capsys):
+        assert main(["fig99"]) == 2
+        assert "unknown" in capsys.readouterr().err
+
+    def test_quick_fig2(self, capsys):
+        assert main(["fig2", "--quick"]) == 0
+        out = capsys.readouterr().out
+        assert "fig2" in out
+        assert "Gamma0" in out
+
+    def test_json_output(self, tmp_path, capsys):
+        path = tmp_path / "out.json"
+        assert main(["fig3", "--quick", "--json", str(path)]) == 0
+        data = json.loads(path.read_text())
+        assert data[0]["experiment_id"] == "fig3"
+        assert data[0]["series"]
+
+    def test_quick_ablations(self, capsys):
+        assert main(["ablate-windows", "--quick"]) == 0
+        assert "full" in capsys.readouterr().out
+
+
+class TestAllQuickOverrides:
+    """Every registered experiment must run under --quick."""
+
+    import pytest as _pytest
+
+    from repro.experiments.registry import REGISTRY as _REGISTRY
+
+    @_pytest.mark.parametrize("experiment_id", sorted(_REGISTRY))
+    def test_quick_run(self, experiment_id, capsys):
+        assert main([experiment_id, "--quick"]) == 0
+        out = capsys.readouterr().out
+        assert experiment_id.split("-")[0] in out or experiment_id in out

@@ -1,0 +1,137 @@
+"""Tests for the experiment registry and quick runs of each figure."""
+
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.experiments.registry import REGISTRY, run_experiment
+
+
+class TestRegistry:
+    def test_all_figures_registered(self):
+        for experiment_id in ("fig2", "fig3", "fig4", "fig5", "fig6", "fig7", "fig9"):
+            assert experiment_id in REGISTRY
+
+    def test_ablations_registered(self):
+        assert "ablate-layout" in REGISTRY
+        assert "ablate-windows" in REGISTRY
+
+    def test_unknown_id_rejected(self):
+        with pytest.raises(ConfigurationError):
+            run_experiment("fig99")
+
+
+class TestQuickRuns:
+    """Each experiment runs end to end at minimum scale."""
+
+    def test_fig2(self):
+        results = run_experiment(
+            "fig2", gamma0_grid=(0.01,), lambdas=(80.0,), shape=(4, 4), n_repeats=1
+        )
+        assert len(results) == 1
+        labels = [s.label for s in results[0].series]
+        assert "no-preprocessing" in labels
+        assert "median-w3" in labels
+
+    def test_fig3(self):
+        results = run_experiment(
+            "fig3", lambdas=(0.0, 50.0), shape=(8, 8), repeats=1
+        )
+        algo = results[0].series_by_label("Algo_NGST")
+        assert len(algo.y) == 2
+        assert all(v >= 0 for v in algo.y)
+
+    def test_fig4(self):
+        results = run_experiment(
+            "fig4",
+            gamma_ini_grid=(0.05,),
+            lambdas=(80.0,),
+            shape=(4, 4),
+            n_repeats=1,
+        )
+        assert results[0].series_by_label("Algo_NGST (opt L)").y[0] >= 0
+
+    def test_fig5(self):
+        results = run_experiment(
+            "fig5", means=[1000, 40000], lambdas=(80.0,), n_datasets=1
+        )
+        assert len(results[0].series[0].x) == 2
+
+    def test_fig6(self):
+        results = run_experiment(
+            "fig6",
+            sigmas=(0.0,),
+            upsilons=(2, 4),
+            gamma0_grid=(0.01,),
+            lambdas=(80.0,),
+            shape=(4, 4),
+            n_repeats=1,
+        )
+        assert results[0].experiment_id == "fig6-sigma0"
+        assert any(s.label == "upsilon=4" for s in results[0].series)
+
+    def test_fig7(self):
+        results = run_experiment(
+            "fig7",
+            datasets=("blob",),
+            gamma0_grid=(0.01,),
+            lambdas=(60.0,),
+            rows=16,
+            cols=16,
+            n_repeats=1,
+        )
+        assert results[0].experiment_id == "fig7-blob"
+
+    def test_fig9(self):
+        results = run_experiment(
+            "fig9",
+            datasets=("spots",),
+            gamma_ini_grid=(0.1,),
+            lambdas=(60.0,),
+            rows=16,
+            cols=16,
+            n_repeats=1,
+        )
+        labels = [s.label for s in results[0].series]
+        assert "Algo_OTIS pseudo-corr fraction" in labels
+
+    def test_ablate_layout(self):
+        results = run_experiment(
+            "ablate-layout",
+            gamma_ini_grid=(0.05,),
+            lambdas=(80.0,),
+            shape=(4, 4),
+            n_repeats=1,
+        )
+        labels = [s.label for s in results[0].series]
+        assert "interleaved + Algo_NGST" in labels
+
+    def test_ablate_windows(self):
+        results = run_experiment(
+            "ablate-windows", gamma0_grid=(0.01,), shape=(4, 4), n_repeats=1
+        )
+        labels = [s.label for s in results[0].series]
+        assert "full" in labels and "no-window-C" in labels
+
+
+class TestFig1AndFig8:
+    def test_fig1_shape(self):
+        results = run_experiment(
+            "fig1", n_slaves_grid=(1, 4), frame_side=64, tile=32, n_readouts=8
+        )
+        panel = results[0]
+        plain = panel.series_by_label("no preprocessing")
+        # More workers -> shorter makespan.
+        assert plain.y[1] < plain.y[0]
+        pre = [s for s in panel.series if s.label.startswith("with Algo_NGST")][0]
+        # Preprocessing costs simulated time on every point.
+        assert all(p > n for p, n in zip(pre.y, plain.y))
+
+    def test_fig8_morphologies(self):
+        results = run_experiment("fig8", rows=48, cols=48, n_repeats=3)
+        panel = results[0]
+        std = panel.series_by_label("std")
+        concentration = panel.series_by_label("centre-band concentration")
+        blob_i, stripe_i, spots_i = 0, 1, 2
+        assert std.y[spots_i] > std.y[stripe_i] > std.y[blob_i]
+        assert concentration.y[stripe_i] > 3 * concentration.y[blob_i]
+        assert concentration.y[stripe_i] > 3 * concentration.y[spots_i]

@@ -1,0 +1,101 @@
+"""Tests for the Markdown report generator."""
+
+import json
+
+import pytest
+
+from repro.exceptions import ConfigurationError, DataFormatError
+from repro.experiments.common import ExperimentResult
+from repro.experiments.report import (
+    load_results_json,
+    result_to_markdown,
+    results_to_markdown,
+    write_report,
+)
+
+
+def sample_result():
+    result = ExperimentResult("figX", "A title", "Gamma0", "Psi")
+    result.add("raw", [0.01, 0.05], [0.1, 0.2])
+    result.add("algo", [0.01, 0.05], [0.01, 0.02])
+    result.note("a note")
+    return result
+
+
+class TestMarkdownRendering:
+    def test_section_structure(self):
+        md = result_to_markdown(sample_result())
+        assert md.startswith("### `figX`")
+        assert "| Gamma0 | raw | algo |" in md
+        assert "> a note" in md
+
+    def test_row_count(self):
+        md = result_to_markdown(sample_result())
+        data_rows = [l for l in md.splitlines() if l.startswith("| 0.0")]
+        assert len(data_rows) == 2
+
+    def test_empty_panel(self):
+        md = result_to_markdown(ExperimentResult("e", "t", "x", "y"))
+        assert "(no data)" in md
+
+    def test_full_report(self):
+        md = results_to_markdown([sample_result(), sample_result()], title="T")
+        assert md.startswith("# T")
+        assert md.count("### `figX`") == 2
+
+    def test_scientific_formatting(self):
+        result = ExperimentResult("e", "t", "x", "y")
+        result.add("a", [1e-8], [1e7])
+        md = result_to_markdown(result)
+        assert "e-08" in md and "e+07" in md
+
+
+class TestJsonRoundtrip:
+    def test_load_and_render(self, tmp_path):
+        path = tmp_path / "results.json"
+        path.write_text(json.dumps([sample_result().to_dict()]))
+        results = load_results_json(str(path))
+        assert len(results) == 1
+        assert results[0].series_by_label("algo").y == [0.01, 0.02]
+
+    def test_write_report(self, tmp_path):
+        json_path = tmp_path / "results.json"
+        json_path.write_text(json.dumps([sample_result().to_dict()]))
+        out_path = tmp_path / "report.md"
+        count = write_report(str(json_path), str(out_path))
+        assert count == 1
+        assert "### `figX`" in out_path.read_text()
+
+    def test_rejects_non_list(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text(json.dumps({"not": "a list"}))
+        with pytest.raises(DataFormatError):
+            load_results_json(str(path))
+
+    def test_rejects_malformed_panel(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text(json.dumps([{"experiment_id": "x"}]))
+        with pytest.raises(DataFormatError):
+            load_results_json(str(path))
+
+    def test_rejects_empty(self, tmp_path):
+        path = tmp_path / "empty.json"
+        path.write_text("[]")
+        with pytest.raises(ConfigurationError):
+            load_results_json(str(path))
+
+
+class TestCLIIntegration:
+    def test_report_command(self, tmp_path, capsys):
+        from repro.cli import main
+
+        json_path = tmp_path / "results.json"
+        json_path.write_text(json.dumps([sample_result().to_dict()]))
+        out_path = tmp_path / "report.md"
+        assert main(["report", "--json", str(json_path), "--out", str(out_path)]) == 0
+        assert out_path.exists()
+
+    def test_report_requires_paths(self, capsys):
+        from repro.cli import main
+
+        assert main(["report"]) == 2

@@ -1,0 +1,88 @@
+"""Tests for the fault-injection campaign API."""
+
+import numpy as np
+import pytest
+
+from repro.config import NGSTConfig, NGSTDatasetConfig
+from repro.core.algo_ngst import AlgoNGST
+from repro.data.ngst import generate_walk
+from repro.exceptions import ConfigurationError
+from repro.faults.campaign import Campaign
+from repro.faults.uncorrelated import UncorrelatedFaultModel
+from repro.metrics.relative_error import psi
+
+
+def _generate(rng):
+    return generate_walk(NGSTDatasetConfig(n_variants=32), rng, (6, 6))
+
+
+def _campaign(preprocess=None, gamma0=0.01, confidence=0.95):
+    return Campaign(
+        generate=_generate,
+        fault_model=UncorrelatedFaultModel(gamma0),
+        metric=psi,
+        preprocess=preprocess,
+        confidence=confidence,
+    )
+
+
+class TestConstruction:
+    def test_rejects_bad_confidence(self):
+        with pytest.raises(ConfigurationError):
+            _campaign(confidence=0.5)
+
+    def test_rejects_bad_model(self):
+        with pytest.raises(ConfigurationError):
+            Campaign(_generate, object(), psi)
+
+
+class TestRun:
+    def test_summary_fields(self):
+        summary = _campaign().run(n_trials=5, seed=1)
+        assert summary.n_trials == 5
+        assert len(summary.values) == 5
+        assert summary.mean == pytest.approx(np.mean(summary.values))
+        assert summary.std > 0
+        assert summary.ci[0] < summary.mean < summary.ci[1]
+
+    def test_single_trial_zero_std(self):
+        summary = _campaign().run(n_trials=1, seed=1)
+        assert summary.std == 0.0
+        assert summary.ci_half_width == 0.0
+
+    def test_deterministic_under_seed(self):
+        a = _campaign().run(n_trials=3, seed=7)
+        b = _campaign().run(n_trials=3, seed=7)
+        assert a.values == b.values
+
+    def test_different_seeds_differ(self):
+        a = _campaign().run(n_trials=3, seed=7)
+        b = _campaign().run(n_trials=3, seed=8)
+        assert a.values != b.values
+
+    def test_rejects_zero_trials(self):
+        with pytest.raises(ConfigurationError):
+            _campaign().run(n_trials=0)
+
+    def test_preprocessing_arm_improves_metric(self):
+        algo = AlgoNGST(NGSTConfig(sensitivity=80))
+        raw = _campaign().run(n_trials=4, seed=2)
+        pre = _campaign(preprocess=lambda d: algo(d).corrected).run(
+            n_trials=4, seed=2
+        )
+        assert pre.mean < raw.mean
+
+    def test_wider_confidence_wider_interval(self):
+        narrow = _campaign(confidence=0.90).run(n_trials=6, seed=3)
+        wide = _campaign(confidence=0.99).run(n_trials=6, seed=3)
+        assert wide.ci_half_width > narrow.ci_half_width
+
+
+class TestCompare:
+    def test_gain_ratio(self):
+        algo = AlgoNGST(NGSTConfig(sensitivity=80))
+        raw = _campaign()
+        pre = _campaign(preprocess=lambda d: algo(d).corrected)
+        raw_summary, pre_summary, ratio = raw.compare(pre, n_trials=4, seed=2)
+        assert ratio > 1.0  # raw error / preprocessed error = gain
+        assert raw_summary.mean > pre_summary.mean

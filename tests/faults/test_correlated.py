@@ -1,0 +1,121 @@
+"""Tests for the §2.2.3 run-correlated fault model (Eq. 2)."""
+
+import numpy as np
+import pytest
+
+from repro.config import CorrelatedFaultConfig
+from repro.exceptions import ConfigurationError
+from repro.faults.correlated import (
+    CorrelatedFaultModel,
+    correlated_flip_grid,
+    run_probability_table,
+)
+from repro.faults.layout import RowMajorLayout
+
+
+class TestRunProbabilityTable:
+    def test_first_term_is_gamma_ini(self):
+        table = run_probability_table(0.1, 16)
+        assert table[0] == pytest.approx(0.1)
+
+    def test_eq2_terms(self):
+        table = run_probability_table(0.2, 8)
+        assert table[1] == pytest.approx(0.2 + 0.04)
+        assert table[2] == pytest.approx(0.2 + 0.04 + 0.008)
+
+    def test_monotone_nondecreasing(self):
+        table = run_probability_table(0.3, 32)
+        assert np.all(np.diff(table) >= 0)
+        assert table[5] > table[0]
+
+    def test_converges_to_geometric_limit(self):
+        gamma = 0.4
+        table = run_probability_table(gamma, 64)
+        limit = gamma / (1 - gamma)
+        assert table[-1] <= limit + 1e-12
+        assert table[-1] == pytest.approx(limit, rel=1e-9)
+
+    def test_rejects_half(self):
+        with pytest.raises(ConfigurationError):
+            run_probability_table(0.5, 8)
+
+
+class TestFlipGrid:
+    def test_zero_gamma_no_flips(self, rng):
+        grid = correlated_flip_grid((32, 32), 0.0, rng)
+        assert not grid.any()
+
+    def test_shape(self, rng):
+        grid = correlated_flip_grid((16, 48), 0.1, rng)
+        assert grid.shape == (16, 48)
+        assert grid.dtype == bool
+
+    def test_rejects_empty_grid(self, rng):
+        with pytest.raises(ConfigurationError):
+            correlated_flip_grid((0, 4), 0.1, rng)
+
+    def test_flip_rate_exceeds_gamma_ini(self, rng):
+        # Run extensions push the marginal rate above Γ_ini.
+        gamma = 0.2
+        grid = correlated_flip_grid((200, 200), gamma, rng)
+        rate = grid.mean()
+        assert rate > gamma
+        assert rate < gamma / (1 - gamma) * 1.2
+
+    def test_runs_are_longer_than_iid(self, rng):
+        """The model's signature: horizontal runs exceed i.i.d. runs."""
+        gamma = 0.3
+        grid = correlated_flip_grid((300, 300), gamma, rng)
+        rate = grid.mean()
+        iid = rng.random((300, 300)) < rate
+        def mean_run(g):
+            runs = []
+            for row in g:
+                length = 0
+                for v in row:
+                    if v:
+                        length += 1
+                    elif length:
+                        runs.append(length)
+                        length = 0
+                if length:
+                    runs.append(length)
+            return np.mean(runs) if runs else 0.0
+        assert mean_run(grid) > mean_run(iid)
+
+    def test_deterministic_under_seed(self):
+        a = correlated_flip_grid((40, 40), 0.15, np.random.default_rng(4))
+        b = correlated_flip_grid((40, 40), 0.15, np.random.default_rng(4))
+        assert np.array_equal(a, b)
+
+
+class TestCorrelatedFaultModel:
+    def test_float_shorthand(self):
+        model = CorrelatedFaultModel(0.1)
+        assert model.config.gamma_ini == 0.1
+
+    def test_corrupt_roundtrip(self, walk_stack, rng):
+        corrupted, mask = CorrelatedFaultModel(0.05).corrupt(walk_stack, rng)
+        assert np.array_equal(corrupted ^ mask, walk_stack)
+
+    def test_mask_shape_matches_input(self, rng):
+        data = np.zeros((4, 5, 6), dtype=np.uint16)
+        _, mask = CorrelatedFaultModel(0.05).corrupt(data, rng)
+        assert mask.shape == (4, 5, 6)
+
+    def test_float32_path(self, rng):
+        data = np.full((8, 8), 2.5, dtype=np.float32)
+        corrupted, mask = CorrelatedFaultModel(0.05).corrupt(data, rng)
+        assert corrupted.dtype == np.float32
+        assert mask.dtype == np.uint32
+
+    def test_custom_layout_used(self, walk_stack, rng):
+        model = CorrelatedFaultModel(
+            CorrelatedFaultConfig(0.05), layout=RowMajorLayout(row_words=8)
+        )
+        corrupted, mask = model.corrupt(walk_stack, rng)
+        assert corrupted.shape == walk_stack.shape
+
+    def test_zero_gamma_identity(self, walk_stack, rng):
+        corrupted, mask = CorrelatedFaultModel(0.0).corrupt(walk_stack, rng)
+        assert np.array_equal(corrupted, walk_stack)

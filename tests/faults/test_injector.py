@@ -1,0 +1,52 @@
+"""Tests for the fault-injection campaign wrapper."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.faults.injector import FaultInjector
+from repro.faults.uncorrelated import UncorrelatedFaultModel
+
+
+class TestFaultInjector:
+    def test_rejects_model_without_corrupt(self):
+        with pytest.raises(ConfigurationError):
+            FaultInjector(object())
+
+    def test_report_counts_consistent(self, walk_stack):
+        injector = FaultInjector(UncorrelatedFaultModel(0.05), seed=1)
+        corrupted, report = injector.inject(walk_stack)
+        assert report.n_bits_flipped == int(
+            np.bitwise_count(walk_stack ^ corrupted).sum()
+        )
+        assert report.n_words_hit == int(np.count_nonzero(walk_stack ^ corrupted))
+        assert report.total_bits == walk_stack.size * 16
+
+    def test_flip_rate_property(self, walk_stack):
+        injector = FaultInjector(UncorrelatedFaultModel(0.05), seed=1)
+        _, report = injector.inject(walk_stack)
+        assert report.flip_rate == pytest.approx(0.05, rel=0.15)
+
+    def test_seeded_reproducibility(self, walk_stack):
+        a, _ = FaultInjector(UncorrelatedFaultModel(0.05), seed=7).inject(walk_stack)
+        b, _ = FaultInjector(UncorrelatedFaultModel(0.05), seed=7).inject(walk_stack)
+        assert np.array_equal(a, b)
+
+    def test_sequential_injections_differ(self, walk_stack):
+        injector = FaultInjector(UncorrelatedFaultModel(0.05), seed=7)
+        a, _ = injector.inject(walk_stack)
+        b, _ = injector.inject(walk_stack)
+        assert not np.array_equal(a, b)
+
+    def test_float32_report(self):
+        data = np.full((8, 8), 3.5, dtype=np.float32)
+        injector = FaultInjector(UncorrelatedFaultModel(0.1), seed=2)
+        corrupted, report = injector.inject(data)
+        assert report.total_bits == 64 * 32
+        assert report.n_bits_flipped > 0
+
+    def test_zero_rate_report(self, walk_stack):
+        injector = FaultInjector(UncorrelatedFaultModel(0.0), seed=2)
+        _, report = injector.inject(walk_stack)
+        assert report.flip_rate == 0.0
+        assert report.n_words_hit == 0

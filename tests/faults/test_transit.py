@@ -1,0 +1,140 @@
+"""Tests for the Gilbert–Elliott transit burst model."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.faults.transit import (
+    GilbertElliottConfig,
+    TransitFaultModel,
+    burst_flip_stream,
+)
+
+
+class TestConfig:
+    def test_steady_state(self):
+        cfg = GilbertElliottConfig(p_good_to_bad=0.01, p_bad_to_good=0.09)
+        assert cfg.steady_state_bad == pytest.approx(0.1)
+
+    def test_expected_flip_rate(self):
+        cfg = GilbertElliottConfig(
+            p_good_to_bad=0.01, p_bad_to_good=0.09, flip_prob_bad=0.5
+        )
+        assert cfg.expected_flip_rate == pytest.approx(0.05)
+
+    def test_rejects_bad_probability(self):
+        with pytest.raises(ConfigurationError):
+            GilbertElliottConfig(p_good_to_bad=1.5)
+
+    def test_rejects_unending_bursts(self):
+        with pytest.raises(ConfigurationError):
+            GilbertElliottConfig(p_good_to_bad=0.1, p_bad_to_good=0.0)
+
+
+class TestBurstStream:
+    def test_no_bursts_no_flips(self, rng):
+        cfg = GilbertElliottConfig(p_good_to_bad=0.0, flip_prob_good=0.0)
+        assert not burst_flip_stream(10000, cfg, rng).any()
+
+    def test_length(self, rng):
+        cfg = GilbertElliottConfig()
+        assert len(burst_flip_stream(12345, cfg, rng)) == 12345
+
+    def test_zero_length(self, rng):
+        assert len(burst_flip_stream(0, GilbertElliottConfig(), rng)) == 0
+
+    def test_marginal_rate_matches_expectation(self, rng):
+        cfg = GilbertElliottConfig(
+            p_good_to_bad=0.01, p_bad_to_good=0.05, flip_prob_bad=0.4
+        )
+        stream = burst_flip_stream(400_000, cfg, rng)
+        assert stream.mean() == pytest.approx(cfg.expected_flip_rate, rel=0.15)
+
+    def test_flips_are_bursty(self, rng):
+        """Flips cluster: the conditional flip rate next to a flip is far
+        above the marginal rate."""
+        cfg = GilbertElliottConfig(
+            p_good_to_bad=0.002, p_bad_to_good=0.05, flip_prob_bad=0.5
+        )
+        stream = burst_flip_stream(300_000, cfg, rng)
+        marginal = stream.mean()
+        neighbours = stream[1:][stream[:-1]]
+        conditional = neighbours.mean() if len(neighbours) else 0.0
+        assert conditional > 4 * marginal
+
+    def test_rejects_negative_length(self, rng):
+        with pytest.raises(ConfigurationError):
+            burst_flip_stream(-1, GilbertElliottConfig(), rng)
+
+
+class TestTransitFaultModel:
+    def test_roundtrip_mask(self, walk_stack, rng):
+        corrupted, mask = TransitFaultModel().corrupt(walk_stack, rng)
+        assert np.array_equal(corrupted ^ mask, walk_stack)
+
+    def test_float32_path(self, rng):
+        data = np.full((8, 8), 1.25, dtype=np.float32)
+        corrupted, mask = TransitFaultModel().corrupt(data, rng)
+        assert corrupted.dtype == np.float32
+        assert mask.dtype == np.uint32
+
+    def test_burst_hits_consecutive_words(self, rng):
+        """A burst damages a run of logically consecutive words."""
+        cfg = GilbertElliottConfig(
+            p_good_to_bad=2e-5, p_bad_to_good=0.01, flip_prob_bad=0.9
+        )
+        data = np.zeros(4096, dtype=np.uint16)
+        _, mask = TransitFaultModel(cfg).corrupt(data, rng)
+        hit = np.nonzero(mask)[0]
+        if len(hit) > 3:
+            # Damaged words cluster tightly relative to the array span.
+            assert (hit[-1] - hit[0]) < len(mask)
+            gaps = np.diff(hit)
+            assert np.median(gaps) <= 2
+
+    def test_injector_compatible(self, walk_stack):
+        from repro.faults.injector import FaultInjector
+
+        injector = FaultInjector(TransitFaultModel(), seed=3)
+        corrupted, report = injector.inject(walk_stack)
+        assert report.total_bits == walk_stack.size * 16
+
+
+class TestSerialisationLayout:
+    def test_layout_validated(self):
+        with pytest.raises(ConfigurationError):
+            TransitFaultModel(layout=object())
+
+    def test_pixel_major_concentrates_damage_per_pixel(self, rng):
+        """Under pixel-major serialisation, a burst hits many variants of
+        few pixels; under time-major, few variants of many pixels."""
+        from repro.faults.layout import PixelMajorLayout
+
+        cfg = GilbertElliottConfig(
+            p_good_to_bad=5e-5, p_bad_to_good=0.004, flip_prob_bad=0.9
+        )
+        n, coords = 64, 64
+        data = np.zeros((n, coords), dtype=np.uint16)
+
+        def damaged_variants_per_pixel(layout):
+            counts = []
+            for seed in range(6):
+                model = TransitFaultModel(cfg, layout=layout)
+                _, mask = model.corrupt(data, np.random.default_rng(seed))
+                hit = mask != 0
+                per_pixel = hit.sum(axis=0)
+                touched = per_pixel[per_pixel > 0]
+                if len(touched):
+                    counts.append(float(touched.mean()))
+            return np.mean(counts) if counts else 0.0
+
+        concentrated = damaged_variants_per_pixel(PixelMajorLayout(n))
+        spread = damaged_variants_per_pixel(None)
+        assert concentrated > 2 * spread
+
+    def test_mask_roundtrip_with_layout(self, walk_stack, rng):
+        from repro.faults.layout import InterleavedLayout
+
+        model = TransitFaultModel(layout=InterleavedLayout())
+        corrupted, mask = model.corrupt(walk_stack, rng)
+        assert np.array_equal(corrupted ^ mask, walk_stack)

@@ -1,0 +1,84 @@
+"""Tests for the §2.2.2 uncorrelated fault model."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.config import UncorrelatedFaultConfig
+from repro.exceptions import ConfigurationError
+from repro.faults.uncorrelated import UncorrelatedFaultModel, uncorrelated_flip_mask
+
+
+class TestFlipMask:
+    def test_zero_probability_no_flips(self, rng):
+        mask = uncorrelated_flip_mask((100,), 16, 0.0, rng)
+        assert not mask.any()
+
+    def test_probability_one_flips_everything(self, rng):
+        mask = uncorrelated_flip_mask((10,), 16, 1.0, rng)
+        assert np.all(mask == 0xFFFF)
+
+    def test_flip_rate_statistics(self, rng):
+        gamma0 = 0.05
+        mask = uncorrelated_flip_mask((200, 200), 16, gamma0, rng)
+        rate = np.bitwise_count(mask).sum() / (200 * 200 * 16)
+        assert rate == pytest.approx(gamma0, rel=0.05)
+
+    def test_mask_within_word_width(self, rng):
+        mask = uncorrelated_flip_mask((1000,), 12, 0.5, rng)
+        assert np.all(mask < (1 << 12))
+
+    def test_rejects_bad_probability(self, rng):
+        with pytest.raises(ConfigurationError):
+            uncorrelated_flip_mask((4,), 16, 1.5, rng)
+
+    def test_rejects_bad_width(self, rng):
+        with pytest.raises(ConfigurationError):
+            uncorrelated_flip_mask((4,), 65, 0.1, rng)
+
+    def test_deterministic_under_seed(self):
+        a = uncorrelated_flip_mask((50,), 16, 0.1, np.random.default_rng(9))
+        b = uncorrelated_flip_mask((50,), 16, 0.1, np.random.default_rng(9))
+        assert np.array_equal(a, b)
+
+
+class TestUncorrelatedFaultModel:
+    def test_accepts_float_probability_shorthand(self):
+        model = UncorrelatedFaultModel(0.25)
+        assert model.config.gamma0 == 0.25
+
+    def test_accepts_config(self):
+        model = UncorrelatedFaultModel(UncorrelatedFaultConfig(0.1))
+        assert model.config.gamma0 == 0.1
+
+    def test_corrupt_uint16(self, walk_stack, rng):
+        corrupted, mask = UncorrelatedFaultModel(0.1).corrupt(walk_stack, rng)
+        assert corrupted.shape == walk_stack.shape
+        assert np.array_equal(corrupted ^ mask, walk_stack)
+
+    def test_corrupt_copy_not_inplace(self, walk_stack, rng):
+        snapshot = walk_stack.copy()
+        UncorrelatedFaultModel(0.2).corrupt(walk_stack, rng)
+        assert np.array_equal(walk_stack, snapshot)
+
+    def test_corrupt_float32_via_bits(self, rng):
+        data = np.full((16, 16), 1.5, dtype=np.float32)
+        corrupted, mask = UncorrelatedFaultModel(0.05).corrupt(data, rng)
+        assert corrupted.dtype == np.float32
+        assert mask.dtype == np.uint32
+        bits = data.view(np.uint32) ^ mask
+        assert np.array_equal(bits.view(np.float32), corrupted, equal_nan=True)
+
+    def test_zero_gamma_identity(self, walk_stack, rng):
+        corrupted, mask = UncorrelatedFaultModel(0.0).corrupt(walk_stack, rng)
+        assert np.array_equal(corrupted, walk_stack)
+        assert not mask.any()
+
+    @settings(max_examples=15, deadline=None)
+    @given(st.floats(min_value=0.0, max_value=1.0))
+    def test_double_corrupt_with_same_mask_restores(self, gamma0):
+        data = np.arange(64, dtype=np.uint16)
+        rng = np.random.default_rng(3)
+        corrupted, mask = UncorrelatedFaultModel(gamma0).corrupt(data, rng)
+        assert np.array_equal(corrupted ^ mask, data)

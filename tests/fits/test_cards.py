@@ -1,0 +1,137 @@
+"""Tests for FITS 80-character card encoding/parsing."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.exceptions import FITSFormatError
+from repro.fits.cards import Card, format_card, parse_card, validate_keyword
+
+KEYWORDS = st.text(
+    alphabet="ABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789_-", min_size=1, max_size=8
+).filter(lambda k: k.upper() not in ("END", "COMMENT", "HISTORY"))
+
+
+class TestValidateKeyword:
+    def test_uppercases(self):
+        assert validate_keyword("naxis") == "NAXIS"
+
+    def test_strips(self):
+        assert validate_keyword(" SIMPLE ") == "SIMPLE"
+
+    def test_rejects_long(self):
+        with pytest.raises(FITSFormatError):
+            validate_keyword("TOOLONGKEY")
+
+    def test_rejects_illegal_chars(self):
+        with pytest.raises(FITSFormatError):
+            validate_keyword("NA IS")
+
+
+class TestFormatCard:
+    def test_length_always_80(self):
+        for card in (
+            Card("SIMPLE", True),
+            Card("BITPIX", 16),
+            Card("END"),
+            Card("COMMENT", comment="hello"),
+            Card("OBJECT", "M31"),
+        ):
+            assert len(format_card(card)) == 80
+
+    def test_end_card(self):
+        image = format_card(Card("END"))
+        assert image.startswith(b"END")
+        assert image[3:].strip() == b""
+
+    def test_value_indicator_position(self):
+        image = format_card(Card("BITPIX", 16))
+        assert image[8:10] == b"= "
+
+    def test_logical_true(self):
+        image = format_card(Card("SIMPLE", True))
+        assert image[29:30] == b"T"
+
+    def test_overflow_rejected(self):
+        with pytest.raises(FITSFormatError):
+            format_card(Card("LONGSTR", "x" * 100))
+
+
+class TestParseCard:
+    def test_rejects_wrong_length(self):
+        with pytest.raises(FITSFormatError):
+            parse_card(b"SHORT")
+
+    def test_rejects_non_ascii(self):
+        image = bytearray(format_card(Card("BITPIX", 16)))
+        image[4] = 0xFF
+        with pytest.raises(FITSFormatError):
+            parse_card(bytes(image))
+
+    def test_parses_integer(self):
+        card = parse_card(format_card(Card("NAXIS", 2)))
+        assert card.value == 2
+
+    def test_parses_negative_integer(self):
+        card = parse_card(format_card(Card("BITPIX", -32)))
+        assert card.value == -32
+
+    def test_parses_float(self):
+        card = parse_card(format_card(Card("EXPTIME", 1000.5)))
+        assert card.value == pytest.approx(1000.5)
+
+    def test_parses_logical(self):
+        assert parse_card(format_card(Card("SIMPLE", True))).value is True
+        assert parse_card(format_card(Card("SIMPLE", False))).value is False
+
+    def test_parses_string_with_quote(self):
+        card = parse_card(format_card(Card("OBJECT", "O'Neill")))
+        assert card.value == "O'Neill"
+
+    def test_comment_preserved(self):
+        card = parse_card(format_card(Card("BITPIX", 16, "bits per pixel")))
+        assert card.comment == "bits per pixel"
+
+    def test_commentary_card(self):
+        card = parse_card(format_card(Card("HISTORY", comment="processed")))
+        assert card.is_commentary
+        assert "processed" in card.comment
+
+    def test_fortran_double_exponent(self):
+        image = ("CRVAL1  = " + "1.5D2".rjust(20)).ljust(80).encode("ascii")
+        assert parse_card(image).value == pytest.approx(150.0)
+
+    def test_unterminated_string_rejected(self):
+        image = ("OBJECT  = 'oops").ljust(80).encode("ascii")
+        with pytest.raises(FITSFormatError):
+            parse_card(image)
+
+
+class TestRoundtrip:
+    @given(KEYWORDS, st.integers(min_value=-(2**40), max_value=2**40))
+    def test_integer_roundtrip(self, keyword, value):
+        card = parse_card(format_card(Card(keyword, value)))
+        assert card.keyword == keyword.upper()
+        assert card.value == value
+
+    @given(KEYWORDS, st.booleans())
+    def test_logical_roundtrip(self, keyword, value):
+        card = parse_card(format_card(Card(keyword, value)))
+        assert card.value is value
+
+    @given(
+        KEYWORDS,
+        st.text(
+            alphabet=st.characters(min_codepoint=0x20, max_codepoint=0x7E),
+            max_size=40,
+        ),
+    )
+    def test_string_roundtrip(self, keyword, value):
+        # FITS strings are right-stripped by the format itself.
+        card = parse_card(format_card(Card(keyword, value)))
+        assert card.value == value.rstrip()
+
+    @given(st.floats(allow_nan=False, allow_infinity=False, width=32))
+    def test_float_roundtrip(self, value):
+        card = parse_card(format_card(Card("VAL", float(value))))
+        assert card.value == pytest.approx(float(value), rel=1e-6)

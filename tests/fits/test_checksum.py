@@ -1,0 +1,134 @@
+"""Tests for the FITS checksum convention implementation."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.exceptions import FITSFormatError
+from repro.fits.checksum import (
+    decode_checksum_value,
+    encode_checksum_value,
+    ones_complement_sum32,
+    set_checksums,
+    verify_checksums,
+)
+from repro.fits.header import Header
+
+
+class TestOnesComplementSum:
+    def test_empty(self):
+        assert ones_complement_sum32(b"") == 0
+
+    def test_single_word(self):
+        assert ones_complement_sum32(b"\x00\x00\x00\x05") == 5
+
+    def test_end_around_carry(self):
+        total = ones_complement_sum32(b"\xff\xff\xff\xff\x00\x00\x00\x02")
+        assert total == 2  # 0xFFFFFFFF is -0; adding 2 folds back to 2
+
+    def test_padding(self):
+        # Trailing short word is zero-padded on the right.
+        assert ones_complement_sum32(b"\x01") == 0x01000000
+
+    def test_initial_value(self):
+        assert ones_complement_sum32(b"\x00\x00\x00\x01", initial=5) == 6
+
+    def test_order_independence_of_words(self):
+        a = ones_complement_sum32(b"\x00\x00\x00\x01\x00\x00\x00\x02")
+        b = ones_complement_sum32(b"\x00\x00\x00\x02\x00\x00\x00\x01")
+        assert a == b
+
+
+class TestAsciiEncoding:
+    def test_all_printable(self):
+        for value in (0, 1, 0xDEADBEEF, 0xFFFFFFFF, 0x30303030):
+            encoded = encode_checksum_value(value)
+            assert len(encoded) == 16
+            assert all(0x30 <= ord(c) <= 0x72 for c in encoded)
+            assert not any(c in ":;<=>?@[\\]^_`" for c in encoded)
+
+    def test_roundtrip_known(self):
+        for value in (0, 123456789, 0xFFFFFFFF):
+            assert decode_checksum_value(encode_checksum_value(value)) == value
+
+    def test_decode_rejects_wrong_length(self):
+        with pytest.raises(FITSFormatError):
+            decode_checksum_value("short")
+
+    @given(st.integers(min_value=0, max_value=0xFFFFFFFF))
+    def test_roundtrip_property(self, value):
+        assert decode_checksum_value(encode_checksum_value(value)) == value
+
+
+class TestHDUChecksums:
+    def _hdu(self):
+        header = Header.primary(16, (8, 8))
+        data = np.arange(64, dtype=">i2").tobytes()
+        data += b"\x00" * (-len(data) % 2880)
+        return header, data
+
+    def test_set_and_verify(self):
+        header, data = self._hdu()
+        set_checksums(header, data)
+        verdict = verify_checksums(header, data)
+        assert verdict.datasum_present and verdict.datasum_ok
+        assert verdict.checksum_present and verdict.checksum_ok
+        assert verdict.ok
+
+    def test_data_flip_detected(self):
+        header, data = self._hdu()
+        set_checksums(header, data)
+        damaged = bytearray(data)
+        damaged[10] ^= 0x40
+        verdict = verify_checksums(header, bytes(damaged))
+        assert not verdict.datasum_ok
+        assert not verdict.ok
+
+    def test_header_edit_detected(self):
+        header, data = self._hdu()
+        set_checksums(header, data)
+        header.set("EXTRA", 42)
+        verdict = verify_checksums(header, data)
+        assert not verdict.checksum_ok
+
+    def test_absent_keywords_vacuously_ok(self):
+        header, data = self._hdu()
+        verdict = verify_checksums(header, data)
+        assert not verdict.datasum_present
+        assert not verdict.checksum_present
+        assert verdict.ok
+
+    def test_garbage_datasum_fails(self):
+        header, data = self._hdu()
+        set_checksums(header, data)
+        header.set("DATASUM", "not-a-number")
+        assert not verify_checksums(header, data).datasum_ok
+
+
+class TestWriteHDUIntegration:
+    def test_write_hdu_with_checksum_verifies(self, walk_stack):
+        from repro.fits.file import write_hdu
+        from repro.fits.header import Header
+
+        raw = write_hdu(walk_stack, with_checksum=True)
+        header, consumed = Header.from_bytes(raw)
+        assert verify_checksums(header, raw[consumed:]).ok
+
+    def test_data_flip_detected_end_to_end(self, walk_stack):
+        from repro.fits.file import write_hdu
+        from repro.fits.header import Header
+
+        raw = bytearray(write_hdu(walk_stack, with_checksum=True))
+        header, consumed = Header.from_bytes(bytes(raw))
+        raw[consumed + 100] ^= 0x10
+        verdict = verify_checksums(header, bytes(raw[consumed:]))
+        assert not verdict.ok
+
+    def test_without_checksum_no_keywords(self, walk_stack):
+        from repro.fits.file import write_hdu
+        from repro.fits.header import Header
+
+        raw = write_hdu(walk_stack, with_checksum=False)
+        header, _ = Header.from_bytes(raw)
+        assert "CHECKSUM" not in header

@@ -1,0 +1,145 @@
+"""Tests for FITS file reading/writing."""
+
+import io
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis.extra import numpy as hnp
+
+from repro.exceptions import FITSFormatError
+from repro.fits.file import HDU, read_fits, read_fits_bytes, write_fits, write_hdu
+from repro.fits.header import BLOCK_SIZE, Header
+
+
+class TestWriteHDU:
+    def test_block_aligned(self):
+        raw = write_hdu(np.zeros((8, 8), dtype=np.uint16))
+        assert len(raw) % BLOCK_SIZE == 0
+
+    def test_uint16_uses_bzero(self):
+        raw = write_hdu(np.zeros((4, 4), dtype=np.uint16))
+        header, _ = Header.from_bytes(raw)
+        assert header["BZERO"] == 32768
+        assert header["BITPIX"] == 16
+
+    def test_rejects_unsupported_dtype(self):
+        with pytest.raises(FITSFormatError):
+            write_hdu(np.zeros(4, dtype=np.complex64))
+
+
+@pytest.mark.parametrize(
+    "dtype",
+    [np.uint8, np.int16, np.uint16, np.int32, np.uint32, np.float32, np.float64],
+)
+class TestRoundtripDtypes:
+    def test_roundtrip(self, dtype, rng):
+        if np.issubdtype(dtype, np.integer):
+            info = np.iinfo(dtype)
+            data = rng.integers(
+                info.min, int(info.max) + 1, size=(6, 5), dtype=np.int64
+            ).astype(dtype)
+        else:
+            data = rng.normal(0, 100, size=(6, 5)).astype(dtype)
+        hdus = read_fits_bytes(write_hdu(data))
+        assert len(hdus) == 1
+        recovered = hdus[0].physical_data()
+        assert recovered.dtype == dtype or np.allclose(recovered, data)
+        assert np.array_equal(np.asarray(recovered, dtype=dtype), data)
+
+
+class TestMultiHDU:
+    def test_two_hdus(self):
+        a = np.arange(16, dtype=np.uint16).reshape(4, 4)
+        b = np.arange(8, dtype=np.float32)
+        buffer = io.BytesIO()
+        write_fits([a, b], buffer)
+        hdus = read_fits(io.BytesIO(buffer.getvalue()))
+        assert len(hdus) == 2
+        assert np.array_equal(hdus[0].physical_data(), a)
+        assert np.allclose(hdus[1].physical_data(), b)
+
+    def test_file_path_io(self, tmp_path):
+        path = tmp_path / "test.fits"
+        data = np.arange(64, dtype=np.uint16).reshape(8, 8)
+        write_fits(data, str(path))
+        hdus = read_fits(str(path))
+        assert np.array_equal(hdus[0].physical_data(), data)
+
+    def test_empty_rejected(self):
+        with pytest.raises(FITSFormatError):
+            write_fits([], io.BytesIO())
+
+    def test_empty_stream_rejected(self):
+        with pytest.raises(FITSFormatError):
+            read_fits(io.BytesIO(b""))
+
+    def test_truncated_data_rejected(self):
+        raw = write_hdu(np.zeros((64, 64), dtype=np.uint16))
+        with pytest.raises(FITSFormatError, match="truncated"):
+            read_fits_bytes(raw[: len(raw) // 2])
+
+
+class TestRoundtripProperty:
+    @settings(max_examples=25, deadline=None)
+    @given(
+        hnp.arrays(
+            dtype=np.uint16,
+            shape=hnp.array_shapes(min_dims=1, max_dims=3, max_side=6),
+        )
+    )
+    def test_uint16_bit_exact(self, data):
+        recovered = read_fits_bytes(write_hdu(data))[0].physical_data()
+        assert np.array_equal(recovered, data)
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        hnp.arrays(
+            dtype=np.float32,
+            shape=(4, 3),
+            elements={"allow_nan": False, "allow_infinity": False},
+        )
+    )
+    def test_float32_bit_exact(self, data):
+        recovered = read_fits_bytes(write_hdu(data))[0].physical_data()
+        assert np.array_equal(recovered, data)
+
+
+class TestImageExtensions:
+    def test_multi_hdu_uses_xtension(self):
+        a = np.arange(16, dtype=np.uint16).reshape(4, 4)
+        b = np.arange(8, dtype=np.float32)
+        buffer = io.BytesIO()
+        write_fits([a, b], buffer)
+        hdus = read_fits(io.BytesIO(buffer.getvalue()))
+        assert hdus[0].header.get("EXTEND") is True
+        assert not hdus[0].header.is_extension
+        assert hdus[1].header.is_extension
+        assert hdus[1].header.get("XTENSION").strip() == "IMAGE"
+        assert hdus[1].header.get("PCOUNT") == 0
+        assert hdus[1].header.get("GCOUNT") == 1
+
+    def test_extension_roundtrip(self):
+        from repro.fits.file import write_hdu
+
+        data = np.arange(12, dtype=np.int32).reshape(3, 4)
+        raw = write_hdu(data, as_extension=True)
+        header, consumed = Header.from_bytes(raw)
+        assert header.is_extension
+        hdus = read_fits_bytes(raw)
+        assert np.array_equal(hdus[0].physical_data(), data)
+
+    def test_extension_header_sanity_accepted(self):
+        from repro.fits.sanity import HeaderSanityAnalyzer
+
+        header = Header.image_extension(16, (4, 4))
+        report = HeaderSanityAnalyzer().analyze(header.to_bytes())
+        assert report.ok
+
+    def test_bad_xtension_type_fatal(self):
+        from repro.fits.sanity import HeaderSanityAnalyzer
+
+        header = Header.image_extension(16, (4, 4))
+        header.set("XTENSION", "BOGUS")
+        report = HeaderSanityAnalyzer().analyze(header.to_bytes())
+        assert not report.ok

@@ -1,0 +1,117 @@
+"""Tests for the FITS header model."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import FITSFormatError
+from repro.fits.cards import Card
+from repro.fits.header import BLOCK_SIZE, Header
+
+
+class TestDictAccess:
+    def test_set_and_get(self):
+        header = Header()
+        header["BITPIX"] = 16
+        assert header["BITPIX"] == 16
+        assert "BITPIX" in header
+        assert "bitpix" in header  # case-insensitive
+
+    def test_get_default(self):
+        assert Header().get("MISSING", 7) == 7
+
+    def test_getitem_missing_raises(self):
+        with pytest.raises(KeyError):
+            Header()["NOPE"]
+
+    def test_setitem_replaces_in_place(self):
+        header = Header()
+        header.set("A", 1)
+        header.set("B", 2)
+        header["A"] = 10
+        assert [c.keyword for c in header] == ["A", "B"]
+        assert header["A"] == 10
+
+    def test_delitem(self):
+        header = Header()
+        header["A"] = 1
+        del header["A"]
+        assert "A" not in header
+
+    def test_delitem_missing_raises(self):
+        with pytest.raises(KeyError):
+            del Header()["A"]
+
+    def test_commentary_not_value_addressable(self):
+        header = Header()
+        header.add_comment("note")
+        assert "COMMENT" not in header
+        assert len(header) == 1
+
+
+class TestStructuralQueries:
+    def test_axes(self):
+        header = Header.primary(16, (8, 4))
+        # numpy shape (8, 4) -> FITS order NAXIS1=4, NAXIS2=8.
+        assert header.axes() == (4, 8)
+
+    def test_data_size_bytes(self):
+        header = Header.primary(16, (8, 4))
+        assert header.data_size_bytes() == 8 * 4 * 2
+
+    def test_zero_axes_no_data(self):
+        header = Header.primary(8, ())
+        assert header.data_size_bytes() == 0
+
+    def test_invalid_naxis_rejected(self):
+        header = Header()
+        header["NAXIS"] = -1
+        with pytest.raises(FITSFormatError):
+            header.axes()
+
+    def test_invalid_bitpix_rejected(self):
+        header = Header.primary(16, (4,))
+        header["BITPIX"] = 12
+        with pytest.raises(FITSFormatError):
+            header.data_size_bytes()
+
+    def test_primary_rejects_bad_bitpix(self):
+        with pytest.raises(FITSFormatError):
+            Header.primary(24, (4,))
+
+
+class TestSerialisation:
+    def test_block_aligned(self):
+        raw = Header.primary(16, (8, 8)).to_bytes()
+        assert len(raw) % BLOCK_SIZE == 0
+
+    def test_end_terminated(self):
+        raw = Header.primary(16, (8, 8)).to_bytes()
+        assert b"END" in raw
+
+    def test_roundtrip(self):
+        header = Header.primary(-32, (16, 8))
+        header.set("OBJECT", "M31", "target")
+        header.add_history("created by test")
+        parsed, consumed = Header.from_bytes(header.to_bytes())
+        assert consumed == len(header.to_bytes())
+        assert parsed["OBJECT"] == "M31"
+        assert parsed["BITPIX"] == -32
+        assert parsed.axes() == (8, 16)
+
+    def test_many_cards_span_blocks(self):
+        header = Header.primary(16, (4,))
+        for i in range(80):
+            header.set(f"KEY{i}", i)
+        raw = header.to_bytes()
+        assert len(raw) >= 2 * BLOCK_SIZE
+        parsed, _ = Header.from_bytes(raw)
+        assert parsed["KEY79"] == 79
+
+    def test_unterminated_rejected(self):
+        raw = Header.primary(16, (4,)).to_bytes().replace(b"END", b"XXX")
+        with pytest.raises(FITSFormatError, match="END"):
+            Header.from_bytes(raw)
+
+    def test_short_input_rejected(self):
+        with pytest.raises(FITSFormatError):
+            Header.from_bytes(b"SIMPLE = T")

@@ -1,0 +1,125 @@
+"""Tests for the FITS header sanity analyzer (the Λ = 0 behaviour)."""
+
+import numpy as np
+import pytest
+
+from repro.fits.file import write_hdu
+from repro.fits.header import Header
+from repro.fits.sanity import (
+    HeaderSanityAnalyzer,
+    Severity,
+    nearest_bitpix,
+)
+
+
+def clean_header_bytes(shape=(8, 8), bitpix=16):
+    return Header.primary(bitpix, shape).to_bytes()
+
+
+class TestNearestBitpix:
+    def test_legal_unchanged(self):
+        for legal in (8, 16, 32, 64, -32, -64):
+            assert nearest_bitpix(legal) == legal
+
+    def test_single_flip_of_16(self):
+        assert nearest_bitpix(17) == 16
+        assert nearest_bitpix(48) == 16
+
+    def test_sign_flip(self):
+        # -32 with its sign bit cleared differs from -32 by one bit.
+        assert nearest_bitpix(-31) in (-32, 32)
+
+    def test_zero_maps_somewhere_legal(self):
+        assert nearest_bitpix(0) in (8, 16, 32, 64, -32, -64)
+
+
+class TestCleanHeader:
+    def test_no_issues(self):
+        report = HeaderSanityAnalyzer().analyze(clean_header_bytes())
+        assert report.ok
+        assert report.n_repairs == 0
+        assert report.header is not None
+
+    def test_header_length_recorded(self):
+        raw = clean_header_bytes()
+        report = HeaderSanityAnalyzer().analyze(raw)
+        assert report.header_length == len(raw)
+
+
+class TestByteDamage:
+    def test_non_ascii_byte_repaired(self):
+        raw = bytearray(clean_header_bytes())
+        raw[85] |= 0x80
+        report = HeaderSanityAnalyzer().analyze(bytes(raw))
+        assert report.ok
+        assert report.n_repairs >= 1
+
+    def test_non_ascii_fatal_without_repair(self):
+        raw = bytearray(clean_header_bytes())
+        raw[85] |= 0x80
+        report = HeaderSanityAnalyzer(repair=False).analyze(bytes(raw))
+        assert not report.ok
+
+    def test_too_short_header_fatal(self):
+        report = HeaderSanityAnalyzer().analyze(b"SIMPLE")
+        assert not report.ok
+
+
+class TestKeywordDamage:
+    def _analyze_with(self, mutate):
+        header = Header.primary(16, (8, 8))
+        mutate(header)
+        return HeaderSanityAnalyzer().analyze(header.to_bytes())
+
+    def test_bitpix_snapped(self):
+        report = self._analyze_with(lambda h: h.__setitem__("BITPIX", 17))
+        assert report.ok
+        assert report.header["BITPIX"] == 16
+        assert any(i.keyword == "BITPIX" for i in report.issues)
+
+    def test_missing_bitpix_fatal(self):
+        report = self._analyze_with(lambda h: h.__delitem__("BITPIX"))
+        assert not report.ok
+
+    def test_simple_false_repaired(self):
+        report = self._analyze_with(lambda h: h.__setitem__("SIMPLE", False))
+        assert report.ok
+        assert report.header["SIMPLE"] is True
+
+    def test_missing_simple_fatal(self):
+        report = self._analyze_with(lambda h: h.__delitem__("SIMPLE"))
+        assert not report.ok
+
+    def test_naxis_rebuilt_from_axis_cards(self):
+        report = self._analyze_with(lambda h: h.__setitem__("NAXIS", 9))
+        assert report.ok
+        assert report.header["NAXIS"] == 2
+
+    def test_absurd_axis_reduced(self):
+        # A flipped high bit turns 8 into a huge dimension.
+        report = self._analyze_with(
+            lambda h: h.__setitem__("NAXIS1", 8 | (1 << 30))
+        )
+        assert report.ok
+        assert report.header["NAXIS1"] <= 1 << 20
+        assert any(i.severity is Severity.REPAIRED for i in report.issues)
+
+    def test_negative_axis_fatal(self):
+        report = self._analyze_with(lambda h: h.__setitem__("NAXIS1", -4))
+        assert not report.ok
+
+    def test_missing_end_fatal(self):
+        raw = clean_header_bytes().replace(b"END", b"XND")
+        report = HeaderSanityAnalyzer().analyze(raw)
+        assert not report.ok
+        assert any(i.keyword == "END" for i in report.issues)
+
+
+class TestEndToEndWithData:
+    def test_repaired_header_decodes_data(self, walk_stack):
+        raw = bytearray(write_hdu(walk_stack))
+        raw[80] |= 0x80  # damage a keyword byte in card 2
+        analyzer = HeaderSanityAnalyzer()
+        report = analyzer.analyze(bytes(raw[:2880]))
+        assert report.ok
+        assert report.header.axes() == tuple(reversed(walk_stack.shape))

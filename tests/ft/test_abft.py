@@ -1,0 +1,75 @@
+"""Tests for the ABFT checksum-matrix scheme."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import DataFormatError
+from repro.ft.abft import ABFTMatrix, abft_matmul
+
+
+class TestABFTMatrix:
+    def test_clean_verifies(self, rng):
+        matrix = ABFTMatrix(rng.normal(size=(6, 6)))
+        assert matrix.verify()
+
+    def test_corruption_detected(self, rng):
+        matrix = ABFTMatrix(rng.normal(size=(6, 6)))
+        matrix.data[2, 3] += 5.0
+        assert not matrix.verify()
+
+    def test_rejects_1d(self):
+        with pytest.raises(DataFormatError):
+            ABFTMatrix(np.zeros(4))
+
+
+class TestABFTMatmul:
+    def test_clean_product_consistent(self, rng):
+        a = rng.normal(size=(5, 4))
+        b = rng.normal(size=(4, 6))
+        c, report = abft_matmul(a, b)
+        assert report.consistent
+        assert not report.corrected
+        assert np.allclose(c, a @ b)
+
+    def test_single_fault_corrected(self, rng):
+        a = rng.normal(size=(5, 5))
+        b = rng.normal(size=(5, 5))
+
+        def corrupt(c):
+            c = c.copy()
+            c[2, 3] += 10.0
+            return c
+
+        c, report = abft_matmul(a, b, fault_hook=corrupt)
+        assert not report.consistent
+        assert report.corrected
+        assert (report.error_row, report.error_col) == (2, 3)
+        assert np.allclose(c, a @ b)
+
+    def test_multi_fault_detected_not_corrected(self, rng):
+        a = rng.normal(size=(5, 5))
+        b = rng.normal(size=(5, 5))
+
+        def corrupt(c):
+            c = c.copy()
+            c[0, 0] += 3.0
+            c[4, 4] -= 7.0
+            return c
+
+        _, report = abft_matmul(a, b, fault_hook=corrupt)
+        assert not report.consistent
+        assert not report.corrected
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(DataFormatError):
+            abft_matmul(np.zeros((3, 4)), np.zeros((5, 6)))
+
+    def test_paper_claim_input_corruption_invisible(self, rng):
+        """§1: input faults pass ABFT verification undetected."""
+        a_clean = rng.normal(size=(6, 6))
+        a_corrupt = a_clean.copy()
+        a_corrupt[1, 1] += 100.0  # memory flip BEFORE the computation
+        b = rng.normal(size=(6, 6))
+        c, report = abft_matmul(a_corrupt, b)
+        assert report.consistent  # certified...
+        assert not np.allclose(c, a_clean @ b)  # ...and wrong.

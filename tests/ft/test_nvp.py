@@ -1,0 +1,88 @@
+"""Tests for N-Version Programming voting."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.ft.nvp import NVPVoter, VersionOutcome
+
+
+def double(x):
+    return x * 2
+
+
+def double_alt(x):
+    return x + x
+
+
+def wrong(x):
+    return x * 3
+
+
+def crash(x):
+    raise RuntimeError("boom")
+
+
+INPUT = np.arange(5.0)
+
+
+class TestConstruction:
+    def test_rejects_single_version(self):
+        with pytest.raises(ConfigurationError):
+            NVPVoter([double])
+
+    def test_rejects_bad_quorum(self):
+        with pytest.raises(ConfigurationError):
+            NVPVoter([double, wrong], quorum=3)
+
+    def test_default_quorum_is_majority(self):
+        assert NVPVoter([double] * 5).quorum == 3
+
+
+class TestVoting:
+    def test_unanimous(self):
+        result = NVPVoter([double, double_alt, double]).run(INPUT)
+        assert result.agreed
+        assert result.agreement_size == 3
+        assert np.array_equal(result.output, INPUT * 2)
+        assert all(o is VersionOutcome.AGREED for o in result.outcomes)
+
+    def test_majority_masks_one_bad_version(self):
+        result = NVPVoter([double, wrong, double_alt]).run(INPUT)
+        assert result.agreed
+        assert result.outcomes[1] is VersionOutcome.OUTVOTED
+        assert np.array_equal(result.output, INPUT * 2)
+
+    def test_crash_masked(self):
+        result = NVPVoter([double, crash, double_alt]).run(INPUT)
+        assert result.agreed
+        assert result.outcomes[1] is VersionOutcome.CRASHED
+
+    def test_no_quorum(self):
+        result = NVPVoter([double, wrong, lambda x: x * 5]).run(INPUT)
+        assert not result.agreed
+        assert result.output is None
+
+    def test_all_crash(self):
+        result = NVPVoter([crash, crash]).run(INPUT)
+        assert not result.agreed
+        assert result.agreement_size == 0
+
+    def test_custom_quorum(self):
+        # T/(N-1)-style: require only 2 agreeing votes of 4.
+        voter = NVPVoter([double, wrong, lambda x: x * 5, double_alt], quorum=2)
+        result = voter.run(INPUT)
+        assert result.agreed
+        assert result.agreement_size == 2
+
+    def test_tolerance_groups_rounding_variants(self):
+        noisy = lambda x: x * 2 + 1e-12
+        result = NVPVoter([double, noisy, double_alt], atol=1e-9).run(INPUT)
+        assert result.agreement_size == 3
+
+    def test_paper_claim_shared_input_corruption_certified(self):
+        """§1: all versions agree on the wrong answer for corrupted input."""
+        corrupted_input = INPUT + 1000.0
+        result = NVPVoter([double, double_alt, double]).run(corrupted_input)
+        assert result.agreed  # certified...
+        assert not np.array_equal(result.output, INPUT * 2)  # ...and wrong.

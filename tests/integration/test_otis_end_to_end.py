@@ -1,0 +1,111 @@
+"""Integration: the full OTIS data path with ALFT."""
+
+import numpy as np
+import pytest
+
+from repro.config import OTISBounds, OTISConfig
+from repro.core.algo_otis import AlgoOTIS
+from repro.exceptions import ALFTError
+from repro.faults.injector import FaultInjector
+from repro.faults.uncorrelated import UncorrelatedFaultModel
+from repro.otis.alft import ALFTExecutor, OutputSource
+from repro.otis.planck import brightness_temperature
+from repro.otis.quantize import decode_dn
+from repro.otis.spectrometer import Spectrometer, default_bands
+from repro.otis.temperature import emissivity_cube, temperature_map
+
+
+@pytest.fixture(scope="module")
+def otis_world():
+    rng = np.random.default_rng(41)
+    scene = 290.0 + rng.normal(0, 0.5, size=(48, 48))
+    scene[10:13, 10:13] += 40.0  # natural hot anomaly
+    bands = default_bands(6)
+    instrument = Spectrometer(bands)
+    dn_cube = instrument.sense_dn(scene, emissivity=0.97, rng=rng)
+    corrupted, _ = FaultInjector(UncorrelatedFaultModel(0.05), seed=6).inject(
+        dn_cube
+    )
+    return scene, bands, instrument, dn_cube, corrupted
+
+
+def mean_retrieval(cube_dn, bands, scale):
+    cube = decode_dn(cube_dn, scale)
+    temps = np.stack(
+        [
+            brightness_temperature(b.wavelength_um, cube[z] / 0.97)
+            for z, b in enumerate(bands)
+        ]
+    )
+    return temps.mean(axis=0)
+
+
+class TestOTISEndToEnd:
+    def test_clean_retrieval_accurate(self, otis_world):
+        scene, bands, instrument, dn_cube, _ = otis_world
+        temps = temperature_map(decode_dn(dn_cube, instrument.dn_scale), bands)
+        assert np.abs(temps - scene).mean() < 0.1
+
+    def test_preprocessing_improves_temperature_product(self, otis_world):
+        scene, bands, instrument, dn_cube, corrupted = otis_world
+        config = OTISConfig(
+            sensitivity=60,
+            bounds=OTISBounds(lower=0.0, upper=25.0),
+            dn_scale=instrument.dn_scale,
+        )
+        repaired = AlgoOTIS(config)(corrupted).corrected
+        raw_temps = mean_retrieval(corrupted, bands, instrument.dn_scale)
+        fixed_temps = mean_retrieval(repaired, bands, instrument.dn_scale)
+        assert (
+            np.abs(fixed_temps - scene).mean()
+            < np.abs(raw_temps - scene).mean() / 3
+        )
+
+    def test_anomaly_survives_preprocessing(self, otis_world):
+        scene, bands, instrument, dn_cube, corrupted = otis_world
+        config = OTISConfig(
+            sensitivity=60,
+            bounds=OTISBounds(lower=0.0, upper=25.0),
+            dn_scale=instrument.dn_scale,
+        )
+        repaired = AlgoOTIS(config)(corrupted).corrected
+        temps = mean_retrieval(repaired, bands, instrument.dn_scale)
+        assert float(np.median(temps[10:13, 10:13])) > 310.0
+
+    def test_alft_catastrophe_eliminated_by_preprocessing(self, otis_world):
+        scene, bands, instrument, dn_cube, corrupted = otis_world
+
+        def roughness(temps):
+            from repro.core.algo_otis import spatial_median
+
+            return float(np.abs(temps - spatial_median(temps)).mean())
+
+        def acceptance(temps):
+            return bool(np.isfinite(temps).all() and roughness(temps) < 2.0)
+
+        def primary(cube):
+            return mean_retrieval(cube, bands, instrument.dn_scale)
+
+        def secondary(cube):
+            return mean_retrieval(cube[::2], bands[::2], instrument.dn_scale)
+
+        executor = ALFTExecutor(primary, secondary, acceptance)
+        with pytest.raises(ALFTError):
+            executor.run(corrupted)
+
+        config = OTISConfig(
+            sensitivity=60,
+            bounds=OTISBounds(lower=0.0, upper=25.0),
+            dn_scale=instrument.dn_scale,
+        )
+        repaired = AlgoOTIS(config)(corrupted).corrected
+        outcome = ALFTExecutor(primary, secondary, acceptance).run(repaired)
+        assert outcome.source is OutputSource.PRIMARY
+
+    def test_emissivity_product_consistent(self, otis_world):
+        scene, bands, instrument, dn_cube, _ = otis_world
+        cube = decode_dn(dn_cube, instrument.dn_scale)
+        temps = temperature_map(cube, bands, emissivity=0.97)
+        eps = emissivity_cube(cube, bands, temps)
+        assert eps.shape == cube.shape
+        assert np.median(eps) == pytest.approx(0.97, abs=0.02)

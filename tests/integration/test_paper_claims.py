@@ -1,0 +1,219 @@
+"""Qualitative reproduction of the paper's headline claims, seeded.
+
+Each test pins one statement from the paper's evaluation narrative and
+asserts the corresponding *shape* on our implementation (who wins, by
+roughly what factor, where the crossovers fall).  EXPERIMENTS.md records
+the quantitative panels.
+"""
+
+import numpy as np
+import pytest
+
+from repro.baselines.majority import majority_vote_spatial, majority_vote_temporal
+from repro.baselines.median import median_smooth_spatial, median_smooth_temporal
+from repro.config import (
+    CorrelatedFaultConfig,
+    NGSTConfig,
+    NGSTDatasetConfig,
+    OTISConfig,
+)
+from repro.core.algo_ngst import AlgoNGST
+from repro.core.algo_otis import AlgoOTIS
+from repro.data.ngst import generate_walk
+from repro.data.otis import make_dataset
+from repro.experiments.common import best_sensitivity
+from repro.faults.correlated import CorrelatedFaultModel
+from repro.faults.injector import FaultInjector
+from repro.faults.uncorrelated import UncorrelatedFaultModel
+from repro.metrics.confusion import bit_confusion
+from repro.metrics.relative_error import psi
+from repro.otis.quantize import decode_dn, encode_dn
+
+LAMBDAS = (10.0, 30.0, 50.0, 70.0, 90.0, 100.0)
+
+
+def ngst_world(gamma0, sigma=25.0, shape=(16, 16), seed=77):
+    rng = np.random.default_rng(seed)
+    pristine = generate_walk(
+        NGSTDatasetConfig(n_variants=64, sigma=sigma), rng, shape
+    )
+    corrupted, _ = FaultInjector(UncorrelatedFaultModel(gamma0), seed=seed).inject(
+        pristine
+    )
+    return pristine, corrupted
+
+
+class TestSection6Claims:
+    """§6: order-of-magnitude Ψ reduction in the practical Γ₀ range."""
+
+    def test_gain_of_tens_at_low_gamma(self):
+        pristine, corrupted = ngst_world(0.01)
+        _, best = best_sensitivity(corrupted, pristine, LAMBDAS)
+        assert psi(corrupted, pristine) / best > 25
+
+    def test_gain_persists_across_practical_range(self):
+        for gamma0 in (0.001, 0.005, 0.02):
+            pristine, corrupted = ngst_world(gamma0)
+            _, best = best_sensitivity(corrupted, pristine, LAMBDAS)
+            assert best < psi(corrupted, pristine) / 5
+
+
+class TestFigure2Claims:
+    """Over-sensitivity degrades accuracy (false alarms grow with Λ)."""
+
+    def test_false_alarms_grow_with_lambda(self):
+        pristine, corrupted = ngst_world(0.01)
+        fps = []
+        for lam in (10, 50, 100):
+            result = AlgoNGST(NGSTConfig(sensitivity=lam))(corrupted)
+            fps.append(bit_confusion(pristine, corrupted, result.corrected).false_alarms)
+        assert fps[0] < fps[1] < fps[2]
+
+    def test_optimum_lambda_grows_with_gamma(self):
+        """§5: the optimum sensitivity depends on the fault probability."""
+        _, corrupted_lo = ngst_world(0.0005)
+        pristine_lo, _ = ngst_world(0.0005)
+        pristine_hi, corrupted_hi = ngst_world(0.05)
+        lam_lo, _ = best_sensitivity(corrupted_lo, pristine_lo, LAMBDAS)
+        lam_hi, _ = best_sensitivity(corrupted_hi, pristine_hi, LAMBDAS)
+        assert lam_hi >= lam_lo
+
+    def test_beats_median_at_optimum(self):
+        pristine, corrupted = ngst_world(0.01)
+        _, best = best_sensitivity(corrupted, pristine, LAMBDAS)
+        assert best < psi(median_smooth_temporal(corrupted), pristine)
+
+
+class TestFigure4Claims:
+    """Correlated faults: Algo_NGST beats both smoothers, which are similar."""
+
+    @pytest.mark.parametrize("gamma_ini", [0.01, 0.02, 0.03])
+    def test_ordering_under_correlated_faults(self, gamma_ini):
+        rng = np.random.default_rng(13)
+        pristine = generate_walk(
+            NGSTDatasetConfig(n_variants=64, sigma=25.0), rng, (16, 16)
+        )
+        model = CorrelatedFaultModel(CorrelatedFaultConfig(gamma_ini=gamma_ini))
+        corrupted, _ = FaultInjector(model, seed=13).inject(pristine)
+        _, algo = best_sensitivity(corrupted, pristine, LAMBDAS)
+        median = psi(median_smooth_temporal(corrupted), pristine)
+        majority = psi(majority_vote_temporal(corrupted), pristine)
+        assert algo < median
+        assert algo < majority
+
+
+class TestFigure6Claims:
+    """σ sweep: more neighbours help on calm data, hurt on turbulent."""
+
+    def _best_for(self, sigma, upsilon, gamma0=0.01, seed=21):
+        rng = np.random.default_rng(seed)
+        pristine = generate_walk(
+            NGSTDatasetConfig(n_variants=64, sigma=sigma), rng, (12, 12)
+        )
+        corrupted, _ = FaultInjector(
+            UncorrelatedFaultModel(gamma0), seed=seed
+        ).inject(pristine)
+        best = None
+        for lam in LAMBDAS:
+            value = psi(
+                AlgoNGST(NGSTConfig(upsilon=upsilon, sensitivity=lam))(
+                    corrupted
+                ).corrected,
+                pristine,
+            )
+            best = value if best is None else min(best, value)
+        return best
+
+    def test_sigma_zero_more_neighbours_help(self):
+        assert self._best_for(0.0, 4) <= self._best_for(0.0, 2)
+
+    def test_high_sigma_fewer_neighbours_competitive(self):
+        # At σ=8000 (extremely turbulent) Υ=2 stays within reach of Υ=6
+        # for small Γ₀ — large Υ no longer dominates as it does at σ=0.
+        ratio_turbulent = self._best_for(8000.0, 2) / self._best_for(8000.0, 6)
+        ratio_calm = self._best_for(0.0, 2) / self._best_for(0.0, 6)
+        assert ratio_turbulent < ratio_calm
+
+
+class TestSection8Claims:
+    """OTIS: Ψ ≈ 12 % raw at Γ₀ = 0.05; preprocessed well below."""
+
+    def test_raw_error_magnitude_matches_paper(self):
+        field = make_dataset("blob", 48, 48)
+        dn = encode_dn(field)
+        corrupted, _ = FaultInjector(UncorrelatedFaultModel(0.05), seed=8).inject(dn)
+        raw = psi(decode_dn(corrupted), decode_dn(dn))
+        assert 0.08 < raw < 0.2  # the paper reports ~12 %
+
+    def test_preprocessing_brings_error_below_one_percent(self):
+        field = make_dataset("blob", 48, 48)
+        dn = encode_dn(field)
+        corrupted, _ = FaultInjector(UncorrelatedFaultModel(0.05), seed=8).inject(dn)
+        best = None
+        for lam in (40, 60, 80, 100):
+            value = psi(
+                decode_dn(AlgoOTIS(OTISConfig(sensitivity=lam))(corrupted).corrected),
+                decode_dn(dn),
+            )
+            best = value if best is None else min(best, value)
+        assert best < 0.01
+
+    def test_algo_otis_wins_at_gamma_025(self):
+        """'Algo_OTIS performs far better than either of them in regions
+        of Γ₀ >= 0.025'."""
+        for name in ("blob", "stripe", "spots"):
+            field = make_dataset(name, 48, 48)
+            dn = encode_dn(field)
+            pristine = decode_dn(dn)
+            corrupted, _ = FaultInjector(
+                UncorrelatedFaultModel(0.025), seed=8
+            ).inject(dn)
+            best = min(
+                psi(
+                    decode_dn(
+                        AlgoOTIS(OTISConfig(sensitivity=lam))(corrupted).corrected
+                    ),
+                    pristine,
+                )
+                for lam in (40, 60, 80, 100)
+            )
+            median = psi(decode_dn(median_smooth_spatial(corrupted)), pristine)
+            majority = psi(decode_dn(majority_vote_spatial(corrupted)), pristine)
+            assert best < median, name
+            assert best < majority, name
+
+
+class TestFigure9Claims:
+    """Correlated OTIS faults: breakdown mechanism past Γ_ini ≈ 0.2."""
+
+    def _weighted_pseudo_fraction(self, gamma_ini, seeds=(8, 9, 10)):
+        """Significance-weighted share of the algorithm's bit-flips that
+        are pseudo-corrections (clean bits harmed)."""
+        fractions = []
+        for seed in seeds:
+            field = make_dataset("blob", 32, 32)
+            dn = encode_dn(field)
+            model = CorrelatedFaultModel(
+                CorrelatedFaultConfig(gamma_ini=gamma_ini)
+            )
+            corrupted, _ = FaultInjector(model, seed=seed).inject(dn)
+            processed = AlgoOTIS(OTISConfig())(corrupted).corrected
+            injected = np.bitwise_xor(dn, corrupted)
+            residual = np.bitwise_xor(dn, processed)
+            good = float((injected & ~residual).astype(np.float64).sum())
+            harm = float((~injected & residual).astype(np.float64).sum())
+            fractions.append(harm / (good + harm) if good + harm else 0.0)
+        return float(np.mean(fractions))
+
+    def test_low_gamma_mostly_genuine_corrections(self):
+        assert self._weighted_pseudo_fraction(0.05) < 0.2
+
+    def test_breakdown_mechanism_past_point_two(self):
+        # Beyond the paper's ~0.2 breakdown point, pseudo-corrections
+        # climb steeply toward dominance.
+        assert self._weighted_pseudo_fraction(0.4) > 0.3
+
+    def test_pseudo_fraction_grows(self):
+        low = self._weighted_pseudo_fraction(0.1)
+        high = self._weighted_pseudo_fraction(0.4)
+        assert high > 2 * low

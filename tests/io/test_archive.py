@@ -1,0 +1,93 @@
+"""Tests for the campaign trial archive."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import DataFormatError
+from repro.faults.injector import FaultInjector
+from repro.faults.uncorrelated import UncorrelatedFaultModel
+from repro.io.archive import CampaignArchive, load_trial, save_trial
+
+
+@pytest.fixture
+def trial(walk_stack):
+    injector = FaultInjector(UncorrelatedFaultModel(0.01), seed=4)
+    corrupted, report = injector.inject(walk_stack)
+    return walk_stack, corrupted, report.flip_mask
+
+
+class TestSaveLoadTrial:
+    def test_roundtrip_bit_exact(self, tmp_path, trial):
+        pristine, corrupted, mask = trial
+        path = tmp_path / "t.fits"
+        save_trial(path, pristine, corrupted, mask)
+        p, c, m = load_trial(path)
+        assert np.array_equal(p, pristine)
+        assert np.array_equal(c, corrupted)
+        assert np.array_equal(m, mask)
+
+    def test_mask_consistency_preserved(self, tmp_path, trial):
+        pristine, corrupted, mask = trial
+        path = tmp_path / "t.fits"
+        save_trial(path, pristine, corrupted, mask)
+        p, c, m = load_trial(path)
+        assert np.array_equal(p ^ m, c)
+
+    def test_shape_mismatch_rejected(self, tmp_path, trial):
+        pristine, corrupted, _ = trial
+        with pytest.raises(DataFormatError):
+            save_trial(tmp_path / "t.fits", pristine, corrupted, np.zeros(3, dtype=np.uint16))
+
+    def test_on_disk_corruption_detected(self, tmp_path, trial):
+        pristine, corrupted, mask = trial
+        path = tmp_path / "t.fits"
+        save_trial(path, pristine, corrupted, mask)
+        raw = bytearray(path.read_bytes())
+        raw[len(raw) // 2] ^= 0x08  # flip a data bit on "disk"
+        path.write_bytes(bytes(raw))
+        with pytest.raises(DataFormatError, match="checksum"):
+            load_trial(path)
+
+    def test_verify_can_be_skipped(self, tmp_path, trial):
+        pristine, corrupted, mask = trial
+        path = tmp_path / "t.fits"
+        save_trial(path, pristine, corrupted, mask)
+        raw = bytearray(path.read_bytes())
+        raw[len(raw) // 2] ^= 0x08
+        path.write_bytes(bytes(raw))
+        load_trial(path, verify=False)  # loads despite the damage
+
+
+class TestCampaignArchive:
+    def test_save_load_named(self, tmp_path, trial):
+        pristine, corrupted, mask = trial
+        archive = CampaignArchive(tmp_path / "camp")
+        archive.save("g01", pristine, corrupted, mask, {"gamma0": 0.01})
+        loaded = archive.load("g01")
+        assert loaded.metadata["gamma0"] == 0.01
+        assert np.array_equal(loaded.pristine, pristine)
+
+    def test_manifest_persists_across_instances(self, tmp_path, trial):
+        pristine, corrupted, mask = trial
+        CampaignArchive(tmp_path / "camp").save("a", pristine, corrupted, mask)
+        reopened = CampaignArchive(tmp_path / "camp")
+        assert reopened.names() == ["a"]
+        assert len(reopened) == 1
+
+    def test_unknown_name_rejected(self, tmp_path):
+        archive = CampaignArchive(tmp_path / "camp")
+        with pytest.raises(DataFormatError, match="unknown trial"):
+            archive.load("nope")
+
+    def test_invalid_name_rejected(self, tmp_path, trial):
+        pristine, corrupted, mask = trial
+        archive = CampaignArchive(tmp_path / "camp")
+        with pytest.raises(DataFormatError):
+            archive.save("../evil", pristine, corrupted, mask)
+
+    def test_multiple_trials(self, tmp_path, trial):
+        pristine, corrupted, mask = trial
+        archive = CampaignArchive(tmp_path / "camp")
+        for name in ("t1", "t2", "t3"):
+            archive.save(name, pristine, corrupted, mask)
+        assert archive.names() == ["t1", "t2", "t3"]

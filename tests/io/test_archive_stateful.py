@@ -1,0 +1,60 @@
+"""Stateful property test of the campaign archive."""
+
+import numpy as np
+import hypothesis.strategies as st
+from hypothesis import settings
+from hypothesis.stateful import RuleBasedStateMachine, initialize, invariant, rule
+
+from repro.io.archive import CampaignArchive
+
+NAMES = st.sampled_from(["alpha", "beta", "gamma", "delta"])
+
+
+class ArchiveMachine(RuleBasedStateMachine):
+    """Random interleavings of save/load/reopen keep the archive honest."""
+
+    def __init__(self):
+        super().__init__()
+        self.shadow: dict[str, tuple] = {}
+
+    @initialize(target=None)
+    def setup(self):
+        import tempfile
+
+        self.root = tempfile.mkdtemp(prefix="repro-archive-")
+        self.archive = CampaignArchive(self.root)
+
+    @rule(name=NAMES, seed=st.integers(0, 2**16))
+    def save(self, name, seed):
+        rng = np.random.default_rng(seed)
+        pristine = rng.integers(0, 2**16, size=(4, 4), dtype=np.uint16)
+        mask = rng.integers(0, 2**16, size=(4, 4), dtype=np.uint16)
+        corrupted = pristine ^ mask
+        self.archive.save(name, pristine, corrupted, mask, {"seed": seed})
+        self.shadow[name] = (pristine, corrupted, mask, seed)
+
+    @rule(name=NAMES)
+    def load(self, name):
+        if name not in self.shadow:
+            return
+        trial = self.archive.load(name)
+        pristine, corrupted, mask, seed = self.shadow[name]
+        assert np.array_equal(trial.pristine, pristine)
+        assert np.array_equal(trial.corrupted, corrupted)
+        assert np.array_equal(trial.flip_mask, mask)
+        assert trial.metadata["seed"] == seed
+
+    @rule()
+    def reopen(self):
+        self.archive = CampaignArchive(self.root)
+
+    @invariant()
+    def names_match_shadow(self):
+        if hasattr(self, "archive"):
+            assert set(self.archive.names()) == set(self.shadow)
+
+
+ArchiveMachine.TestCase.settings = settings(
+    max_examples=10, stateful_step_count=12, deadline=None
+)
+TestArchiveStateful = ArchiveMachine.TestCase

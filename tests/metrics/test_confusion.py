@@ -1,0 +1,90 @@
+"""Tests for bit-level confusion accounting."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis.extra import numpy as hnp
+
+from repro.exceptions import DataFormatError
+from repro.metrics.confusion import bit_confusion
+
+
+def u16(*values):
+    return np.array(values, dtype=np.uint16)
+
+
+class TestBitConfusion:
+    def test_all_clean(self):
+        data = u16(1, 2, 3)
+        conf = bit_confusion(data, data, data)
+        assert conf.true_corrections == 0
+        assert conf.false_alarms == 0
+        assert conf.missed == 0
+        assert conf.precision == 1.0
+        assert conf.recall == 1.0
+
+    def test_perfect_correction(self):
+        pristine = u16(0b1000)
+        corrupted = u16(0b0000)
+        conf = bit_confusion(pristine, corrupted, pristine)
+        assert conf.true_corrections == 1
+        assert conf.missed == 0
+        assert conf.recall == 1.0
+
+    def test_missed_flip(self):
+        pristine = u16(0b1000)
+        corrupted = u16(0b0000)
+        conf = bit_confusion(pristine, corrupted, corrupted)
+        assert conf.missed == 1
+        assert conf.recall == 0.0
+
+    def test_false_alarm(self):
+        pristine = u16(0b1000)
+        processed = u16(0b1001)  # flipped a clean bit
+        conf = bit_confusion(pristine, pristine, processed)
+        assert conf.false_alarms == 1
+        assert conf.precision == 0.0
+
+    def test_mixed_accounting(self):
+        pristine = u16(0b1100)
+        corrupted = u16(0b0101)  # bits 3 and 0 flipped
+        processed = u16(0b1111)  # bit 3 fixed, bit 0 missed, bit 1 false alarm
+        conf = bit_confusion(pristine, corrupted, processed)
+        assert conf.true_corrections == 1
+        assert conf.missed == 1
+        assert conf.false_alarms == 1
+        assert conf.injected == 2
+        assert conf.residual_flips == 2
+
+    def test_total_bits(self):
+        conf = bit_confusion(u16(0, 0), u16(0, 0), u16(0, 0))
+        assert conf.total_bits == 32
+
+    def test_float32_supported(self):
+        pristine = np.array([1.0, 2.0], dtype=np.float32)
+        conf = bit_confusion(pristine, pristine, pristine)
+        assert conf.total_bits == 64
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(DataFormatError):
+            bit_confusion(u16(1), u16(1, 2), u16(1))
+
+    def test_dtype_mismatch_rejected(self):
+        with pytest.raises(DataFormatError):
+            bit_confusion(
+                u16(1), np.array([1], dtype=np.uint32), np.array([1], dtype=np.uint32)
+            )
+
+    @given(
+        hnp.arrays(dtype=np.uint16, shape=(8,)),
+        hnp.arrays(dtype=np.uint16, shape=(8,)),
+        hnp.arrays(dtype=np.uint16, shape=(8,)),
+    )
+    def test_conservation_property(self, pristine, corrupted, processed):
+        """tp + missed == injected, and counts never exceed total bits."""
+        conf = bit_confusion(pristine, corrupted, processed)
+        assert conf.true_corrections + conf.missed == conf.injected
+        assert conf.injected <= conf.total_bits
+        assert conf.false_alarms <= conf.total_bits
+        assert 0.0 <= conf.precision <= 1.0
+        assert 0.0 <= conf.recall <= 1.0

@@ -1,0 +1,51 @@
+"""Tests for the overhead timing harness."""
+
+import time
+
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.metrics.overhead import OverheadTimer, time_callable
+
+
+class TestTimeCallable:
+    def test_returns_positive_times(self):
+        result = time_callable(lambda: sum(range(1000)), repeats=3)
+        assert result.best_seconds > 0
+        assert result.mean_seconds >= result.best_seconds
+        assert result.repeats == 3
+
+    def test_measures_sleep(self):
+        result = time_callable(lambda: time.sleep(0.01), repeats=2, warmup=0)
+        assert result.best_seconds >= 0.009
+
+    def test_rejects_zero_repeats(self):
+        with pytest.raises(ConfigurationError):
+            time_callable(lambda: None, repeats=0)
+
+    def test_rejects_negative_warmup(self):
+        with pytest.raises(ConfigurationError):
+            time_callable(lambda: None, warmup=-1)
+
+    def test_relative_to(self):
+        fast = time_callable(lambda: None, repeats=2)
+        slow = time_callable(lambda: time.sleep(0.005), repeats=2)
+        assert slow.relative_to(fast) > 1.0
+
+
+class TestOverheadTimer:
+    def test_accumulates_results(self):
+        timer = OverheadTimer(repeats=2)
+        timer.measure("a", lambda: None)
+        timer.measure("b", lambda: None)
+        assert set(timer.results) == {"a", "b"}
+
+    def test_table_renders(self):
+        timer = OverheadTimer(repeats=1)
+        timer.measure("thing", lambda: None)
+        table = timer.table(baseline="thing")
+        assert "thing" in table
+        assert "1.00x" in table
+
+    def test_empty_table(self):
+        assert "no timings" in OverheadTimer().table()

@@ -1,0 +1,81 @@
+"""Tests for the Ψ metric (Eqs. 3–4)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis.extra import numpy as hnp
+
+from repro.exceptions import DataFormatError
+from repro.metrics.relative_error import improvement_factor, psi
+
+
+class TestPsi:
+    def test_identical_is_zero(self):
+        data = np.array([100, 200, 300], dtype=np.uint16)
+        assert psi(data, data) == 0.0
+
+    def test_known_value(self):
+        pristine = np.array([100.0, 200.0])
+        observed = np.array([110.0, 180.0])
+        # (10/100 + 20/200) / 2 = 0.1
+        assert psi(observed, pristine) == pytest.approx(0.1)
+
+    def test_symmetric_in_sign_of_error(self):
+        pristine = np.array([100.0, 100.0])
+        assert psi(np.array([90.0, 110.0]), pristine) == pytest.approx(0.1)
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(DataFormatError):
+            psi(np.zeros(3), np.zeros(4))
+
+    def test_empty_rejected(self):
+        with pytest.raises(DataFormatError):
+            psi(np.zeros(0), np.zeros(0))
+
+    def test_zero_denominator_floored(self):
+        pristine = np.array([0.0, 100.0])
+        value = psi(np.array([1.0, 100.0]), pristine, floor=1.0)
+        assert value == pytest.approx(0.5)
+
+    def test_non_finite_observed_capped(self):
+        pristine = np.array([100.0], dtype=np.float64)
+        value = psi(np.array([np.inf]), pristine)
+        assert value == pytest.approx(1e6)
+
+    def test_nan_observed_capped(self):
+        pristine = np.array([100.0])
+        assert np.isfinite(psi(np.array([np.nan]), pristine))
+
+    def test_works_on_uint16(self, walk_stack):
+        assert psi(walk_stack, walk_stack) == 0.0
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        hnp.arrays(
+            dtype=np.uint16,
+            shape=(10,),
+            elements={"min_value": 1, "max_value": 60000},
+        )
+    )
+    def test_nonnegative_property(self, pristine):
+        observed = pristine.copy()
+        observed[0] ^= 0x0F00
+        assert psi(observed, pristine) >= 0.0
+
+
+class TestImprovementFactor:
+    def test_basic_ratio(self):
+        assert improvement_factor(0.2, 0.02) == pytest.approx(10.0)
+
+    def test_perfect_correction_capped(self):
+        assert improvement_factor(0.5, 0.0) == 1e9
+
+    def test_both_zero_is_unity(self):
+        assert improvement_factor(0.0, 0.0) == 1.0
+
+    def test_cap_applied(self):
+        assert improvement_factor(1.0, 1e-15, cap=100.0) == 100.0
+
+    def test_negative_rejected(self):
+        with pytest.raises(DataFormatError):
+            improvement_factor(-0.1, 0.5)

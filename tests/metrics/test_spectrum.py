@@ -1,0 +1,111 @@
+"""Tests for the per-bit-position error spectra."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import DataFormatError
+from repro.faults.injector import FaultInjector
+from repro.faults.uncorrelated import UncorrelatedFaultModel
+from repro.metrics.spectrum import (
+    bit_spectrum,
+    render_spectrum,
+    residual_attribution,
+)
+
+
+def u16(*values):
+    return np.array(values, dtype=np.uint16)
+
+
+class TestBitSpectrum:
+    def test_identical_is_empty(self):
+        spectrum = bit_spectrum(u16(1, 2, 3), u16(1, 2, 3))
+        assert spectrum.total_flips == 0
+        assert spectrum.total_weight == 0.0
+        assert spectrum.dominant_positions() == []
+
+    def test_single_bit(self):
+        spectrum = bit_spectrum(u16(0), u16(1 << 9))
+        assert spectrum.flips[9] == 1
+        assert spectrum.total_flips == 1
+        assert spectrum.total_weight == 512.0
+
+    def test_multiple_positions(self):
+        spectrum = bit_spectrum(u16(0, 0), u16(0b101, 0b100))
+        assert spectrum.flips[0] == 1
+        assert spectrum.flips[2] == 2
+        assert spectrum.total_flips == 3
+
+    def test_dominant_positions_ordering(self):
+        spectrum = bit_spectrum(u16(0, 0, 0), u16(1 << 15, 1, 1))
+        dominant = spectrum.dominant_positions(0.9)
+        assert dominant == [15]
+
+    def test_dominant_fraction_validated(self):
+        spectrum = bit_spectrum(u16(0), u16(1))
+        with pytest.raises(DataFormatError):
+            spectrum.dominant_positions(0.0)
+
+    def test_float32_supported(self):
+        a = np.array([1.0], dtype=np.float32)
+        b = a.copy()
+        b_bits = b.view(np.uint32)
+        b_bits[0] ^= np.uint32(1 << 31)
+        spectrum = bit_spectrum(a, b_bits.view(np.float32))
+        assert spectrum.nbits == 32
+        assert spectrum.flips[31] == 1
+
+    def test_mismatch_rejected(self):
+        with pytest.raises(DataFormatError):
+            bit_spectrum(u16(0), np.zeros(1, dtype=np.uint32))
+
+    def test_uniform_faults_flat_spectrum(self, walk_stack):
+        corrupted, _ = FaultInjector(
+            UncorrelatedFaultModel(0.05), seed=1
+        ).inject(walk_stack)
+        spectrum = bit_spectrum(walk_stack, corrupted)
+        # i.i.d. flips: every position within 3 sigma of the mean count.
+        mean = spectrum.flips.mean()
+        sigma = np.sqrt(mean)
+        assert np.all(np.abs(spectrum.flips - mean) < 5 * sigma)
+
+
+class TestResidualAttribution:
+    def test_categories_partition_the_bits(self, walk_stack):
+        from repro.config import NGSTConfig
+        from repro.core.algo_ngst import AlgoNGST
+
+        corrupted, _ = FaultInjector(
+            UncorrelatedFaultModel(0.01), seed=2
+        ).inject(walk_stack)
+        processed = AlgoNGST(NGSTConfig(sensitivity=80))(corrupted).corrected
+        spectra = residual_attribution(walk_stack, corrupted, processed)
+        assert (
+            spectra["repaired"].total_flips + spectra["missed"].total_flips
+            == spectra["injected"].total_flips
+        )
+
+    def test_repairs_concentrate_in_high_bits(self, walk_stack):
+        """The window structure: repairs live above window C."""
+        from repro.config import NGSTConfig
+        from repro.core.algo_ngst import AlgoNGST
+
+        corrupted, _ = FaultInjector(
+            UncorrelatedFaultModel(0.01), seed=2
+        ).inject(walk_stack)
+        processed = AlgoNGST(NGSTConfig(sensitivity=80))(corrupted).corrected
+        spectra = residual_attribution(walk_stack, corrupted, processed)
+        repaired = spectra["repaired"].flips
+        assert repaired[12:].sum() > repaired[:4].sum()
+
+    def test_render(self, walk_stack):
+        corrupted, _ = FaultInjector(
+            UncorrelatedFaultModel(0.01), seed=2
+        ).inject(walk_stack)
+        spectra = residual_attribution(walk_stack, corrupted, corrupted)
+        table = render_spectrum(spectra)
+        assert "injected" in table
+        assert table.count("\n") == 16  # header + 16 bit rows
+
+    def test_render_empty(self):
+        assert "no spectra" in render_spectrum({})

@@ -1,0 +1,218 @@
+"""Tests for the master/worker CR-rejection pipeline."""
+
+import numpy as np
+import pytest
+
+from repro.config import NGSTConfig
+from repro.core.preprocessor import NGSTPreprocessor
+from repro.exceptions import ConfigurationError, SimulationError
+from repro.ngst.cluster import ClusterConfig, CRRejectionPipeline
+from repro.ngst.cosmic_rays import CosmicRayModel
+from repro.ngst.ramp import RampModel
+from repro.ngst.rice import rice_decode
+
+
+@pytest.fixture
+def small_run(rng):
+    model = RampModel(n_readouts=8, read_noise=5.0)
+    flux = rng.uniform(2.0, 20.0, size=(64, 64))
+    stack = model.generate(flux, rng)
+    return model, flux, stack
+
+
+class TestClusterConfig:
+    def test_defaults(self):
+        cfg = ClusterConfig()
+        assert cfg.n_slaves == 15
+        assert cfg.tile == 128
+
+    def test_rejects_no_slaves(self):
+        with pytest.raises(ConfigurationError):
+            ClusterConfig(n_slaves=0)
+
+    def test_work_factor_none_is_unity(self):
+        assert ClusterConfig().work_factor(None) == 1.0
+
+    def test_work_factor_grows_with_sensitivity(self):
+        cfg = ClusterConfig()
+        assert cfg.work_factor(100) > cfg.work_factor(10) > 1.0
+
+
+class TestPipeline:
+    def test_produces_image(self, small_run):
+        model, flux, stack = small_run
+        pipeline = CRRejectionPipeline(model, ClusterConfig(n_slaves=4, tile=32))
+        report = pipeline.run(stack)
+        assert report.image.shape == (64, 64)
+        assert report.n_fragments == 4
+        assert np.abs(report.image - flux).mean() < 1.0
+
+    def test_compressed_payload_decodes(self, small_run):
+        model, flux, stack = small_run
+        pipeline = CRRejectionPipeline(model, ClusterConfig(n_slaves=4, tile=32))
+        report = pipeline.run(stack)
+        decoded = rice_decode(report.compressed).astype(np.float64) / 100.0
+        assert np.abs(decoded - report.image).max() <= 0.005 + 1e-9
+
+    def test_preprocessing_increases_makespan(self, small_run):
+        model, _, stack = small_run
+        cluster = ClusterConfig(n_slaves=4, tile=32)
+        plain = CRRejectionPipeline(model, cluster).run(stack)
+        pre = CRRejectionPipeline(
+            model, cluster, NGSTPreprocessor(NGSTConfig(sensitivity=80))
+        ).run(stack)
+        assert pre.makespan_s > plain.makespan_s
+        assert pre.preprocessed and not plain.preprocessed
+
+    def test_more_slaves_faster(self, small_run):
+        model, _, stack = small_run
+        few = CRRejectionPipeline(model, ClusterConfig(n_slaves=1, tile=16)).run(stack)
+        many = CRRejectionPipeline(model, ClusterConfig(n_slaves=8, tile=16)).run(stack)
+        assert many.makespan_s < few.makespan_s
+
+    def test_rejects_2d_input(self, small_run):
+        model, _, _ = small_run
+        pipeline = CRRejectionPipeline(model)
+        with pytest.raises(SimulationError):
+            pipeline.run(np.zeros((64, 64), dtype=np.uint16))
+
+    def test_cr_rejection_inside_pipeline(self, small_run, rng):
+        model, flux, stack = small_run
+        hit_stack, _ = CosmicRayModel(hit_probability=0.2).inject(stack, rng)
+        pipeline = CRRejectionPipeline(model, ClusterConfig(n_slaves=4, tile=32))
+        report = pipeline.run(hit_stack)
+        naive = model.fit_slope(hit_stack)
+        assert (
+            np.abs(report.image - flux).mean() < np.abs(naive - flux).mean() / 5
+        )
+
+    def test_utilisation_within_unit(self, small_run):
+        model, _, stack = small_run
+        report = CRRejectionPipeline(model, ClusterConfig(n_slaves=4, tile=32)).run(stack)
+        assert 0.0 <= report.slave_utilisation <= 1.0
+
+    def test_bytes_moved_accounts_both_directions(self, small_run):
+        model, _, stack = small_run
+        report = CRRejectionPipeline(model, ClusterConfig(n_slaves=4, tile=32)).run(stack)
+        # At least the full input stack plus the returned flux tiles.
+        assert report.bytes_moved > stack.nbytes
+
+
+class TestFailureHandling:
+    def test_failures_recovered_by_retries(self, small_run):
+        model, flux, stack = small_run
+        cfg = ClusterConfig(
+            n_slaves=4,
+            tile=32,
+            slave_failure_probability=0.3,
+            retry_timeout_s=0.05,
+            failure_seed=1,
+        )
+        report = CRRejectionPipeline(model, cfg).run(stack)
+        assert report.n_fragments == 4
+        assert report.n_slave_failures > 0
+        assert report.n_retries >= report.n_slave_failures
+        assert np.abs(report.image - flux).mean() < 1.0
+
+    def test_failures_slow_the_pipeline(self, small_run):
+        model, _, stack = small_run
+        healthy = CRRejectionPipeline(
+            model, ClusterConfig(n_slaves=4, tile=32)
+        ).run(stack)
+        flaky = CRRejectionPipeline(
+            model,
+            ClusterConfig(
+                n_slaves=4,
+                tile=32,
+                slave_failure_probability=0.4,
+                retry_timeout_s=0.05,
+                failure_seed=1,
+            ),
+        ).run(stack)
+        assert flaky.makespan_s > healthy.makespan_s
+
+    def test_zero_failure_probability_no_retries(self, small_run):
+        model, _, stack = small_run
+        report = CRRejectionPipeline(
+            model, ClusterConfig(n_slaves=4, tile=32)
+        ).run(stack)
+        assert report.n_slave_failures == 0
+        assert report.n_retries == 0
+
+    def test_rejects_bad_failure_probability(self):
+        with pytest.raises(ConfigurationError):
+            ClusterConfig(slave_failure_probability=1.0)
+
+    def test_rejects_bad_rejection_name(self):
+        with pytest.raises(ConfigurationError):
+            ClusterConfig(rejection="vote")
+
+
+class TestSegmentedRejection:
+    def test_segmented_strategy_produces_image(self, small_run):
+        model, flux, stack = small_run
+        cfg = ClusterConfig(n_slaves=4, tile=32, rejection="segmented")
+        report = CRRejectionPipeline(model, cfg).run(stack)
+        assert np.abs(report.image - flux).mean() < 1.0
+
+
+class TestScheduling:
+    def test_rejects_bad_scheduling(self):
+        with pytest.raises(ConfigurationError):
+            ClusterConfig(scheduling="lottery")
+
+    def test_rejects_negative_spread(self):
+        with pytest.raises(ConfigurationError):
+            ClusterConfig(node_speed_spread=-0.1)
+
+    def test_dynamic_equals_static_on_uniform_nodes(self, small_run):
+        model, _, stack = small_run
+        static = CRRejectionPipeline(
+            model, ClusterConfig(n_slaves=4, tile=32, scheduling="static")
+        ).run(stack)
+        dynamic = CRRejectionPipeline(
+            model, ClusterConfig(n_slaves=4, tile=32, scheduling="dynamic")
+        ).run(stack)
+        assert dynamic.makespan_s == pytest.approx(static.makespan_s, rel=0.05)
+
+    def test_dynamic_beats_static_on_heterogeneous_nodes(self, rng):
+        model = RampModel(n_readouts=8)
+        stack = model.generate(rng.uniform(2, 20, size=(128, 128)), rng)
+        static = CRRejectionPipeline(
+            model,
+            ClusterConfig(
+                n_slaves=5, tile=32, scheduling="static", node_speed_spread=0.6
+            ),
+        ).run(stack)
+        dynamic = CRRejectionPipeline(
+            model,
+            ClusterConfig(
+                n_slaves=5, tile=32, scheduling="dynamic", node_speed_spread=0.6
+            ),
+        ).run(stack)
+        assert dynamic.makespan_s < static.makespan_s
+
+    def test_heterogeneous_speeds_deterministic(self, small_run):
+        model, _, stack = small_run
+        cfg = ClusterConfig(
+            n_slaves=4, tile=32, node_speed_spread=0.4, failure_seed=7
+        )
+        a = CRRejectionPipeline(model, cfg).run(stack)
+        b = CRRejectionPipeline(model, cfg).run(stack)
+        assert a.makespan_s == b.makespan_s
+
+    def test_dynamic_with_failures_still_completes(self, small_run):
+        model, flux, stack = small_run
+        cfg = ClusterConfig(
+            n_slaves=4,
+            tile=32,
+            scheduling="dynamic",
+            node_speed_spread=0.4,
+            slave_failure_probability=0.3,
+            retry_timeout_s=0.05,
+            max_retries=10,
+            failure_seed=2,
+        )
+        report = CRRejectionPipeline(model, cfg).run(stack)
+        assert report.n_fragments == 4
+        assert np.abs(report.image - flux).mean() < 1.0

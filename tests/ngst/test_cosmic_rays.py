@@ -1,0 +1,139 @@
+"""Tests for cosmic-ray injection and ramp-fit rejection."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ConfigurationError, DataFormatError
+from repro.ngst.cosmic_rays import CosmicRayModel, reject_cosmic_rays
+from repro.ngst.ramp import RampModel
+
+
+class TestCosmicRayModel:
+    def test_rejects_bad_probability(self):
+        with pytest.raises(ConfigurationError):
+            CosmicRayModel(hit_probability=1.5)
+
+    def test_rejects_bad_amplitudes(self):
+        with pytest.raises(ConfigurationError):
+            CosmicRayModel(min_amplitude=100, max_amplitude=50)
+
+    def test_hit_rate(self, rng):
+        model = RampModel(n_readouts=8, read_noise=0)
+        stack = model.generate(np.full((100, 100), 5.0))
+        _, hits = CosmicRayModel(hit_probability=0.1).inject(stack, rng)
+        rate = np.count_nonzero(hits >= 0) / hits.size
+        assert rate == pytest.approx(0.1, abs=0.02)
+
+    def test_zero_probability_clean(self, rng):
+        model = RampModel(n_readouts=8, read_noise=0)
+        stack = model.generate(np.full((10, 10), 5.0))
+        hit_stack, hits = CosmicRayModel(hit_probability=0.0).inject(stack, rng)
+        assert np.array_equal(hit_stack, stack)
+        assert np.all(hits == -1)
+
+    def test_step_is_persistent(self, rng):
+        model = RampModel(n_readouts=16, read_noise=0)
+        stack = model.generate(np.full((50, 50), 5.0))
+        hit_stack, hits = CosmicRayModel(
+            hit_probability=1.0, min_amplitude=5000, max_amplitude=5000
+        ).inject(stack, rng)
+        # After the hit readout, counts jump by the amplitude and stay up.
+        r, c = 3, 4
+        k = hits[r, c]
+        assert k >= 1
+        delta = hit_stack[:, r, c].astype(int) - stack[:, r, c].astype(int)
+        assert np.all(delta[:k] == 0)
+        assert np.all(delta[k:] == 5000)
+
+    def test_rejects_short_stack(self, rng):
+        with pytest.raises(DataFormatError):
+            CosmicRayModel().inject(np.zeros((2, 4), dtype=np.uint16), rng)
+
+
+class TestRejection:
+    def test_clean_ramp_flux_recovered(self, rng):
+        model = RampModel(n_readouts=32, read_noise=5.0)
+        flux = np.full((16, 16), 8.0)
+        stack = model.generate(flux, rng)
+        estimate, n_rejected = reject_cosmic_rays(stack, model)
+        assert np.abs(estimate - 8.0).mean() < 0.3
+        assert n_rejected.sum() == 0
+
+    def test_cr_hits_rejected(self, rng):
+        model = RampModel(n_readouts=32, read_noise=5.0)
+        flux = np.full((32, 32), 8.0)
+        stack = model.generate(flux, rng)
+        hit_stack, hits = CosmicRayModel(hit_probability=0.2).inject(stack, rng)
+        naive = model.fit_slope(hit_stack)
+        estimate, n_rejected = reject_cosmic_rays(hit_stack, model)
+        assert np.abs(estimate - flux).mean() < np.abs(naive - flux).mean() / 10
+        # Rejections happen at (most) hit pixels.
+        assert n_rejected[hits >= 0].sum() >= 0.8 * np.count_nonzero(hits >= 0)
+
+    def test_rejects_bad_sigma(self, rng):
+        model = RampModel(n_readouts=8)
+        stack = model.generate(np.full((4, 4), 5.0), rng)
+        with pytest.raises(ConfigurationError):
+            reject_cosmic_rays(stack, model, clip_sigma=0)
+
+    def test_rejects_short_stack(self):
+        with pytest.raises(DataFormatError):
+            reject_cosmic_rays(np.zeros((2, 4), dtype=np.uint16), RampModel())
+
+
+class TestSegmentedRejection:
+    def test_clean_ramp_flux_recovered(self, rng):
+        from repro.ngst.cosmic_rays import reject_cosmic_rays_segmented
+
+        model = RampModel(n_readouts=32, read_noise=5.0)
+        flux = np.full((16, 16), 8.0)
+        stack = model.generate(flux, rng)
+        estimate, hits = reject_cosmic_rays_segmented(stack, model)
+        assert np.abs(estimate - 8.0).mean() < 0.3
+        assert np.all(hits == -1)
+
+    def test_single_hit_located_and_removed(self, rng):
+        from repro.ngst.cosmic_rays import reject_cosmic_rays_segmented
+
+        model = RampModel(n_readouts=32, read_noise=5.0)
+        flux = np.full((32, 32), 8.0)
+        stack = model.generate(flux, rng)
+        hit_stack, true_hits = CosmicRayModel(
+            hit_probability=0.3, min_amplitude=3000, max_amplitude=8000
+        ).inject(stack, rng)
+        estimate, found = reject_cosmic_rays_segmented(hit_stack, model)
+        assert np.abs(estimate - flux).mean() < 0.5
+        hit_mask = true_hits >= 0
+        # The detected jump readout matches the injected one.
+        agreement = (found[hit_mask] == true_hits[hit_mask]).mean()
+        assert agreement > 0.9
+
+    def test_comparable_to_clip_variant(self, rng):
+        from repro.ngst.cosmic_rays import reject_cosmic_rays_segmented
+
+        model = RampModel(n_readouts=32, read_noise=5.0)
+        flux = np.full((32, 32), 8.0)
+        stack = model.generate(flux, rng)
+        hit_stack, _ = CosmicRayModel(hit_probability=0.1).inject(stack, rng)
+        seg, _ = reject_cosmic_rays_segmented(hit_stack, model)
+        clip, _ = reject_cosmic_rays(hit_stack, model)
+        seg_err = np.abs(seg - flux).mean()
+        clip_err = np.abs(clip - flux).mean()
+        assert seg_err < 3 * clip_err + 0.1
+        assert clip_err < 3 * seg_err + 0.1
+
+    def test_rejects_short_stack(self):
+        from repro.ngst.cosmic_rays import reject_cosmic_rays_segmented
+
+        with pytest.raises(DataFormatError):
+            reject_cosmic_rays_segmented(
+                np.zeros((3, 4), dtype=np.uint16), RampModel()
+            )
+
+    def test_rejects_bad_sigma(self, rng):
+        from repro.ngst.cosmic_rays import reject_cosmic_rays_segmented
+
+        model = RampModel(n_readouts=8)
+        stack = model.generate(np.full((4, 4), 5.0), rng)
+        with pytest.raises(ConfigurationError):
+            reject_cosmic_rays_segmented(stack, model, jump_sigma=0)

@@ -1,0 +1,129 @@
+"""Tests for the ARQ downlink."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import CodecError, ConfigurationError
+from repro.faults.transit import GilbertElliottConfig
+from repro.ngst.downlink import ARQDownlink, DownlinkConfig, crc16
+from repro.ngst.rice import rice_decode, rice_encode
+
+
+class TestCRC16:
+    def test_check_value(self):
+        # The CRC-16/CCITT-FALSE reference check value.
+        assert crc16(b"123456789") == 0x29B1
+
+    def test_empty(self):
+        assert crc16(b"") == 0xFFFF
+
+    def test_detects_single_bit_flip(self):
+        data = bytes(range(64))
+        reference = crc16(data)
+        for i in (0, 13, 63):
+            damaged = bytearray(data)
+            damaged[i] ^= 0x04
+            assert crc16(bytes(damaged)) != reference
+
+    def test_detects_burst_within_16_bits(self):
+        # CRC-16 detects all burst errors up to its width.
+        data = bytes(range(32))
+        reference = crc16(data)
+        damaged = bytearray(data)
+        damaged[10] ^= 0xFF
+        damaged[11] ^= 0xFF
+        assert crc16(bytes(damaged)) != reference
+
+
+class TestConfig:
+    def test_rejects_bad_payload(self):
+        with pytest.raises(ConfigurationError):
+            DownlinkConfig(payload_bytes=0)
+
+    def test_rejects_negative_retries(self):
+        with pytest.raises(ConfigurationError):
+            DownlinkConfig(max_retransmits=-1)
+
+
+class TestCleanChannel:
+    def quiet(self):
+        return DownlinkConfig(
+            payload_bytes=256,
+            channel=GilbertElliottConfig(p_good_to_bad=0.0, flip_prob_good=0.0),
+        )
+
+    def test_delivery_bit_exact(self):
+        blob = bytes(range(256)) * 5
+        report = ARQDownlink(self.quiet()).transmit(blob)
+        assert report.delivered == blob
+        assert report.intact
+
+    def test_no_retransmissions(self):
+        blob = b"x" * 1000
+        report = ARQDownlink(self.quiet()).transmit(blob)
+        assert report.n_transmissions == report.n_packets
+        assert report.n_crc_rejections == 0
+
+    def test_packet_count(self):
+        report = ARQDownlink(self.quiet()).transmit(b"y" * 600)
+        assert report.n_packets == 3  # 256 + 256 + 88
+
+    def test_empty_blob(self):
+        report = ARQDownlink(self.quiet()).transmit(b"")
+        assert report.delivered == b""
+        assert report.n_packets == 1
+
+    def test_efficiency_below_one_due_to_crc(self):
+        report = ARQDownlink(self.quiet()).transmit(b"z" * 1024)
+        assert 0.9 < report.efficiency < 1.0
+
+
+class TestNoisyChannel:
+    def noisy(self, rate=2e-5):
+        return DownlinkConfig(
+            payload_bytes=512,
+            max_retransmits=50,
+            channel=GilbertElliottConfig(
+                p_good_to_bad=rate, p_bad_to_good=0.02, flip_prob_bad=0.3
+            ),
+        )
+
+    def test_arq_delivers_despite_bursts(self):
+        blob = bytes(np.random.default_rng(0).integers(0, 256, 20000, dtype=np.uint8))
+        report = ARQDownlink(self.noisy(), seed=1).transmit(blob)
+        assert report.delivered == blob
+        assert report.n_crc_rejections > 0
+        assert report.n_transmissions > report.n_packets
+
+    def test_noisier_channel_costs_more_bandwidth(self):
+        blob = b"q" * 30000
+        calm = ARQDownlink(self.noisy(5e-6), seed=2).transmit(blob)
+        rough = ARQDownlink(self.noisy(1e-4), seed=2).transmit(blob)
+        assert rough.n_transmissions > calm.n_transmissions
+        assert rough.efficiency < calm.efficiency
+
+    def test_hopeless_channel_raises(self):
+        config = DownlinkConfig(
+            payload_bytes=4096,
+            max_retransmits=2,
+            channel=GilbertElliottConfig(
+                p_good_to_bad=0.05, p_bad_to_good=0.05, flip_prob_bad=0.5
+            ),
+        )
+        with pytest.raises(CodecError, match="retransmits"):
+            ARQDownlink(config, seed=3).transmit(b"w" * 20000)
+
+
+class TestEndToEndWithRice:
+    def test_compressed_frame_survives_downlink(self, rng):
+        frame = (27000 + np.cumsum(rng.normal(0, 10, 4096))).astype(np.uint16)
+        compressed = rice_encode(frame)
+        config = DownlinkConfig(
+            payload_bytes=512,
+            max_retransmits=50,
+            channel=GilbertElliottConfig(
+                p_good_to_bad=1e-5, p_bad_to_good=0.02, flip_prob_bad=0.3
+            ),
+        )
+        report = ARQDownlink(config, seed=4).transmit(compressed)
+        assert np.array_equal(rice_decode(report.delivered), frame)

@@ -1,0 +1,110 @@
+"""Tests for frame fragmentation and reassembly."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.exceptions import ConfigurationError, DataFormatError
+from repro.ngst.fragment import Fragment, fragment_stack, reassemble
+
+
+class TestFragmentStack:
+    def test_count(self):
+        stack = np.zeros((4, 256, 256), dtype=np.uint16)
+        fragments = fragment_stack(stack, tile=128)
+        assert len(fragments) == 4
+
+    def test_fragment_shapes_carry_temporal_axis(self):
+        stack = np.zeros((4, 256, 256), dtype=np.uint16)
+        fragments = fragment_stack(stack, tile=128)
+        assert all(f.data.shape == (4, 128, 128) for f in fragments)
+
+    def test_2d_frame_supported(self):
+        frame = np.zeros((256, 256), dtype=np.uint16)
+        fragments = fragment_stack(frame, tile=64)
+        assert len(fragments) == 16
+        assert fragments[0].data.shape == (64, 64)
+
+    def test_positions_cover_grid(self):
+        stack = np.zeros((2, 384, 256), dtype=np.uint16)
+        fragments = fragment_stack(stack, tile=128)
+        positions = {(f.row, f.col) for f in fragments}
+        assert positions == {(r, c) for r in range(3) for c in range(2)}
+
+    def test_content_preserved(self):
+        frame = np.arange(64, dtype=np.uint16).reshape(8, 8)
+        fragments = fragment_stack(frame, tile=4)
+        top_left = next(f for f in fragments if (f.row, f.col) == (0, 0))
+        assert np.array_equal(top_left.data, frame[:4, :4])
+
+    def test_fragments_are_copies(self):
+        frame = np.zeros((8, 8), dtype=np.uint16)
+        fragments = fragment_stack(frame, tile=4)
+        fragments[0].data[0, 0] = 9
+        assert frame[0, 0] == 0
+
+    def test_rejects_indivisible(self):
+        with pytest.raises(DataFormatError):
+            fragment_stack(np.zeros((100, 100), dtype=np.uint16), tile=64)
+
+    def test_rejects_bad_tile(self):
+        with pytest.raises(ConfigurationError):
+            fragment_stack(np.zeros((8, 8), dtype=np.uint16), tile=0)
+
+    def test_rejects_1d(self):
+        with pytest.raises(DataFormatError):
+            fragment_stack(np.zeros(64, dtype=np.uint16), tile=8)
+
+
+class TestReassemble:
+    def test_roundtrip_stack(self, rng):
+        stack = rng.integers(0, 2**16, size=(3, 128, 256), dtype=np.uint16)
+        fragments = fragment_stack(stack, tile=64)
+        assert np.array_equal(reassemble(fragments, tile=64), stack)
+
+    def test_roundtrip_frame(self, rng):
+        frame = rng.integers(0, 2**16, size=(256, 256), dtype=np.uint16)
+        fragments = fragment_stack(frame, tile=128)
+        assert np.array_equal(reassemble(fragments, tile=128), frame)
+
+    def test_order_independent(self, rng):
+        frame = rng.integers(0, 2**16, size=(128, 128), dtype=np.uint16)
+        fragments = fragment_stack(frame, tile=64)
+        assert np.array_equal(reassemble(fragments[::-1], tile=64), frame)
+
+    def test_missing_fragment_rejected(self):
+        frame = np.zeros((128, 128), dtype=np.uint16)
+        fragments = fragment_stack(frame, tile=64)
+        with pytest.raises(DataFormatError, match="missing"):
+            reassemble(fragments[:-1], tile=64)
+
+    def test_duplicate_rejected(self):
+        frame = np.zeros((128, 128), dtype=np.uint16)
+        fragments = fragment_stack(frame, tile=64)
+        with pytest.raises(DataFormatError, match="duplicate"):
+            reassemble(fragments + [fragments[0]], tile=64)
+
+    def test_empty_rejected(self):
+        with pytest.raises(DataFormatError):
+            reassemble([], tile=64)
+
+    def test_wrong_tile_rejected(self):
+        fragments = [Fragment(0, 0, np.zeros((32, 32), dtype=np.uint16))]
+        with pytest.raises(DataFormatError):
+            reassemble(fragments, tile=64)
+
+    @settings(max_examples=15, deadline=None)
+    @given(
+        st.sampled_from([8, 16, 32]),
+        st.integers(min_value=1, max_value=3),
+        st.integers(min_value=1, max_value=3),
+    )
+    def test_roundtrip_property(self, tile, rows, cols):
+        rng = np.random.default_rng(0)
+        frame = rng.integers(
+            0, 2**16, size=(rows * tile, cols * tile), dtype=np.uint16
+        )
+        assert np.array_equal(
+            reassemble(fragment_stack(frame, tile=tile), tile=tile), frame
+        )

@@ -1,0 +1,79 @@
+"""Tests for the non-destructive-readout ramp model."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ConfigurationError, DataFormatError
+from repro.ngst.ramp import RampModel
+
+
+class TestConstruction:
+    def test_defaults(self):
+        model = RampModel()
+        assert model.n_readouts == 64
+        assert model.baseline_s == 1000.0
+
+    def test_rejects_too_few_readouts(self):
+        with pytest.raises(ConfigurationError):
+            RampModel(n_readouts=2)
+
+    def test_rejects_bad_baseline(self):
+        with pytest.raises(ConfigurationError):
+            RampModel(baseline_s=0)
+
+    def test_rejects_negative_noise(self):
+        with pytest.raises(ConfigurationError):
+            RampModel(read_noise=-1)
+
+
+class TestReadoutTimes:
+    def test_equally_spaced(self):
+        model = RampModel(n_readouts=4, baseline_s=100.0)
+        assert model.readout_times().tolist() == [25.0, 50.0, 75.0, 100.0]
+
+    def test_count(self):
+        assert len(RampModel(n_readouts=64).readout_times()) == 64
+
+
+class TestGenerate:
+    def test_shape_and_dtype(self, rng):
+        model = RampModel(n_readouts=8)
+        stack = model.generate(np.full((4, 4), 10.0), rng)
+        assert stack.shape == (8, 4, 4)
+        assert stack.dtype == np.uint16
+
+    def test_noiseless_ramp_is_linear(self):
+        model = RampModel(n_readouts=8, baseline_s=800.0, bias=100.0, read_noise=0)
+        stack = model.generate(np.array([2.0]))
+        expected = 100.0 + 2.0 * np.arange(100, 900, 100)
+        assert np.array_equal(stack[:, 0], expected.astype(np.uint16))
+
+    def test_rejects_negative_flux(self, rng):
+        with pytest.raises(DataFormatError):
+            RampModel().generate(np.array([-1.0]), rng)
+
+    def test_saturation_clipped(self):
+        model = RampModel(n_readouts=8, read_noise=0)
+        stack = model.generate(np.array([1e6]))
+        assert stack.max() == np.iinfo(np.uint16).max
+
+
+class TestFitSlope:
+    def test_recovers_flux_noiseless(self):
+        model = RampModel(n_readouts=16, read_noise=0)
+        flux = np.array([0.5, 3.0, 20.0])
+        stack = model.generate(flux)
+        estimate = model.fit_slope(stack)
+        assert np.allclose(estimate, flux, atol=0.01)
+
+    def test_recovers_flux_with_noise(self, rng):
+        model = RampModel(n_readouts=64, read_noise=10.0)
+        flux = np.full((8, 8), 5.0)
+        stack = model.generate(flux, rng)
+        estimate = model.fit_slope(stack)
+        assert np.abs(estimate - 5.0).mean() < 0.2
+
+    def test_rejects_wrong_readout_count(self):
+        model = RampModel(n_readouts=16)
+        with pytest.raises(DataFormatError):
+            model.fit_slope(np.zeros((8, 2), dtype=np.uint16))

@@ -1,0 +1,102 @@
+"""Tests for the ALFT executor and logic grid."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ALFTError
+from repro.otis.alft import ALFTExecutor, LogicGrid, OutputSource
+
+
+def ok_task(data):
+    return data * 2
+
+
+def bad_task(data):
+    return data * 0 - 1  # always fails the filter below
+
+
+def crash_task(data):
+    raise RuntimeError("node down")
+
+
+def accept_positive(output):
+    return bool(np.all(output >= 0))
+
+
+INPUT = np.arange(4.0)
+
+
+class TestLogicGrid:
+    def test_prefers_primary(self):
+        grid = LogicGrid()
+        assert grid.decide(True, True, True) is OutputSource.PRIMARY
+
+    def test_falls_back_to_secondary(self):
+        grid = LogicGrid()
+        assert grid.decide(False, True, True) is OutputSource.SECONDARY
+
+    def test_both_failed_is_none(self):
+        grid = LogicGrid()
+        assert grid.decide(False, False, True) is None
+
+    def test_secondary_not_run_is_none(self):
+        grid = LogicGrid()
+        assert grid.decide(False, False, False) is None
+
+    def test_degrade_mode(self):
+        grid = LogicGrid(degrade_to_primary=True)
+        assert grid.decide(False, False, True) is OutputSource.PRIMARY
+
+
+class TestALFTExecutor:
+    def test_primary_accepted(self):
+        executor = ALFTExecutor(ok_task, ok_task, accept_positive)
+        outcome = executor.run(INPUT)
+        assert outcome.source is OutputSource.PRIMARY
+        assert not outcome.secondary_ran  # no need for the backup
+        assert np.array_equal(outcome.output, INPUT * 2)
+
+    def test_primary_crash_recovered_by_secondary(self):
+        executor = ALFTExecutor(crash_task, ok_task, accept_positive)
+        outcome = executor.run(INPUT)
+        assert outcome.primary_crashed
+        assert outcome.source is OutputSource.SECONDARY
+
+    def test_primary_spurious_recovered_by_secondary(self):
+        executor = ALFTExecutor(bad_task, ok_task, accept_positive)
+        outcome = executor.run(INPUT)
+        assert not outcome.primary_accepted
+        assert outcome.source is OutputSource.SECONDARY
+
+    def test_both_spurious_is_catastrophe(self):
+        executor = ALFTExecutor(bad_task, bad_task, accept_positive)
+        with pytest.raises(ALFTError, match="spurious"):
+            executor.run(INPUT)
+
+    def test_crash_without_secondary_is_catastrophe(self):
+        executor = ALFTExecutor(crash_task, None, accept_positive)
+        with pytest.raises(ALFTError, match="crashed"):
+            executor.run(INPUT)
+
+    def test_secondary_crash_tolerated_if_primary_ok(self):
+        executor = ALFTExecutor(
+            ok_task, crash_task, accept_positive, run_secondary_always=True
+        )
+        outcome = executor.run(INPUT)
+        assert outcome.source is OutputSource.PRIMARY
+        assert outcome.secondary_ran and not outcome.secondary_accepted
+
+    def test_run_secondary_always(self):
+        executor = ALFTExecutor(
+            ok_task, ok_task, accept_positive, run_secondary_always=True
+        )
+        outcome = executor.run(INPUT)
+        assert outcome.secondary_ran
+        assert outcome.source is OutputSource.PRIMARY
+
+    def test_degrade_grid_ships_spurious_primary(self):
+        executor = ALFTExecutor(
+            bad_task, bad_task, accept_positive, logic_grid=LogicGrid(True)
+        )
+        outcome = executor.run(INPUT)
+        assert outcome.source is OutputSource.PRIMARY

@@ -1,0 +1,36 @@
+"""Tests for the OTIS bound presets."""
+
+from repro.otis.bounds import (
+    arctic_bounds,
+    default_bounds,
+    kelvin_bounds,
+    tropical_bounds,
+)
+
+
+class TestPresets:
+    def test_default_matches_field_scale(self):
+        bounds = default_bounds()
+        assert bounds.effective() == (0.0, 200.0)
+
+    def test_tropical_raises_floor(self):
+        lo, hi = tropical_bounds().effective()
+        assert lo > 0.0
+        assert hi == 200.0
+
+    def test_arctic_lowers_ceiling(self):
+        lo, hi = arctic_bounds().effective()
+        assert lo == 0.0
+        assert hi < 200.0
+
+    def test_kelvin_terrestrial(self):
+        lo, hi = kelvin_bounds().effective()
+        assert lo == 150.0
+        assert hi == 400.0
+
+    def test_geographic_tighter_than_global(self):
+        g_lo, g_hi = default_bounds().effective()
+        for preset in (tropical_bounds(), arctic_bounds()):
+            lo, hi = preset.effective()
+            assert lo >= g_lo
+            assert hi <= g_hi

@@ -1,0 +1,66 @@
+"""Tests for the Planck radiance model and its inversion."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.exceptions import ConfigurationError
+from repro.otis.planck import brightness_temperature, planck_radiance
+
+
+class TestPlanckRadiance:
+    def test_known_value_lwir(self):
+        # 300 K at 10 um is ~9.9 W/m^2/sr/um (standard reference value).
+        assert planck_radiance(10.0, 300.0) == pytest.approx(9.92, rel=0.01)
+
+    def test_increases_with_temperature(self):
+        assert planck_radiance(10.0, 310.0) > planck_radiance(10.0, 290.0)
+
+    def test_zero_temperature_zero_radiance(self):
+        assert planck_radiance(10.0, 0.0) == 0.0
+
+    def test_negative_temperature_zero_radiance(self):
+        assert planck_radiance(10.0, -50.0) == 0.0
+
+    def test_array_input(self):
+        temps = np.array([250.0, 300.0, 350.0])
+        out = planck_radiance(11.0, temps)
+        assert out.shape == (3,)
+        assert np.all(np.diff(out) > 0)
+
+    def test_rejects_bad_wavelength(self):
+        with pytest.raises(ConfigurationError):
+            planck_radiance(0.0, 300.0)
+
+    def test_wien_behaviour(self):
+        # At 300 K the 10 um radiance exceeds the 4 um radiance (LWIR
+        # side of the Wien peak for terrestrial temperatures).
+        assert planck_radiance(10.0, 300.0) > planck_radiance(4.0, 300.0)
+
+
+class TestBrightnessTemperature:
+    def test_zero_radiance_zero_kelvin(self):
+        assert brightness_temperature(10.0, 0.0) == 0.0
+
+    def test_negative_radiance_zero_kelvin(self):
+        assert brightness_temperature(10.0, -3.0) == 0.0
+
+    def test_array_input(self):
+        out = brightness_temperature(10.0, np.array([1.0, 5.0, 10.0]))
+        assert np.all(np.diff(out) > 0)
+
+    @given(st.floats(min_value=150.0, max_value=500.0))
+    def test_inversion_property(self, temperature):
+        radiance = planck_radiance(10.5, temperature)
+        recovered = brightness_temperature(10.5, radiance)
+        assert recovered == pytest.approx(temperature, rel=1e-9)
+
+    @given(
+        st.floats(min_value=3.0, max_value=14.0),
+        st.floats(min_value=180.0, max_value=400.0),
+    )
+    def test_inversion_across_bands(self, wavelength, temperature):
+        radiance = planck_radiance(wavelength, temperature)
+        recovered = brightness_temperature(wavelength, radiance)
+        assert recovered == pytest.approx(temperature, rel=1e-9)

@@ -1,0 +1,59 @@
+"""Tests for the DN fixed-point storage encoding."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.exceptions import ConfigurationError, DataFormatError
+from repro.otis.quantize import (
+    DN_MAX,
+    decode_dn,
+    encode_dn,
+    quantization_error_bound,
+)
+
+
+class TestEncodeDecode:
+    def test_roundtrip_error_bounded(self, rng):
+        values = rng.uniform(0, 260, size=(32, 32))
+        recovered = decode_dn(encode_dn(values))
+        # Allow the float32 representation error on top of the DN bound.
+        assert np.abs(recovered - values).max() <= quantization_error_bound() + 1e-4
+
+    def test_zero_maps_to_zero(self):
+        assert encode_dn(np.array([0.0]))[0] == 0
+        assert decode_dn(np.array([0], dtype=np.uint16))[0] == 0.0
+
+    def test_clipping_at_full_scale(self):
+        assert encode_dn(np.array([1e9]))[0] == DN_MAX
+
+    def test_negative_clipped_to_zero(self):
+        assert encode_dn(np.array([-5.0]))[0] == 0
+
+    def test_custom_scale(self):
+        dn = encode_dn(np.array([10.0]), scale=0.1)
+        assert dn[0] == 100
+        assert decode_dn(dn, scale=0.1)[0] == pytest.approx(10.0)
+
+    def test_rejects_nan(self):
+        with pytest.raises(DataFormatError):
+            encode_dn(np.array([np.nan]))
+
+    def test_rejects_bad_scale(self):
+        with pytest.raises(ConfigurationError):
+            encode_dn(np.array([1.0]), scale=0)
+        with pytest.raises(ConfigurationError):
+            decode_dn(np.zeros(1, dtype=np.uint16), scale=-1)
+
+    def test_decode_rejects_wrong_dtype(self):
+        with pytest.raises(DataFormatError):
+            decode_dn(np.zeros(4, dtype=np.uint32))
+
+    def test_decode_dtype_is_float32(self):
+        assert decode_dn(np.zeros(4, dtype=np.uint16)).dtype == np.float32
+
+    @given(st.floats(min_value=0.0, max_value=262.0))
+    def test_roundtrip_property(self, value):
+        recovered = float(decode_dn(encode_dn(np.array([value])))[0])
+        assert abs(recovered - value) <= 0.004 / 2 + 1e-5

@@ -1,0 +1,143 @@
+"""Tests for overlapping-swath scanning and cross-frame preprocessing."""
+
+import numpy as np
+import pytest
+
+from repro.data.otis import blob
+from repro.exceptions import ConfigurationError, DataFormatError
+from repro.faults.injector import FaultInjector
+from repro.faults.uncorrelated import UncorrelatedFaultModel
+from repro.metrics.relative_error import psi
+from repro.otis.quantize import decode_dn, encode_dn
+from repro.otis.scan import (
+    Frame,
+    ScanConfig,
+    cross_frame_preprocess,
+    mosaic,
+    scan_scene,
+)
+
+
+@pytest.fixture
+def scene(rng):
+    return encode_dn(blob(64, 48, rng))
+
+
+class TestScanConfig:
+    def test_revisits(self):
+        assert ScanConfig(frame_rows=32, step_rows=8).revisits == 4
+
+    def test_rejects_bad_step(self):
+        with pytest.raises(ConfigurationError):
+            ScanConfig(frame_rows=16, step_rows=17)
+
+    def test_rejects_empty_frame(self):
+        with pytest.raises(ConfigurationError):
+            ScanConfig(frame_rows=0)
+
+
+class TestScanScene:
+    def test_frame_count_and_origins(self, scene):
+        config = ScanConfig(frame_rows=16, frame_cols=48, step_rows=8)
+        frames = scan_scene(scene, config)
+        assert [f.origin_row for f in frames] == [0, 8, 16, 24, 32, 40, 48]
+        assert all(f.dn.shape == (16, 48) for f in frames)
+
+    def test_noiseless_frames_match_scene(self, scene):
+        config = ScanConfig(frame_rows=16, frame_cols=48, step_rows=8)
+        frames = scan_scene(scene, config)
+        for frame in frames:
+            window = scene[frame.origin_row : frame.origin_row + 16, :48]
+            assert np.array_equal(frame.dn, window)
+
+    def test_rejects_small_scene(self):
+        with pytest.raises(DataFormatError):
+            scan_scene(
+                np.zeros((8, 8), dtype=np.uint16),
+                ScanConfig(frame_rows=16, frame_cols=48),
+            )
+
+    def test_rejects_float_scene(self):
+        with pytest.raises(DataFormatError):
+            scan_scene(np.zeros((64, 64)), ScanConfig())
+
+    def test_read_noise_applied(self, scene, rng):
+        config = ScanConfig(frame_rows=16, frame_cols=48, step_rows=8)
+        noisy = scan_scene(scene, config, rng=rng, read_noise_dn=50.0)
+        clean = scan_scene(scene, config)
+        assert not np.array_equal(noisy[0].dn, clean[0].dn)
+
+
+class TestCrossFramePreprocess:
+    def _corrupted_frames(self, scene, gamma0=0.01, seed=6):
+        config = ScanConfig(frame_rows=16, frame_cols=48, step_rows=4)
+        frames = scan_scene(scene, config)
+        injector = FaultInjector(UncorrelatedFaultModel(gamma0), seed=seed)
+        damaged = [
+            Frame(f.origin_row, injector.inject(f.dn)[0]) for f in frames
+        ]
+        return config, frames, damaged
+
+    def test_repairs_improve_mosaic(self, scene):
+        config, clean, damaged = self._corrupted_frames(scene)
+        pristine = decode_dn(mosaic(clean, config))
+        raw = psi(decode_dn(mosaic(damaged, config)), pristine)
+        repaired = cross_frame_preprocess(damaged, config)
+        fixed = psi(decode_dn(mosaic(repaired, config)), pristine)
+        assert fixed < raw
+
+    def test_repairs_improve_individual_frames(self, scene):
+        config, clean, damaged = self._corrupted_frames(scene)
+        repaired = cross_frame_preprocess(damaged, config)
+        raw_err = np.mean(
+            [
+                psi(decode_dn(d.dn), decode_dn(c.dn))
+                for c, d in zip(clean, damaged)
+            ]
+        )
+        fixed_err = np.mean(
+            [
+                psi(decode_dn(r.dn), decode_dn(c.dn))
+                for c, r in zip(clean, repaired)
+            ]
+        )
+        assert fixed_err < raw_err / 2
+
+    def test_clean_frames_mostly_untouched(self, scene):
+        config = ScanConfig(frame_rows=16, frame_cols=48, step_rows=4)
+        frames = scan_scene(scene, config)
+        repaired = cross_frame_preprocess(frames, config)
+        changed = sum(
+            int(np.count_nonzero(r.dn != f.dn))
+            for f, r in zip(frames, repaired)
+        )
+        total = sum(f.dn.size for f in frames)
+        assert changed / total < 0.02
+
+    def test_rejects_insufficient_revisits(self, scene):
+        config = ScanConfig(frame_rows=16, frame_cols=48, step_rows=16)
+        frames = scan_scene(scene, config)
+        with pytest.raises(ConfigurationError, match="revisits"):
+            cross_frame_preprocess(frames, config)
+
+    def test_rejects_bad_margin(self, scene):
+        config = ScanConfig(frame_rows=16, frame_cols=48, step_rows=4)
+        frames = scan_scene(scene, config)
+        with pytest.raises(ConfigurationError, match="min_margin"):
+            cross_frame_preprocess(frames, config, min_margin=0)
+
+    def test_rejects_empty(self):
+        with pytest.raises(DataFormatError):
+            cross_frame_preprocess([], ScanConfig())
+
+
+class TestMosaic:
+    def test_roundtrip_noiseless(self, scene):
+        config = ScanConfig(frame_rows=16, frame_cols=48, step_rows=8)
+        frames = scan_scene(scene, config)
+        out = mosaic(frames, config)
+        assert np.array_equal(out, scene[: out.shape[0], :48])
+
+    def test_rejects_empty(self):
+        with pytest.raises(DataFormatError):
+            mosaic([], ScanConfig())

@@ -1,0 +1,102 @@
+"""Tests for the OTIS sensing model."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ConfigurationError, DataFormatError
+from repro.otis.planck import planck_radiance
+from repro.otis.spectrometer import Band, Spectrometer, default_bands
+
+
+class TestBand:
+    def test_valid(self):
+        band = Band("B1", 10.0)
+        assert band.wavelength_um == 10.0
+
+    def test_rejects_bad_wavelength(self):
+        with pytest.raises(ConfigurationError):
+            Band("BAD", 0.0)
+
+
+class TestDefaultBands:
+    def test_count(self):
+        assert len(default_bands(8)) == 8
+
+    def test_span_thermal_window(self):
+        bands = default_bands(5)
+        assert bands[0].wavelength_um == pytest.approx(8.0)
+        assert bands[-1].wavelength_um == pytest.approx(12.0)
+
+    def test_rejects_zero(self):
+        with pytest.raises(ConfigurationError):
+            default_bands(0)
+
+
+class TestSenseRadiance:
+    def test_cube_shape(self):
+        instrument = Spectrometer(default_bands(4))
+        cube = instrument.sense_radiance(np.full((8, 8), 300.0))
+        assert cube.shape == (4, 8, 8)
+
+    def test_noiseless_matches_planck(self):
+        bands = (Band("B", 10.0),)
+        instrument = Spectrometer(bands, noise_sigma=0.0)
+        cube = instrument.sense_radiance(np.full((4, 4), 300.0), emissivity=1.0)
+        assert cube[0, 0, 0] == pytest.approx(planck_radiance(10.0, 300.0))
+
+    def test_emissivity_scales(self):
+        bands = (Band("B", 10.0),)
+        instrument = Spectrometer(bands, noise_sigma=0.0)
+        full = instrument.sense_radiance(np.full((4, 4), 300.0), emissivity=1.0)
+        half = instrument.sense_radiance(np.full((4, 4), 300.0), emissivity=0.5)
+        assert np.allclose(half, full * 0.5)
+
+    def test_emissivity_map(self):
+        instrument = Spectrometer(default_bands(2), noise_sigma=0.0)
+        eps = np.full((4, 4), 0.9)
+        cube = instrument.sense_radiance(np.full((4, 4), 300.0), emissivity=eps)
+        assert cube.shape == (2, 4, 4)
+
+    def test_rejects_bad_emissivity(self):
+        instrument = Spectrometer(default_bands(2))
+        with pytest.raises(DataFormatError):
+            instrument.sense_radiance(np.full((4, 4), 300.0), emissivity=1.5)
+
+    def test_rejects_emissivity_shape(self):
+        instrument = Spectrometer(default_bands(2))
+        with pytest.raises(DataFormatError):
+            instrument.sense_radiance(
+                np.full((4, 4), 300.0), emissivity=np.full((3, 3), 0.9)
+            )
+
+    def test_rejects_1d_scene(self):
+        instrument = Spectrometer(default_bands(2))
+        with pytest.raises(DataFormatError):
+            instrument.sense_radiance(np.full(4, 300.0))
+
+    def test_noise_applied(self, rng):
+        instrument = Spectrometer(default_bands(1), noise_sigma=0.1)
+        a = instrument.sense_radiance(np.full((8, 8), 300.0), rng=rng)
+        b = instrument.sense_radiance(np.full((8, 8), 300.0))
+        assert not np.allclose(a, b)
+        assert np.all(a >= 0)
+
+
+class TestSenseDN:
+    def test_dtype(self):
+        instrument = Spectrometer(default_bands(2))
+        dn = instrument.sense_dn(np.full((4, 4), 300.0))
+        assert dn.dtype == np.uint16
+
+    def test_resolution_adequate(self):
+        # DN quantisation error must stay below typical band contrasts.
+        instrument = Spectrometer(default_bands(1), noise_sigma=0.0)
+        scene = np.full((4, 4), 300.0)
+        cube = instrument.sense_radiance(scene)
+        dn = instrument.sense_dn(scene)
+        recovered = dn.astype(np.float64) * instrument.dn_scale
+        assert np.abs(recovered - cube).max() <= instrument.dn_scale
+
+    def test_rejects_bad_scale(self):
+        with pytest.raises(ConfigurationError):
+            Spectrometer(default_bands(1), dn_scale=0)

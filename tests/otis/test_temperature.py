@@ -1,0 +1,81 @@
+"""Tests for the OTIS science products."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import DataFormatError
+from repro.otis.spectrometer import Spectrometer, default_bands
+from repro.otis.temperature import emissivity_cube, temperature_map
+
+
+@pytest.fixture
+def sensed():
+    bands = default_bands(4)
+    instrument = Spectrometer(bands, noise_sigma=0.0)
+    scene = np.full((8, 8), 295.0)
+    scene[2, 2] = 320.0
+    cube = instrument.sense_radiance(scene, emissivity=0.97)
+    return bands, scene, cube
+
+
+class TestTemperatureMap:
+    def test_recovers_scene(self, sensed):
+        bands, scene, cube = sensed
+        temps = temperature_map(cube, bands, emissivity=0.97)
+        assert np.abs(temps - scene).max() < 0.01
+
+    def test_hotspot_visible(self, sensed):
+        bands, scene, cube = sensed
+        temps = temperature_map(cube, bands, emissivity=0.97)
+        assert temps[2, 2] > temps[0, 0] + 20
+
+    def test_wrong_emissivity_biases(self, sensed):
+        bands, scene, cube = sensed
+        biased = temperature_map(cube, bands, emissivity=1.0)
+        assert np.all(biased < scene)
+
+    def test_rejects_2d(self, sensed):
+        bands, _, cube = sensed
+        with pytest.raises(DataFormatError):
+            temperature_map(cube[0], bands)
+
+    def test_rejects_band_mismatch(self, sensed):
+        bands, _, cube = sensed
+        with pytest.raises(DataFormatError):
+            temperature_map(cube[:2], bands)
+
+    def test_rejects_bad_emissivity(self, sensed):
+        bands, _, cube = sensed
+        with pytest.raises(DataFormatError):
+            temperature_map(cube, bands, emissivity=0.0)
+
+    def test_median_tolerates_single_band_damage(self, sensed):
+        bands, scene, cube = sensed
+        damaged = cube.copy()
+        damaged[1] *= 100.0  # one band completely wrong
+        temps = temperature_map(damaged, bands, emissivity=0.97)
+        assert np.abs(temps - scene).max() < 5.0
+
+
+class TestEmissivityCube:
+    def test_recovers_emissivity(self, sensed):
+        bands, scene, cube = sensed
+        eps = emissivity_cube(cube, bands, scene)
+        assert np.allclose(eps, 0.97, atol=0.005)
+
+    def test_clipped_into_unit_interval(self, sensed):
+        bands, scene, cube = sensed
+        eps = emissivity_cube(cube * 10, bands, scene)
+        assert eps.max() <= 1.0
+        assert eps.min() > 0.0
+
+    def test_rejects_shape_mismatch(self, sensed):
+        bands, scene, cube = sensed
+        with pytest.raises(DataFormatError):
+            emissivity_cube(cube, bands, scene[:4, :4])
+
+    def test_zero_temperature_handled(self, sensed):
+        bands, scene, cube = sensed
+        cold = np.zeros_like(scene)
+        eps = emissivity_cube(cube, bands, cold)
+        assert np.isfinite(eps).all()

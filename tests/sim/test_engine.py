@@ -1,0 +1,136 @@
+"""Tests for the discrete-event engine."""
+
+import pytest
+
+from repro.exceptions import SimulationError
+from repro.sim.engine import Simulator
+
+
+class TestScheduling:
+    def test_events_fire_in_time_order(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule(2.0, lambda: fired.append("b"))
+        sim.schedule(1.0, lambda: fired.append("a"))
+        sim.schedule(3.0, lambda: fired.append("c"))
+        sim.run()
+        assert fired == ["a", "b", "c"]
+
+    def test_simultaneous_events_fifo(self):
+        sim = Simulator()
+        fired = []
+        for name in "abc":
+            sim.schedule(1.0, lambda n=name: fired.append(n))
+        sim.run()
+        assert fired == ["a", "b", "c"]
+
+    def test_now_advances(self):
+        sim = Simulator()
+        times = []
+        sim.schedule(1.5, lambda: times.append(sim.now))
+        sim.schedule(4.0, lambda: times.append(sim.now))
+        final = sim.run()
+        assert times == [1.5, 4.0]
+        assert final == 4.0
+
+    def test_schedule_at(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule_at(2.5, lambda: fired.append(sim.now))
+        sim.run()
+        assert fired == [2.5]
+
+    def test_nested_scheduling(self):
+        sim = Simulator()
+        fired = []
+
+        def first():
+            fired.append("first")
+            sim.schedule(1.0, lambda: fired.append("second"))
+
+        sim.schedule(1.0, first)
+        assert sim.run() == 2.0
+        assert fired == ["first", "second"]
+
+    def test_rejects_past(self):
+        sim = Simulator()
+        with pytest.raises(SimulationError):
+            sim.schedule(-1.0, lambda: None)
+
+
+class TestCancellation:
+    def test_cancelled_event_skipped(self):
+        sim = Simulator()
+        fired = []
+        event = sim.schedule(1.0, lambda: fired.append("x"))
+        event.cancel()
+        sim.run()
+        assert fired == []
+
+    def test_events_processed_counts(self):
+        sim = Simulator()
+        for _ in range(5):
+            sim.schedule(1.0, lambda: None)
+        sim.run()
+        assert sim.events_processed == 5
+
+
+class TestRunUntil:
+    def test_stops_at_horizon(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule(1.0, lambda: fired.append(1))
+        sim.schedule(10.0, lambda: fired.append(10))
+        assert sim.run(until=5.0) == 5.0
+        assert fired == [1]
+        # Continuing processes the remaining event.
+        sim.run()
+        assert fired == [1, 10]
+
+    def test_idle_run_until_advances_clock(self):
+        sim = Simulator()
+        assert sim.run(until=3.0) == 3.0
+
+    def test_runaway_guard(self):
+        sim = Simulator()
+
+        def rearm():
+            sim.schedule(0.1, rearm)
+
+        sim.schedule(0.1, rearm)
+        with pytest.raises(SimulationError, match="max_events"):
+            sim.run(max_events=100)
+
+
+class TestTracing:
+    def test_labels_recorded_in_order(self):
+        sim = Simulator(trace=True)
+        sim.schedule(2.0, lambda: None, label="b")
+        sim.schedule(1.0, lambda: None, label="a")
+        sim.schedule(1.5, lambda: None)  # unlabelled: not traced
+        sim.run()
+        assert sim.trace_events == [(1.0, "a"), (2.0, "b")]
+
+    def test_tracing_off_by_default(self):
+        sim = Simulator()
+        sim.schedule(1.0, lambda: None, label="x")
+        sim.run()
+        assert sim.trace_events == []
+
+    def test_node_jobs_traced(self):
+        from repro.sim.node import Node, ProcessingModel
+
+        sim = Simulator(trace=True)
+        node = Node(sim, "n1", ProcessingModel(fixed_s=1.0, per_byte_s=0))
+        node.submit(0, lambda: None)
+        node.submit(0, lambda: None, label="special")
+        sim.run()
+        labels = [label for _, label in sim.trace_events]
+        assert labels == ["n1:done", "special"]
+
+    def test_cancelled_events_not_traced(self):
+        sim = Simulator(trace=True)
+        event = sim.schedule(1.0, lambda: None, label="x")
+        event.cancel()
+        sim.run()
+        assert sim.trace_events == []

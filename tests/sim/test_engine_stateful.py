@@ -1,0 +1,88 @@
+"""Stateful property tests of the discrete-event engine.
+
+A hypothesis rule machine schedules, cancels and runs events in random
+interleavings and checks the engine's core invariants: time never goes
+backwards, cancelled events never fire, non-cancelled events fire
+exactly once in (time, insertion) order.
+"""
+
+import hypothesis.strategies as st
+from hypothesis.stateful import RuleBasedStateMachine, invariant, rule
+
+from repro.sim.engine import Simulator
+
+
+class SimulatorMachine(RuleBasedStateMachine):
+    def __init__(self):
+        super().__init__()
+        self.sim = Simulator()
+        self.fired: list[tuple[float, int]] = []
+        self.scheduled: dict[int, tuple[float, object]] = {}
+        self.cancelled: set[int] = set()
+        self.counter = 0
+
+    @rule(delay=st.floats(min_value=0.0, max_value=10.0, allow_nan=False))
+    def schedule(self, delay):
+        token = self.counter
+        self.counter += 1
+        event = self.sim.schedule(
+            delay, lambda t=token: self.fired.append((self.sim.now, t))
+        )
+        self.scheduled[token] = (self.sim.now + delay, event)
+
+    @rule()
+    def cancel_one(self):
+        pending = [
+            t
+            for t in self.scheduled
+            if t not in self.cancelled and not self._has_fired(t)
+        ]
+        if pending:
+            token = pending[0]
+            self.scheduled[token][1].cancel()
+            self.cancelled.add(token)
+
+    @rule(horizon=st.floats(min_value=0.0, max_value=5.0, allow_nan=False))
+    def run_until(self, horizon):
+        self.sim.run(until=self.sim.now + horizon)
+
+    @rule()
+    def drain(self):
+        self.sim.run()
+
+    def _has_fired(self, token):
+        return any(t == token for _, t in self.fired)
+
+    @invariant()
+    def time_monotonic(self):
+        times = [t for t, _ in self.fired]
+        assert times == sorted(times)
+
+    @invariant()
+    def cancelled_never_fire(self):
+        fired_tokens = {t for _, t in self.fired}
+        # A cancel can race an already-fired event; only events cancelled
+        # while still pending must not fire afterwards.  The machine only
+        # cancels pending ones, so the intersection must be empty.
+        assert not (fired_tokens & self.cancelled)
+
+    @invariant()
+    def no_double_firing(self):
+        tokens = [t for _, t in self.fired]
+        assert len(tokens) == len(set(tokens))
+
+    @invariant()
+    def fired_not_before_due(self):
+        for fire_time, token in self.fired:
+            due, _ = self.scheduled[token]
+            assert fire_time >= due - 1e-9
+
+    def teardown(self):
+        self.sim.run()
+        expected = {
+            t for t in self.scheduled if t not in self.cancelled
+        }
+        assert {t for _, t in self.fired} == expected
+
+
+TestSimulatorStateful = SimulatorMachine.TestCase

@@ -1,0 +1,82 @@
+"""Tests for the network model."""
+
+import pytest
+
+from repro.exceptions import ConfigurationError, SimulationError
+from repro.sim.engine import Simulator
+from repro.sim.network import Link, Network
+
+
+class TestLink:
+    def test_transfer_time(self):
+        sim = Simulator()
+        link = Link(sim, latency_s=1e-3, bandwidth_bps=8e6)
+        # 1000 bytes = 8000 bits at 8e6 bps = 1 ms wire + 1 ms latency.
+        assert link.transfer_time(1000) == pytest.approx(2e-3)
+
+    def test_delivery_fires_callback(self):
+        sim = Simulator()
+        link = Link(sim, latency_s=0.5, bandwidth_bps=1e9)
+        delivered = []
+        link.send(0, lambda: delivered.append(sim.now))
+        sim.run()
+        assert delivered == [pytest.approx(0.5)]
+
+    def test_transfers_serialise(self):
+        sim = Simulator()
+        link = Link(sim, latency_s=1.0, bandwidth_bps=1e9)
+        times = []
+        link.send(0, lambda: times.append(sim.now))
+        link.send(0, lambda: times.append(sim.now))
+        sim.run()
+        assert times[0] == pytest.approx(1.0)
+        assert times[1] == pytest.approx(2.0)
+
+    def test_accounting(self):
+        sim = Simulator()
+        link = Link(sim)
+        link.send(100, lambda: None)
+        link.send(200, lambda: None)
+        assert link.bytes_carried == 300
+        assert link.transfers == 2
+
+    def test_rejects_negative_bytes(self):
+        link = Link(Simulator())
+        with pytest.raises(SimulationError):
+            link.send(-1, lambda: None)
+
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(ConfigurationError):
+            Link(Simulator(), latency_s=-1)
+        with pytest.raises(ConfigurationError):
+            Link(Simulator(), bandwidth_bps=0)
+
+
+class TestNetwork:
+    def test_links_lazily_created_per_pair(self):
+        network = Network(Simulator())
+        ab = network.link("a", "b")
+        assert network.link("a", "b") is ab
+        assert network.link("b", "a") is not ab
+
+    def test_no_self_links(self):
+        network = Network(Simulator())
+        with pytest.raises(SimulationError):
+            network.link("a", "a")
+
+    def test_total_bytes(self):
+        sim = Simulator()
+        network = Network(sim)
+        network.send("a", "b", 100, lambda: None)
+        network.send("b", "c", 50, lambda: None)
+        assert network.total_bytes == 150
+
+    def test_distinct_pairs_parallel(self):
+        sim = Simulator()
+        network = Network(sim, latency_s=1.0, bandwidth_bps=1e12)
+        times = []
+        network.send("a", "b", 0, lambda: times.append(sim.now))
+        network.send("a", "c", 0, lambda: times.append(sim.now))
+        sim.run()
+        # Different destination pairs do not serialise on each other.
+        assert times == [pytest.approx(1.0), pytest.approx(1.0)]

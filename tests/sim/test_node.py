@@ -1,0 +1,68 @@
+"""Tests for the processing-node model."""
+
+import pytest
+
+from repro.exceptions import ConfigurationError, SimulationError
+from repro.sim.engine import Simulator
+from repro.sim.node import Node, ProcessingModel
+
+
+class TestProcessingModel:
+    def test_service_time(self):
+        model = ProcessingModel(fixed_s=0.1, per_byte_s=0.001)
+        assert model.service_time(100) == pytest.approx(0.2)
+
+    def test_rejects_negative(self):
+        with pytest.raises(ConfigurationError):
+            ProcessingModel(fixed_s=-1)
+
+
+class TestNode:
+    def test_submit_completes(self):
+        sim = Simulator()
+        node = Node(sim, "n1", ProcessingModel(fixed_s=1.0, per_byte_s=0))
+        done = []
+        node.submit(0, lambda: done.append(sim.now))
+        sim.run()
+        assert done == [pytest.approx(1.0)]
+
+    def test_fifo_queueing(self):
+        sim = Simulator()
+        node = Node(sim, "n1", ProcessingModel(fixed_s=1.0, per_byte_s=0))
+        done = []
+        node.submit(0, lambda: done.append(("a", sim.now)))
+        node.submit(0, lambda: done.append(("b", sim.now)))
+        sim.run()
+        assert done == [("a", pytest.approx(1.0)), ("b", pytest.approx(2.0))]
+
+    def test_work_factor_scales(self):
+        sim = Simulator()
+        node = Node(sim, "n1", ProcessingModel(fixed_s=1.0, per_byte_s=0))
+        done = []
+        node.submit(0, lambda: done.append(sim.now), work_factor=2.5)
+        sim.run()
+        assert done == [pytest.approx(2.5)]
+
+    def test_busy_accounting(self):
+        sim = Simulator()
+        node = Node(sim, "n1", ProcessingModel(fixed_s=2.0, per_byte_s=0))
+        node.submit(0, lambda: None)
+        node.submit(0, lambda: None)
+        sim.run()
+        assert node.busy_seconds == pytest.approx(4.0)
+        assert node.jobs_done == 2
+        assert node.utilisation(8.0) == pytest.approx(0.5)
+
+    def test_rejects_empty_name(self):
+        with pytest.raises(ConfigurationError):
+            Node(Simulator(), "")
+
+    def test_rejects_negative_work_factor(self):
+        node = Node(Simulator(), "n")
+        with pytest.raises(SimulationError):
+            node.submit(0, lambda: None, work_factor=-1)
+
+    def test_rejects_bad_horizon(self):
+        node = Node(Simulator(), "n")
+        with pytest.raises(SimulationError):
+            node.utilisation(0)

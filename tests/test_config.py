@@ -1,0 +1,135 @@
+"""Validation tests for the configuration dataclasses."""
+
+import pytest
+
+from repro.config import (
+    CorrelatedFaultConfig,
+    NGSTConfig,
+    NGSTDatasetConfig,
+    OTISBounds,
+    OTISConfig,
+    UncorrelatedFaultConfig,
+)
+from repro.exceptions import ConfigurationError
+
+
+class TestNGSTConfig:
+    def test_defaults(self):
+        cfg = NGSTConfig()
+        assert cfg.upsilon == 4
+        assert 0 <= cfg.sensitivity <= 100
+        assert cfg.half_upsilon == 2
+
+    @pytest.mark.parametrize("upsilon", [-2, 0, 1, 3, 5])
+    def test_rejects_bad_upsilon(self, upsilon):
+        with pytest.raises(ConfigurationError):
+            NGSTConfig(upsilon=upsilon)
+
+    def test_rejects_bool_upsilon(self):
+        with pytest.raises(ConfigurationError):
+            NGSTConfig(upsilon=True)
+
+    @pytest.mark.parametrize("lam", [-1, 100.5, 1e9])
+    def test_rejects_bad_sensitivity(self, lam):
+        with pytest.raises(ConfigurationError):
+            NGSTConfig(sensitivity=lam)
+
+    def test_frozen(self):
+        with pytest.raises(AttributeError):
+            NGSTConfig().sensitivity = 10
+
+
+class TestOTISBounds:
+    def test_effective_defaults(self):
+        bounds = OTISBounds(lower=0, upper=200)
+        assert bounds.effective() == (0, 200)
+
+    def test_geographic_tightening(self):
+        bounds = OTISBounds(0, 200, geographic_lower=30, geographic_upper=150)
+        assert bounds.effective() == (30, 150)
+
+    def test_geographic_cannot_widen(self):
+        bounds = OTISBounds(10, 100, geographic_lower=0, geographic_upper=500)
+        assert bounds.effective() == (10, 100)
+
+    def test_rejects_inverted(self):
+        with pytest.raises(ConfigurationError):
+            OTISBounds(lower=10, upper=5)
+
+    def test_rejects_empty_geographic_window(self):
+        with pytest.raises(ConfigurationError):
+            OTISBounds(0, 200, geographic_lower=150, geographic_upper=100)
+
+
+class TestOTISConfig:
+    def test_defaults_valid(self):
+        cfg = OTISConfig()
+        assert cfg.upsilon in (4, 8)
+        assert cfg.iterations >= 1
+
+    @pytest.mark.parametrize("upsilon", [2, 3, 6, 16])
+    def test_rejects_non_2d_neighbourhoods(self, upsilon):
+        with pytest.raises(ConfigurationError):
+            OTISConfig(upsilon=upsilon)
+
+    def test_rejects_bad_trend_window(self):
+        with pytest.raises(ConfigurationError):
+            OTISConfig(trend_window=0)
+
+    def test_rejects_bad_dn_scale(self):
+        with pytest.raises(ConfigurationError):
+            OTISConfig(dn_scale=0)
+
+    def test_rejects_negative_tile(self):
+        with pytest.raises(ConfigurationError):
+            OTISConfig(tile=-1)
+
+    def test_rejects_zero_iterations(self):
+        with pytest.raises(ConfigurationError):
+            OTISConfig(iterations=0)
+
+
+class TestFaultConfigs:
+    @pytest.mark.parametrize("gamma0", [-0.1, 1.1])
+    def test_uncorrelated_rejects_bad_probability(self, gamma0):
+        with pytest.raises(ConfigurationError):
+            UncorrelatedFaultConfig(gamma0=gamma0)
+
+    def test_uncorrelated_accepts_bounds(self):
+        UncorrelatedFaultConfig(gamma0=0.0)
+        UncorrelatedFaultConfig(gamma0=1.0)
+
+    def test_correlated_rejects_half_and_above(self):
+        with pytest.raises(ConfigurationError):
+            CorrelatedFaultConfig(gamma_ini=0.5)
+
+    def test_correlated_rejects_negative(self):
+        with pytest.raises(ConfigurationError):
+            CorrelatedFaultConfig(gamma_ini=-0.01)
+
+    def test_correlated_rejects_zero_terms(self):
+        with pytest.raises(ConfigurationError):
+            CorrelatedFaultConfig(max_run_terms=0)
+
+
+class TestNGSTDatasetConfig:
+    def test_defaults(self):
+        cfg = NGSTDatasetConfig()
+        assert cfg.n_variants == 64
+        assert cfg.initial_value == 27000
+
+    def test_rejects_single_variant(self):
+        with pytest.raises(ConfigurationError):
+            NGSTDatasetConfig(n_variants=1)
+
+    def test_rejects_negative_sigma(self):
+        with pytest.raises(ConfigurationError):
+            NGSTDatasetConfig(sigma=-1)
+
+    def test_rejects_17bit_initial(self):
+        with pytest.raises(ConfigurationError):
+            NGSTDatasetConfig(initial_value=70000)
+
+    def test_rejects_floor_above_initial(self):
+        with pytest.raises(ConfigurationError):
+            NGSTDatasetConfig(initial_value=10, background_floor=20)

@@ -1,0 +1,22 @@
+"""Run the doctests embedded in module documentation."""
+
+import doctest
+
+import pytest
+
+import repro.core.algo_ngst
+import repro.core.bitops
+import repro.core.voter
+
+MODULES = [
+    repro.core.algo_ngst,
+    repro.core.bitops,
+    repro.core.voter,
+]
+
+
+@pytest.mark.parametrize("module", MODULES, ids=lambda m: m.__name__)
+def test_module_doctests(module):
+    results = doctest.testmod(module, verbose=False)
+    assert results.failed == 0
+    assert results.attempted > 0  # the examples must actually exist

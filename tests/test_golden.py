@@ -1,0 +1,86 @@
+"""Golden regression tests: seeded outputs pinned exactly.
+
+These catch *accidental* behaviour changes (a reordered reduction, an
+off-by-one in a window) that the behavioural suite might absorb.  When
+a change is intentional, update the pinned values and say why in the
+commit.
+"""
+
+import hashlib
+
+import numpy as np
+import pytest
+
+from repro.config import (
+    CorrelatedFaultConfig,
+    NGSTConfig,
+    NGSTDatasetConfig,
+    OTISConfig,
+)
+from repro.core.algo_ngst import AlgoNGST
+from repro.core.algo_otis import AlgoOTIS
+from repro.data.ngst import generate_walk
+from repro.data.otis import blob
+from repro.faults.correlated import CorrelatedFaultModel
+from repro.faults.injector import FaultInjector
+from repro.faults.uncorrelated import UncorrelatedFaultModel
+from repro.metrics.relative_error import psi
+from repro.ngst.rice import rice_encode
+from repro.otis.quantize import encode_dn
+
+
+def digest(arr: np.ndarray) -> str:
+    return hashlib.sha256(np.ascontiguousarray(arr).tobytes()).hexdigest()[:16]
+
+
+def make_world():
+    rng = np.random.default_rng(123456)
+    pristine = generate_walk(
+        NGSTDatasetConfig(n_variants=32, sigma=25.0), rng, (8, 8)
+    )
+    corrupted, _ = FaultInjector(UncorrelatedFaultModel(0.01), seed=9).inject(
+        pristine
+    )
+    return pristine, corrupted
+
+
+class TestGoldenValues:
+    def test_walk_generation_pinned(self):
+        pristine, _ = make_world()
+        assert digest(pristine) == "20fa5b503f198ec8"
+
+    def test_uncorrelated_injection_pinned(self):
+        _, corrupted = make_world()
+        assert digest(corrupted) == "fc60d81d211803ab"
+
+    def test_algo_ngst_output_pinned(self):
+        _, corrupted = make_world()
+        result = AlgoNGST(NGSTConfig(sensitivity=80))(corrupted)
+        assert digest(result.corrected) == "56e6b3fae7dd307a"
+
+    def test_algo_ngst_psi_pinned(self):
+        pristine, corrupted = make_world()
+        result = AlgoNGST(NGSTConfig(sensitivity=80))(corrupted)
+        assert psi(corrupted, pristine) == pytest.approx(
+            0.023844846999034185, rel=1e-12
+        )
+        assert psi(result.corrected, pristine) == pytest.approx(
+            0.00099825938598397, rel=1e-12
+        )
+
+    def test_correlated_injection_pinned(self):
+        pristine, _ = make_world()
+        model = CorrelatedFaultModel(CorrelatedFaultConfig(gamma_ini=0.05))
+        corrupted, _ = FaultInjector(model, seed=9).inject(pristine)
+        assert digest(corrupted) == "111706a78ffc62c9"
+
+    def test_algo_otis_output_pinned(self):
+        dn = encode_dn(blob(24, 24))
+        corrupted, _ = FaultInjector(UncorrelatedFaultModel(0.02), seed=9).inject(dn)
+        result = AlgoOTIS(OTISConfig())(corrupted)
+        assert digest(result.corrected) == "73eeb7f571cbec7a"
+
+    def test_rice_stream_pinned(self):
+        pristine, _ = make_world()
+        blob_bytes = rice_encode(pristine[0])
+        assert hashlib.sha256(blob_bytes).hexdigest()[:16] == "e2ee86bc8a5f3002"
