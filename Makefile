@@ -2,13 +2,19 @@
 
 PYTHON ?= python
 
-.PHONY: install test bench figures quick-figures report claims clean
+.PHONY: install test verify bench figures quick-figures report claims clean
 
 install:
 	pip install -e . || $(PYTHON) setup.py develop
 
 test:
 	$(PYTHON) -m pytest tests/
+
+# Full gate: unit suite plus a parallel-execution smoke run, without
+# needing an editable install (PYTHONPATH=src).
+verify:
+	PYTHONPATH=src $(PYTHON) -m pytest -x -q
+	PYTHONPATH=src $(PYTHON) -m repro.cli fig2 --quick --jobs 2
 
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only

@@ -48,12 +48,19 @@ from repro.faults import (
     UncorrelatedFaultModel,
 )
 from repro.metrics import bit_confusion, improvement_factor, psi
+from repro.runtime import (
+    CheckpointStore,
+    ProcessPoolBackend,
+    SerialBackend,
+    TrialRuntime,
+)
 
 __version__ = "1.0.0"
 
 __all__ = [
     "AlgoNGST",
     "AlgoOTIS",
+    "CheckpointStore",
     "CorrelatedFaultConfig",
     "CorrelatedFaultModel",
     "FaultInjector",
@@ -67,8 +74,11 @@ __all__ = [
     "OTISConfig",
     "OTISPreprocessor",
     "OTISResult",
+    "ProcessPoolBackend",
     "ReproError",
     "RowMajorLayout",
+    "SerialBackend",
+    "TrialRuntime",
     "UncorrelatedFaultConfig",
     "UncorrelatedFaultModel",
     "bit_confusion",

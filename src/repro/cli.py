@@ -3,11 +3,21 @@
 Usage::
 
     repro list
-    repro fig2 [--quick]
+    repro fig2 [--quick] [--jobs N] [--progress]
     repro all [--quick] [--json OUT.json]
+    repro fig5 --resume [--checkpoint-dir DIR]
 
 ``--quick`` shrinks repeats/grids so every experiment finishes in
 seconds; default parameters match the EXPERIMENTS.md record.
+
+``--jobs N`` runs each experiment's trial loops across N worker
+processes; results are bit-identical to a serial run because every
+trial's seed comes from the same ``SeedSequence`` spawn tree.
+``--resume`` records completed trial shards to a JSONL checkpoint
+(``--checkpoint-dir``, default ``.repro-checkpoints``) and, on re-run,
+skips the shards already recorded — an interrupted campaign picks up
+where it stopped.  ``--progress`` prints per-shard telemetry (timing,
+trials/sec) to stderr.  See docs/RUNTIME.md.
 """
 
 from __future__ import annotations
@@ -15,8 +25,17 @@ from __future__ import annotations
 import argparse
 import json
 import sys
+from pathlib import Path
 
 from repro.experiments.registry import REGISTRY, run_experiment
+from repro.runtime import (
+    CheckpointStore,
+    ProcessPoolBackend,
+    ProgressPrinter,
+    SerialBackend,
+    Telemetry,
+    TrialRuntime,
+)
 
 #: Parameter overrides applied by --quick, per experiment.
 _QUICK_OVERRIDES: dict[str, dict] = {
@@ -79,7 +98,37 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument(
         "--out", metavar="PATH", help="('report' only) Markdown output path"
     )
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        metavar="N",
+        help="worker processes for trial loops (default 1 = serial; "
+        "results are bit-identical at any N)",
+    )
+    parser.add_argument(
+        "--resume",
+        action="store_true",
+        help="checkpoint completed trial shards and skip the ones already "
+        "recorded from a previous (possibly interrupted) run",
+    )
+    parser.add_argument(
+        "--checkpoint-dir",
+        metavar="DIR",
+        default=".repro-checkpoints",
+        help="where --resume stores per-experiment JSONL checkpoints "
+        "(default: %(default)s)",
+    )
+    parser.add_argument(
+        "--progress",
+        action="store_true",
+        help="print per-shard telemetry (timing, trials/sec) to stderr",
+    )
     args = parser.parse_args(argv)
+
+    if args.jobs < 1:
+        print(f"--jobs must be >= 1, got {args.jobs}", file=sys.stderr)
+        return 2
 
     if args.experiment == "list":
         for experiment_id in sorted(REGISTRY):
@@ -116,7 +165,8 @@ def main(argv: list[str] | None = None) -> int:
     collected = []
     for experiment_id in experiment_ids:
         kwargs = _QUICK_OVERRIDES.get(experiment_id, {}) if args.quick else {}
-        for result in run_experiment(experiment_id, **kwargs):
+        runtime = _build_runtime(args, experiment_id)
+        for result in run_experiment(experiment_id, runtime=runtime, **kwargs):
             print(result.to_table())
             print()
             collected.append(result.to_dict())
@@ -125,6 +175,28 @@ def main(argv: list[str] | None = None) -> int:
             json.dump(collected, fh, indent=2)
         print(f"wrote {len(collected)} result panel(s) to {args.json}")
     return 0
+
+
+def _build_runtime(args: argparse.Namespace, experiment_id: str) -> TrialRuntime:
+    """One runtime per experiment: fresh auto-key sequence, own checkpoint.
+
+    A per-experiment checkpoint file keyed by the runtime's
+    deterministic call sequence means a resumed run re-derives the same
+    keys in the same order and the recorded shards line up.
+    """
+    backend = (
+        ProcessPoolBackend(args.jobs) if args.jobs > 1 else SerialBackend()
+    )
+    checkpoint = None
+    if args.resume:
+        checkpoint = CheckpointStore(
+            Path(args.checkpoint_dir) / f"{experiment_id}.jsonl"
+        )
+    telemetry = None
+    if args.progress:
+        telemetry = Telemetry()
+        telemetry.subscribe(ProgressPrinter())
+    return TrialRuntime(backend=backend, checkpoint=checkpoint, telemetry=telemetry)
 
 
 if __name__ == "__main__":

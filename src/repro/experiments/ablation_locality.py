@@ -28,6 +28,7 @@ from repro.faults.uncorrelated import UncorrelatedFaultModel
 from repro.metrics.relative_error import psi
 from repro.otis.quantize import decode_dn
 from repro.otis.spectrometer import Spectrometer, default_bands
+from repro.runtime import TrialRuntime
 
 
 def _scene(side: int, rng: np.random.Generator) -> np.ndarray:
@@ -52,6 +53,7 @@ def run(
     side: int = 32,
     n_repeats: int = 3,
     seed: int = 2003,
+    runtime: TrialRuntime | None = None,
 ) -> ExperimentResult:
     """Ψ after spatial vs spectral preprocessing of a sensed DN cube."""
     result = ExperimentResult(
@@ -94,7 +96,7 @@ def run(
 
         for label, which in zip(labels, ("none", "spatial", "spectral")):
             curves[label].append(
-                averaged(lambda rng: one_point(rng, which), n_repeats, seed)
+                averaged(lambda rng: one_point(rng, which), n_repeats, seed, runtime)
             )
 
     for label in labels:

@@ -12,6 +12,7 @@ from repro.config import NGSTConfig
 from repro.core.algo_ngst import AlgoNGST
 from repro.exceptions import ConfigurationError
 from repro.metrics.relative_error import psi
+from repro.runtime import TrialRuntime
 
 
 @dataclass
@@ -97,13 +98,20 @@ def averaged(
     runner: Callable[[np.random.Generator], float],
     n_repeats: int,
     seed: int,
+    runtime: TrialRuntime | None = None,
 ) -> float:
-    """Mean of *runner* over ``n_repeats`` independently seeded runs."""
+    """Mean of *runner* over ``n_repeats`` independently seeded runs.
+
+    Delegates the repeat loop to :class:`repro.runtime.TrialRuntime`,
+    so passing a runtime with a process-pool backend parallelises the
+    repeats (and one with a checkpoint store makes them resumable)
+    without changing the result: per-repeat seeds are the
+    ``SeedSequence.spawn`` children of *seed* on every backend.
+    """
     if n_repeats < 1:
         raise ConfigurationError(f"n_repeats must be >= 1, got {n_repeats}")
-    seeds = np.random.SeedSequence(seed).spawn(n_repeats)
-    values = [runner(np.random.default_rng(s)) for s in seeds]
-    return float(np.mean(values))
+    runtime = runtime if runtime is not None else TrialRuntime()
+    return float(np.mean(runtime.run(runner, n_repeats, seed)))
 
 
 def best_sensitivity(

@@ -21,6 +21,7 @@ from repro.experiments.common import DEFAULT_GAMMA0_GRID, ExperimentResult, aver
 from repro.faults.injector import FaultInjector
 from repro.faults.uncorrelated import UncorrelatedFaultModel
 from repro.metrics.relative_error import psi
+from repro.runtime import TrialRuntime
 
 
 def run(
@@ -32,6 +33,7 @@ def run(
     shape: tuple[int, ...] = (16, 16),
     n_repeats: int = 3,
     seed: int = 2003,
+    runtime: TrialRuntime | None = None,
 ) -> ExperimentResult:
     """Regenerate the Figure 2 curves.
 
@@ -69,14 +71,16 @@ def run(
             return psi(algo(corrupted).corrected, pristine)
 
         curves["no-preprocessing"].append(
-            averaged(lambda rng: one_point(rng, "none"), n_repeats, seed)
+            averaged(lambda rng: one_point(rng, "none"), n_repeats, seed, runtime)
         )
         for lam in lambdas:
             curves[f"Algo_NGST L={int(lam)}"].append(
-                averaged(lambda rng: one_point(rng, "algo", lam), n_repeats, seed)
+                averaged(
+                    lambda rng: one_point(rng, "algo", lam), n_repeats, seed, runtime
+                )
             )
         curves["median-w3"].append(
-            averaged(lambda rng: one_point(rng, "median"), n_repeats, seed)
+            averaged(lambda rng: one_point(rng, "median"), n_repeats, seed, runtime)
         )
 
     for label in labels:

@@ -24,6 +24,7 @@ from repro.experiments.common import (
 from repro.faults.correlated import CorrelatedFaultModel
 from repro.faults.injector import FaultInjector
 from repro.metrics.relative_error import psi
+from repro.runtime import TrialRuntime
 
 DEFAULT_GAMMA_INI_GRID = (0.005, 0.01, 0.025, 0.05, 0.1, 0.15, 0.2)
 
@@ -36,6 +37,7 @@ def run(
     shape: tuple[int, ...] = (16, 16),
     n_repeats: int = 3,
     seed: int = 2003,
+    runtime: TrialRuntime | None = None,
 ) -> ExperimentResult:
     """Regenerate the Figure 4 comparison (optimal Λ per point)."""
     result = ExperimentResult(
@@ -65,7 +67,9 @@ def run(
             return best
 
         for label, which in zip(labels, ("none", "algo", "median", "majority")):
-            curves[label].append(averaged(lambda rng: one_point(rng, which), n_repeats, seed))
+            curves[label].append(
+                averaged(lambda rng: one_point(rng, which), n_repeats, seed, runtime)
+            )
 
     for label in labels:
         result.add(label, list(gamma_ini_grid), curves[label])

@@ -16,6 +16,7 @@ import numpy as np
 
 from repro.data.otis import DATASET_NAMES, make_dataset
 from repro.experiments.common import ExperimentResult
+from repro.runtime import TrialRuntime
 
 
 def _centre_band_concentration(field: np.ndarray) -> float:
@@ -37,8 +38,10 @@ def run(
     cols: int = 64,
     n_repeats: int = 5,
     seed: int = 2003,
+    runtime: TrialRuntime | None = None,
 ) -> ExperimentResult:
     """Morphology statistics per dataset (x axis indexes the datasets)."""
+    runtime = runtime if runtime is not None else TrialRuntime()
     result = ExperimentResult(
         experiment_id="fig8",
         title="OTIS dataset morphologies (Blob / Stripe / Spots)",
@@ -51,23 +54,22 @@ def run(
         "extreme span": [],
         "deviant pixel fraction": [],
     }
-    seeds = np.random.SeedSequence(seed).spawn(n_repeats)
+    stat_keys = tuple(stats)
     for name in datasets:
-        per_stat = {key: [] for key in stats}
-        for child in seeds:
-            rng = np.random.default_rng(child)
+
+        def one_field(rng: np.random.Generator) -> list[float]:
             field = make_dataset(name, rows, cols, rng).astype(np.float64)
-            per_stat["std"].append(field.std())
-            per_stat["centre-band concentration"].append(
-                _centre_band_concentration(field)
-            )
-            per_stat["extreme span"].append(field.max() - field.min())
             median = np.median(field)
-            per_stat["deviant pixel fraction"].append(
-                float(np.mean(np.abs(field - median) > 10.0))
-            )
-        for key in stats:
-            stats[key].append(float(np.mean(per_stat[key])))
+            return [
+                float(field.std()),
+                _centre_band_concentration(field),
+                float(field.max() - field.min()),
+                float(np.mean(np.abs(field - median) > 10.0)),
+            ]
+
+        trials = runtime.run(one_field, n_repeats, seed)
+        for key, column in zip(stat_keys, zip(*trials)):
+            stats[key].append(float(np.mean(column)))
     xs = list(range(1, len(datasets) + 1))
     for key, values in stats.items():
         result.add(key, [float(x) for x in xs], values)

@@ -27,11 +27,12 @@ import numpy as np
 from repro.config import NGSTConfig, NGSTDatasetConfig
 from repro.core.algo_ngst import AlgoNGST
 from repro.data.ngst import generate_walk
-from repro.experiments.common import ExperimentResult, averaged
+from repro.experiments.common import ExperimentResult
 from repro.faults.injector import FaultInjector
 from repro.faults.uncorrelated import UncorrelatedFaultModel
 from repro.ft.abft import abft_matmul
 from repro.ft.nvp import NVPVoter
+from repro.runtime import TrialRuntime
 
 
 def _calibration_matrix(size: int) -> np.ndarray:
@@ -53,8 +54,15 @@ def run(
     side: int = 16,
     n_repeats: int = 3,
     seed: int = 2003,
+    runtime: TrialRuntime | None = None,
 ) -> ExperimentResult:
-    """Certified-output error of ABFT / NVP with raw vs preprocessed input."""
+    """Certified-output error of ABFT / NVP with raw vs preprocessed input.
+
+    Each trial returns ``[error, certified]`` so the certification
+    verdicts travel with the trial values — they survive process-pool
+    workers and checkpoint resume, unlike an accumulator side effect.
+    """
+    runtime = runtime if runtime is not None else TrialRuntime()
     result = ExperimentResult(
         experiment_id="motivation",
         title="Input faults defeat computation-level FT (ABFT/NVP)",
@@ -73,7 +81,9 @@ def run(
 
     for gamma0 in gamma0_grid:
 
-        def one_point(rng: np.random.Generator, scheme: str, preprocess: bool) -> float:
+        def one_point(
+            rng: np.random.Generator, scheme: str, preprocess: bool
+        ) -> list[float]:
             dataset_cfg = NGSTDatasetConfig(n_variants=n_variants, sigma=sigma)
             stack = generate_walk(dataset_cfg, rng, (side, side))
             reference_frame = stack.mean(axis=0)
@@ -90,8 +100,10 @@ def run(
 
             if scheme == "abft":
                 product, report = abft_matmul(frame, calibration)
-                certified["ABFT"].append(report.consistent)
-                return _relative_error(product, reference)
+                return [
+                    _relative_error(product, reference),
+                    float(report.consistent),
+                ]
 
             # Three "independently developed" versions of the product.
             versions = [
@@ -101,16 +113,19 @@ def run(
             ]
             voter = NVPVoter(versions, atol=1e-6)
             outcome = voter.run(frame)
-            certified["NVP"].append(outcome.agreed)
             output = outcome.output if outcome.output is not None else frame
-            return _relative_error(output, reference)
+            return [_relative_error(output, reference), float(outcome.agreed)]
 
         for label, (scheme, pre) in zip(
             labels,
             (("abft", False), ("abft", True), ("nvp", False), ("nvp", True)),
         ):
-            curves[label].append(
-                averaged(lambda rng: one_point(rng, scheme, pre), n_repeats, seed)
+            trials = runtime.run(
+                lambda rng: one_point(rng, scheme, pre), n_repeats, seed
+            )
+            curves[label].append(float(np.mean([error for error, _ in trials])))
+            certified["ABFT" if scheme == "abft" else "NVP"].extend(
+                bool(flag) for _, flag in trials
             )
 
     for label in labels:

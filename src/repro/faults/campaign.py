@@ -6,6 +6,13 @@ a dataset generator, a fault model, a preprocessing algorithm and a
 metric together, runs N independently seeded trials, and reports the
 mean with a normal-approximation confidence interval, so experiment
 code states *what* is averaged instead of re-implementing the loop.
+
+The trial loop itself is delegated to
+:class:`repro.runtime.TrialRuntime`: trial seeds are the
+``SeedSequence.spawn`` children of the campaign seed regardless of
+backend or sharding, so a campaign run across a process pool — or
+killed and resumed from a checkpoint — produces bit-identical values
+to a serial run.
 """
 
 from __future__ import annotations
@@ -18,6 +25,7 @@ import numpy as np
 
 from repro.exceptions import ConfigurationError
 from repro.faults.injector import FaultInjector
+from repro.runtime import TrialRuntime
 
 #: z-scores for the supported confidence levels.
 _Z_SCORES = {0.90: 1.6449, 0.95: 1.9600, 0.99: 2.5758}
@@ -45,6 +53,28 @@ class CampaignSummary:
     @property
     def ci(self) -> tuple[float, float]:
         return (self.mean - self.ci_half_width, self.mean + self.ci_half_width)
+
+    @classmethod
+    def from_values(
+        cls, values: "list[float] | tuple[float, ...]", confidence: float = 0.95
+    ) -> "CampaignSummary":
+        """Summarise raw per-trial values at the given confidence level."""
+        if confidence not in _Z_SCORES:
+            raise ConfigurationError(
+                f"confidence must be one of {sorted(_Z_SCORES)}, got {confidence}"
+            )
+        if not values:
+            raise ConfigurationError("need at least one trial value")
+        mean = float(np.mean(values))
+        std = float(np.std(values, ddof=1)) if len(values) > 1 else 0.0
+        half = _Z_SCORES[confidence] * std / math.sqrt(len(values))
+        return cls(
+            mean=mean,
+            std=std,
+            ci_half_width=half,
+            n_trials=len(values),
+            values=tuple(float(v) for v in values),
+        )
 
 
 class Campaign:
@@ -81,37 +111,51 @@ class Campaign:
         self.preprocess = preprocess
         self.confidence = confidence
 
-    def run(self, n_trials: int, seed: int = 0) -> CampaignSummary:
-        """Run *n_trials* independently seeded trials and summarise."""
+    def _trial(self, rng: np.random.Generator) -> float:
+        """One generate → corrupt → preprocess → measure pass."""
+        pristine = self.generate(rng)
+        injector = FaultInjector(self.fault_model, seed=int(rng.integers(2**31)))
+        corrupted, _ = injector.inject(pristine)
+        processed = self.preprocess(corrupted) if self.preprocess else corrupted
+        return float(self.metric(processed, pristine))
+
+    def run(
+        self,
+        n_trials: int,
+        seed: int = 0,
+        runtime: TrialRuntime | None = None,
+        key: str | None = None,
+    ) -> CampaignSummary:
+        """Run *n_trials* independently seeded trials and summarise.
+
+        Args:
+            n_trials: number of trials (>= 1).
+            seed: root seed; per-trial seeds are its ``SeedSequence``
+                children.
+            runtime: execution runtime; a serial
+                :class:`~repro.runtime.TrialRuntime` when omitted.
+                Pass one with a :class:`~repro.runtime.ProcessPoolBackend`
+                to parallelise, or with a checkpoint store to make the
+                campaign resumable — the summary is identical either way.
+            key: checkpoint identity for this run (see
+                :meth:`TrialRuntime.run`).
+        """
         if n_trials < 1:
             raise ConfigurationError(f"n_trials must be >= 1, got {n_trials}")
-        values = []
-        for child_seed in np.random.SeedSequence(seed).spawn(n_trials):
-            rng = np.random.default_rng(child_seed)
-            pristine = self.generate(rng)
-            injector = FaultInjector(self.fault_model, seed=int(rng.integers(2**31)))
-            corrupted, _ = injector.inject(pristine)
-            processed = (
-                self.preprocess(corrupted) if self.preprocess else corrupted
-            )
-            values.append(float(self.metric(processed, pristine)))
-        mean = float(np.mean(values))
-        std = float(np.std(values, ddof=1)) if len(values) > 1 else 0.0
-        half = _Z_SCORES[self.confidence] * std / math.sqrt(len(values))
-        return CampaignSummary(
-            mean=mean,
-            std=std,
-            ci_half_width=half,
-            n_trials=len(values),
-            values=tuple(values),
-        )
+        runtime = runtime if runtime is not None else TrialRuntime()
+        values = runtime.run(self._trial, n_trials, seed, key=key)
+        return CampaignSummary.from_values(values, self.confidence)
 
     def compare(
-        self, other: "Campaign", n_trials: int, seed: int = 0
+        self,
+        other: "Campaign",
+        n_trials: int,
+        seed: int = 0,
+        runtime: TrialRuntime | None = None,
     ) -> tuple[CampaignSummary, CampaignSummary, float]:
         """Run this and *other* on the same seeds; returns both summaries
         and the mean ratio (self / other), the paper's gain measure."""
-        mine = self.run(n_trials, seed)
-        theirs = other.run(n_trials, seed)
+        mine = self.run(n_trials, seed, runtime=runtime)
+        theirs = other.run(n_trials, seed, runtime=runtime)
         ratio = mine.mean / theirs.mean if theirs.mean else float("inf")
         return mine, theirs, ratio

@@ -1,0 +1,49 @@
+"""Parallel campaign execution runtime: sharded trials, pluggable
+serial/process-pool backends, JSONL checkpointing, and telemetry.
+
+The paper's evaluation averages every data point over many
+independently seeded trials (Figure 5 uses 100 datasets per point).
+This subsystem makes that loop a scheduling problem: a
+:class:`TrialPlan` derives per-trial seeds via
+``SeedSequence.spawn`` and splits them into shards, an
+:class:`Executor` backend runs the shards (in-process or across a
+process pool), a :class:`CheckpointStore` records completions so an
+interrupted campaign resumes where it stopped, and a
+:class:`Telemetry` hub reports per-shard timing and throughput.
+Results are bit-identical across backends, shard sizes, and
+interrupt/resume cycles.
+"""
+
+from repro.runtime.backend import (
+    Executor,
+    ProcessPoolBackend,
+    SerialBackend,
+    ShardResult,
+)
+from repro.runtime.checkpoint import CheckpointStore
+from repro.runtime.executor import TrialRuntime
+from repro.runtime.plan import Shard, TrialPlan, default_shard_size
+from repro.runtime.telemetry import (
+    ProgressPrinter,
+    RunCompleted,
+    RunStarted,
+    ShardCompleted,
+    Telemetry,
+)
+
+__all__ = [
+    "CheckpointStore",
+    "Executor",
+    "ProcessPoolBackend",
+    "ProgressPrinter",
+    "RunCompleted",
+    "RunStarted",
+    "SerialBackend",
+    "Shard",
+    "ShardCompleted",
+    "ShardResult",
+    "Telemetry",
+    "TrialPlan",
+    "TrialRuntime",
+    "default_shard_size",
+]

@@ -1,0 +1,146 @@
+"""Execution backends: where a plan's shards actually run.
+
+Both backends implement the one-method :class:`Executor` interface —
+take a shard function and a list of shards, yield a
+:class:`ShardResult` per shard as each completes (possibly out of
+order) — so everything above them (checkpointing, telemetry, result
+assembly) is backend-agnostic.
+
+:class:`ProcessPoolBackend` uses a fork-context ``multiprocessing``
+pool and passes the shard function to workers through the pool
+initializer, which fork inherits rather than pickles.  Campaign trial
+functions are typically closures over lambdas (dataset generators,
+preprocessing arms) that could never cross a pickle boundary; fork
+inheritance lets exactly the same campaign objects run serially or in
+parallel.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import time
+from abc import ABC, abstractmethod
+from collections.abc import Callable, Iterator, Sequence
+from dataclasses import dataclass
+
+from repro.exceptions import ConfigurationError
+from repro.runtime.plan import Shard
+
+#: A shard function: runs every trial in a shard, returns their values
+#: in trial order.
+ShardFn = Callable[[Shard], list]
+
+
+@dataclass(frozen=True)
+class ShardResult:
+    """One completed shard.
+
+    Attributes:
+        index: the shard's position in its plan.
+        values: per-trial results in trial order.
+        elapsed_s: wall-clock seconds spent running the shard (measured
+            inside the worker, so it excludes queueing).
+    """
+
+    index: int
+    values: list
+    elapsed_s: float
+
+
+class Executor(ABC):
+    """Interface every execution backend implements.
+
+    Attributes:
+        jobs: worker count (1 for serial backends).
+    """
+
+    jobs: int = 1
+
+    @abstractmethod
+    def run_shards(
+        self, shard_fn: ShardFn, shards: Sequence[Shard]
+    ) -> Iterator[ShardResult]:
+        """Run *shard_fn* over *shards*, yielding results as they finish.
+
+        Results may arrive out of shard order; callers reassemble by
+        ``ShardResult.index``.
+        """
+
+    def describe(self) -> str:
+        """Human-readable backend identity for telemetry."""
+        return f"{type(self).__name__}(jobs={self.jobs})"
+
+
+def _timed_shard(shard_fn: ShardFn, shard: Shard) -> ShardResult:
+    start = time.perf_counter()
+    values = shard_fn(shard)
+    return ShardResult(
+        index=shard.index, values=list(values), elapsed_s=time.perf_counter() - start
+    )
+
+
+class SerialBackend(Executor):
+    """Runs every shard in the calling process, in plan order."""
+
+    jobs = 1
+
+    def run_shards(
+        self, shard_fn: ShardFn, shards: Sequence[Shard]
+    ) -> Iterator[ShardResult]:
+        for shard in shards:
+            yield _timed_shard(shard_fn, shard)
+
+
+#: Worker-process slot for the inherited shard function; set by
+#: :func:`_init_worker` in each pool worker.
+_WORKER_SHARD_FN: ShardFn | None = None
+
+
+def _init_worker(shard_fn: ShardFn) -> None:
+    global _WORKER_SHARD_FN
+    _WORKER_SHARD_FN = shard_fn
+
+
+def _run_worker_shard(shard: Shard) -> ShardResult:
+    assert _WORKER_SHARD_FN is not None, "pool worker not initialised"
+    return _timed_shard(_WORKER_SHARD_FN, shard)
+
+
+class ProcessPoolBackend(Executor):
+    """Runs shards across a fork-context multiprocessing pool.
+
+    Args:
+        jobs: number of worker processes (>= 1).
+        start_method: multiprocessing start method; only ``fork``
+            supports non-picklable trial functions, so it is the
+            default and the only method accepted unless the shard
+            function is known to be picklable.
+    """
+
+    def __init__(self, jobs: int, start_method: str = "fork") -> None:
+        if jobs < 1:
+            raise ConfigurationError(f"jobs must be >= 1, got {jobs}")
+        if start_method not in multiprocessing.get_all_start_methods():
+            raise ConfigurationError(
+                f"start method {start_method!r} unavailable on this platform "
+                f"(have {multiprocessing.get_all_start_methods()})"
+            )
+        self.jobs = jobs
+        self.start_method = start_method
+
+    def run_shards(
+        self, shard_fn: ShardFn, shards: Sequence[Shard]
+    ) -> Iterator[ShardResult]:
+        shards = list(shards)
+        if not shards:
+            return
+        n_workers = min(self.jobs, len(shards))
+        if n_workers == 1:
+            # One worker cannot beat in-process execution; skip the pool.
+            yield from SerialBackend().run_shards(shard_fn, shards)
+            return
+        ctx = multiprocessing.get_context(self.start_method)
+        with ctx.Pool(
+            processes=n_workers, initializer=_init_worker, initargs=(shard_fn,)
+        ) as pool:
+            yield from pool.imap_unordered(_run_worker_shard, shards)

@@ -1,0 +1,99 @@
+"""JSONL checkpoint store: crash-safe record of completed shards.
+
+Each completed shard appends one self-contained JSON line::
+
+    {"key": "fig5/point-3", "fingerprint": "n=100;seed=2003;shard=7;v1",
+     "shard": 4, "values": [0.0123, ...], "elapsed_s": 0.8}
+
+Append-only JSONL makes interrupted writes harmless: a run killed
+mid-line leaves one trailing partial record, which the loader skips,
+and every earlier line is still intact.  On resume the runtime asks
+for the shards recorded under the same ``(key, fingerprint)`` pair and
+runs only the rest; a checkpoint written by a parallel run resumes
+under a serial one (and vice versa) because plans are sharded
+identically regardless of backend.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.exceptions import ConfigurationError
+
+
+class CheckpointStore:
+    """Append-only JSONL record of completed shards.
+
+    Args:
+        path: checkpoint file; created (with parents) on first record.
+    """
+
+    def __init__(self, path: str | Path) -> None:
+        self.path = Path(path)
+
+    def completed(self, key: str, fingerprint: str) -> dict[int, list]:
+        """Shard index → values for shards recorded under this run.
+
+        Records whose ``key`` or ``fingerprint`` differ are ignored, so
+        one store can hold many runs and a changed plan (different
+        trial count, seed, or shard size) silently invalidates stale
+        entries instead of resuming into the wrong campaign.
+        """
+        done: dict[int, list] = {}
+        for record in self._records():
+            if record.get("key") == key and record.get("fingerprint") == fingerprint:
+                try:
+                    done[int(record["shard"])] = list(record["values"])
+                except (KeyError, TypeError, ValueError):
+                    continue  # malformed record: treat the shard as not done
+        return done
+
+    def record(
+        self,
+        key: str,
+        fingerprint: str,
+        shard_index: int,
+        values: list,
+        elapsed_s: float = 0.0,
+    ) -> None:
+        """Append one completed shard and flush it to disk."""
+        line = json.dumps(
+            {
+                "key": key,
+                "fingerprint": fingerprint,
+                "shard": int(shard_index),
+                "values": list(values),
+                "elapsed_s": float(elapsed_s),
+            }
+        )
+        if "\n" in line:
+            raise ConfigurationError("checkpoint record must be a single line")
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        with self.path.open("a") as fh:
+            fh.write(line + "\n")
+            fh.flush()
+
+    def clear(self) -> None:
+        """Delete the checkpoint file (start the campaign from scratch)."""
+        self.path.unlink(missing_ok=True)
+
+    def _records(self) -> list[dict]:
+        if not self.path.exists():
+            return []
+        records = []
+        with self.path.open() as fh:
+            for line in fh:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    record = json.loads(line)
+                except json.JSONDecodeError:
+                    continue  # partial line from an interrupted run
+                if isinstance(record, dict):
+                    records.append(record)
+        return records
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"CheckpointStore({str(self.path)!r})"

@@ -4,7 +4,8 @@ import json
 
 import pytest
 
-from repro.cli import main
+from repro.cli import _QUICK_OVERRIDES, main
+from repro.experiments.registry import REGISTRY
 
 
 class TestCLI:
@@ -47,3 +48,60 @@ class TestAllQuickOverrides:
         assert main([experiment_id, "--quick"]) == 0
         out = capsys.readouterr().out
         assert experiment_id.split("-")[0] in out or experiment_id in out
+
+    def test_overrides_cover_exactly_the_registry(self):
+        """A new experiment must ship a --quick override, and overrides
+        must not outlive the experiments they tune."""
+        assert set(_QUICK_OVERRIDES) == set(REGISTRY)
+
+
+class TestRuntimeFlags:
+    def test_rejects_nonpositive_jobs(self, capsys):
+        assert main(["fig2", "--quick", "--jobs", "0"]) == 2
+        assert "--jobs" in capsys.readouterr().err
+
+    def test_jobs_output_byte_identical_to_serial(self, tmp_path, capsys):
+        """`repro fig2 --quick` must produce byte-identical JSON at any
+        worker count — the determinism contract of the runtime."""
+        serial_path = tmp_path / "serial.json"
+        parallel_path = tmp_path / "parallel.json"
+        assert main(["fig2", "--quick", "--jobs", "1", "--json", str(serial_path)]) == 0
+        assert (
+            main(["fig2", "--quick", "--jobs", "4", "--json", str(parallel_path)]) == 0
+        )
+        capsys.readouterr()
+        assert serial_path.read_bytes() == parallel_path.read_bytes()
+
+    def test_parallel_pool_output_byte_identical(self, tmp_path, capsys):
+        """fig5 --quick has multi-trial campaigns (n_datasets=3), so
+        --jobs 2 genuinely fans out to worker processes."""
+        serial_path = tmp_path / "serial.json"
+        parallel_path = tmp_path / "parallel.json"
+        assert main(["fig5", "--quick", "--json", str(serial_path)]) == 0
+        assert (
+            main(["fig5", "--quick", "--jobs", "2", "--json", str(parallel_path)]) == 0
+        )
+        capsys.readouterr()
+        assert serial_path.read_bytes() == parallel_path.read_bytes()
+
+    def test_resume_writes_and_reuses_checkpoints(self, tmp_path, capsys):
+        ckpt_dir = tmp_path / "ckpts"
+        first = tmp_path / "first.json"
+        second = tmp_path / "second.json"
+        args = ["fig5", "--quick", "--resume", "--checkpoint-dir", str(ckpt_dir)]
+        assert main(args + ["--json", str(first)]) == 0
+        ckpt_path = ckpt_dir / "fig5.jsonl"
+        assert ckpt_path.exists()
+        recorded = ckpt_path.read_text()
+        # Second run restores every shard: the checkpoint grows by
+        # nothing and the output is unchanged.
+        assert main(args + ["--json", str(second)]) == 0
+        capsys.readouterr()
+        assert ckpt_path.read_text() == recorded
+        assert first.read_bytes() == second.read_bytes()
+
+    def test_progress_prints_telemetry_to_stderr(self, tmp_path, capsys):
+        assert main(["fig5", "--quick", "--progress"]) == 0
+        captured = capsys.readouterr()
+        assert "trial(s)" in captured.err
+        assert "done:" in captured.err

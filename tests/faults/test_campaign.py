@@ -7,9 +7,10 @@ from repro.config import NGSTConfig, NGSTDatasetConfig
 from repro.core.algo_ngst import AlgoNGST
 from repro.data.ngst import generate_walk
 from repro.exceptions import ConfigurationError
-from repro.faults.campaign import Campaign
+from repro.faults.campaign import Campaign, CampaignSummary
 from repro.faults.uncorrelated import UncorrelatedFaultModel
 from repro.metrics.relative_error import psi
+from repro.runtime import ProcessPoolBackend, TrialRuntime
 
 
 def _generate(rng):
@@ -76,6 +77,69 @@ class TestRun:
         narrow = _campaign(confidence=0.90).run(n_trials=6, seed=3)
         wide = _campaign(confidence=0.99).run(n_trials=6, seed=3)
         assert wide.ci_half_width > narrow.ci_half_width
+
+
+class TestSummaryMath:
+    """CI math against known-variance fixtures.
+
+    With values (2, 4): mean 3, sample std sqrt(2), n 2 — so the
+    half-width z*std/sqrt(n) collapses to exactly the z-score.
+    """
+
+    @pytest.mark.parametrize(
+        ("confidence", "z"),
+        [(0.90, 1.6449), (0.95, 1.9600), (0.99, 2.5758)],
+    )
+    def test_half_width_is_z_score_for_unit_term(self, confidence, z):
+        summary = CampaignSummary.from_values([2.0, 4.0], confidence)
+        assert summary.mean == 3.0
+        assert summary.std == pytest.approx(np.sqrt(2.0))
+        assert summary.ci_half_width == pytest.approx(z)
+
+    def test_known_variance_fixture(self):
+        # values 1..5: mean 3, sample variance 2.5, n 5.
+        summary = CampaignSummary.from_values([1.0, 2.0, 3.0, 4.0, 5.0], 0.95)
+        assert summary.mean == 3.0
+        assert summary.std == pytest.approx(np.sqrt(2.5))
+        expected = 1.9600 * np.sqrt(2.5) / np.sqrt(5)
+        assert summary.ci_half_width == pytest.approx(expected)
+        assert summary.ci == pytest.approx((3.0 - expected, 3.0 + expected))
+
+    def test_single_value_has_zero_width(self):
+        summary = CampaignSummary.from_values([7.5])
+        assert (summary.mean, summary.std, summary.ci_half_width) == (7.5, 0.0, 0.0)
+        assert summary.ci == (7.5, 7.5)
+
+    @pytest.mark.parametrize("confidence", [0.5, 0.85, 0.999, 1.0, 0.0])
+    def test_unsupported_confidence_rejected(self, confidence):
+        with pytest.raises(ConfigurationError, match="confidence"):
+            CampaignSummary.from_values([1.0, 2.0], confidence)
+
+    def test_empty_values_rejected(self):
+        with pytest.raises(ConfigurationError):
+            CampaignSummary.from_values([])
+
+
+class TestRuntimeIntegration:
+    def test_parallel_campaign_matches_serial(self):
+        """Campaign trial fns are bound methods of objects holding
+        lambdas; fork inheritance must carry them into the pool."""
+        serial = _campaign().run(n_trials=5, seed=9)
+        parallel = _campaign().run(
+            n_trials=5,
+            seed=9,
+            runtime=TrialRuntime(ProcessPoolBackend(2), shard_size=1),
+        )
+        assert parallel.values == serial.values
+        assert parallel.mean == serial.mean
+        assert parallel.ci_half_width == serial.ci_half_width
+
+    def test_explicit_serial_runtime_matches_default(self):
+        default = _campaign().run(n_trials=4, seed=5)
+        explicit = _campaign().run(
+            n_trials=4, seed=5, runtime=TrialRuntime(shard_size=2)
+        )
+        assert explicit.values == default.values
 
 
 class TestCompare:

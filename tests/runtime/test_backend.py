@@ -1,0 +1,93 @@
+"""Tests for the execution backends."""
+
+import os
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.runtime.backend import ProcessPoolBackend, SerialBackend
+from repro.runtime.plan import TrialPlan
+
+
+def _shard_fn(shard):
+    return [float(np.random.default_rng(seed).normal()) for seed in shard.seeds]
+
+
+def _collect(backend, shard_fn, shards):
+    results = {r.index: r for r in backend.run_shards(shard_fn, shards)}
+    return [v for i in sorted(results) for v in results[i].values]
+
+
+class TestSerialBackend:
+    def test_runs_in_order(self):
+        plan = TrialPlan(6, seed=1, shard_size=2)
+        indices = [r.index for r in SerialBackend().run_shards(_shard_fn, plan.shards)]
+        assert indices == [0, 1, 2]
+
+    def test_values_match_direct_loop(self):
+        plan = TrialPlan(5, seed=7, shard_size=2)
+        values = _collect(SerialBackend(), _shard_fn, plan.shards)
+        reference = [
+            float(np.random.default_rng(s).normal())
+            for s in np.random.SeedSequence(7).spawn(5)
+        ]
+        assert values == reference
+
+    def test_elapsed_recorded(self):
+        plan = TrialPlan(2, seed=0, shard_size=2)
+        (result,) = SerialBackend().run_shards(_shard_fn, plan.shards)
+        assert result.elapsed_s >= 0.0
+
+    def test_empty_shard_list(self):
+        assert list(SerialBackend().run_shards(_shard_fn, [])) == []
+
+
+class TestProcessPoolBackend:
+    def test_rejects_bad_jobs(self):
+        with pytest.raises(ConfigurationError):
+            ProcessPoolBackend(0)
+
+    def test_rejects_unknown_start_method(self):
+        with pytest.raises(ConfigurationError):
+            ProcessPoolBackend(2, start_method="no-such-method")
+
+    def test_matches_serial_bitwise(self):
+        plan = TrialPlan(11, seed=42, shard_size=3)
+        serial = _collect(SerialBackend(), _shard_fn, plan.shards)
+        parallel = _collect(ProcessPoolBackend(4), _shard_fn, plan.shards)
+        assert parallel == serial
+
+    def test_closures_cross_the_fork_boundary(self):
+        """Trial functions built from lambdas (unpicklable) must work:
+        the pool inherits them via fork instead of pickling."""
+        offset = 10.0
+        shard_fn = lambda shard: [  # noqa: E731 - the point of the test
+            offset + float(np.random.default_rng(seed).normal())
+            for seed in shard.seeds
+        ]
+        plan = TrialPlan(4, seed=5, shard_size=1)
+        values = _collect(ProcessPoolBackend(2), shard_fn, plan.shards)
+        assert values == _collect(SerialBackend(), shard_fn, plan.shards)
+        assert all(v > 5.0 for v in values)
+
+    def test_single_worker_falls_back_to_serial(self):
+        """jobs=1 must not pay pool start-up cost (no child processes)."""
+        plan = TrialPlan(3, seed=1, shard_size=1)
+        pids = set()
+        shard_fn = lambda shard: [float(os.getpid())]  # noqa: E731
+        for result in ProcessPoolBackend(1).run_shards(shard_fn, plan.shards):
+            pids.update(result.values)
+        assert pids == {float(os.getpid())}
+
+    def test_worker_exception_propagates(self):
+        def boom(shard):
+            raise ValueError("worker failure")
+
+        plan = TrialPlan(4, seed=1, shard_size=1)
+        with pytest.raises(ValueError, match="worker failure"):
+            list(ProcessPoolBackend(2).run_shards(boom, plan.shards))
+
+    def test_describe(self):
+        assert "ProcessPoolBackend" in ProcessPoolBackend(3).describe()
+        assert "jobs=3" in ProcessPoolBackend(3).describe()

@@ -1,0 +1,71 @@
+"""Tests for the JSONL checkpoint store."""
+
+import json
+
+from repro.runtime.checkpoint import CheckpointStore
+
+FP = "n=10;seed=3;shard=3;v1"
+
+
+class TestCheckpointStore:
+    def test_missing_file_means_nothing_completed(self, tmp_path):
+        store = CheckpointStore(tmp_path / "none.jsonl")
+        assert store.completed("run-0000", FP) == {}
+
+    def test_record_roundtrip(self, tmp_path):
+        store = CheckpointStore(tmp_path / "ckpt.jsonl")
+        store.record("run-0000", FP, 0, [1.5, 2.5], elapsed_s=0.1)
+        store.record("run-0000", FP, 2, [3.5])
+        assert store.completed("run-0000", FP) == {0: [1.5, 2.5], 2: [3.5]}
+
+    def test_values_roundtrip_bitwise(self, tmp_path):
+        """json shortest-repr floats must come back exactly equal."""
+        store = CheckpointStore(tmp_path / "ckpt.jsonl")
+        values = [0.1 + 0.2, 1e-17, -3.141592653589793, 2**53 + 0.0]
+        store.record("k", FP, 0, values)
+        assert store.completed("k", FP)[0] == values
+
+    def test_other_keys_and_fingerprints_ignored(self, tmp_path):
+        store = CheckpointStore(tmp_path / "ckpt.jsonl")
+        store.record("run-0000", FP, 0, [1.0])
+        store.record("run-0001", FP, 1, [2.0])
+        store.record("run-0000", "n=99;seed=3;shard=3;v1", 2, [3.0])
+        assert store.completed("run-0000", FP) == {0: [1.0]}
+
+    def test_rerecorded_shard_keeps_latest(self, tmp_path):
+        store = CheckpointStore(tmp_path / "ckpt.jsonl")
+        store.record("k", FP, 0, [1.0])
+        store.record("k", FP, 0, [2.0])
+        assert store.completed("k", FP) == {0: [2.0]}
+
+    def test_partial_trailing_line_skipped(self, tmp_path):
+        """A run killed mid-write leaves a truncated last line."""
+        path = tmp_path / "ckpt.jsonl"
+        store = CheckpointStore(path)
+        store.record("k", FP, 0, [1.0])
+        with path.open("a") as fh:
+            fh.write('{"key": "k", "fingerprint": "' + FP + '", "shard": 1, "val')
+        assert store.completed("k", FP) == {0: [1.0]}
+
+    def test_garbage_and_blank_lines_skipped(self, tmp_path):
+        path = tmp_path / "ckpt.jsonl"
+        store = CheckpointStore(path)
+        with path.open("w") as fh:
+            fh.write("not json at all\n\n[1, 2, 3]\n")
+            fh.write(json.dumps({"key": "k", "fingerprint": FP, "shard": "bad"}))
+            fh.write("\n")
+        store.record("k", FP, 3, [4.0])
+        assert store.completed("k", FP) == {3: [4.0]}
+
+    def test_creates_parent_directories(self, tmp_path):
+        store = CheckpointStore(tmp_path / "deep" / "nested" / "ckpt.jsonl")
+        store.record("k", FP, 0, [1.0])
+        assert store.completed("k", FP) == {0: [1.0]}
+
+    def test_clear_removes_file(self, tmp_path):
+        store = CheckpointStore(tmp_path / "ckpt.jsonl")
+        store.record("k", FP, 0, [1.0])
+        store.clear()
+        assert not store.path.exists()
+        assert store.completed("k", FP) == {}
+        store.clear()  # idempotent on a missing file
