@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test verify bench figures quick-figures report claims clean
+.PHONY: install test verify bench bench-report figures quick-figures report claims clean
 
 install:
 	pip install -e . || $(PYTHON) setup.py develop
@@ -18,6 +18,11 @@ verify:
 
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only
+
+# Machine-readable before/after kernel timings (BENCH_PR2.json).
+# BENCH_ARGS=--quick shrinks problem sizes for CI.
+bench-report:
+	PYTHONPATH=src $(PYTHON) tools/bench_report.py $(BENCH_ARGS)
 
 figures:
 	$(PYTHON) -m repro.cli all --json results_full.json | tee results_full.txt

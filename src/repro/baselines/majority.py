@@ -93,6 +93,27 @@ def majority_vote_window(pixels: np.ndarray, window: int = 3) -> np.ndarray:
     if n < window:
         raise DataFormatError(f"need N >= {window} variants, got {n}")
     half = window // 2
+    planes = bitops.to_bit_planes(pixels)
+    # Clamped edges are an edge-pad of the temporal axis; the window sum
+    # is then a stack of shifted views — no per-offset gather copies.
+    pad = [(0, 0), (half, half)] + [(0, 0)] * (planes.ndim - 2)
+    padded = np.pad(planes, pad, mode="edge")
+    counts = np.zeros(planes.shape, dtype=np.int16)
+    for k in range(window):
+        counts += padded[:, k : k + n]
+    majority_planes = (counts > half).astype(np.uint8)
+    return bitops.from_bit_planes(majority_planes, pixels.dtype)
+
+
+def _reference_majority_vote_window(pixels: np.ndarray, window: int = 3) -> np.ndarray:
+    """Pre-vectorization oracle for :func:`majority_vote_window`."""
+    if window < 3 or window % 2 == 0:
+        raise ConfigurationError(f"window must be odd and >= 3, got {window}")
+    bitops.require_unsigned(pixels, "pixels")
+    n = pixels.shape[0] if pixels.ndim else 0
+    if n < window:
+        raise DataFormatError(f"need N >= {window} variants, got {n}")
+    half = window // 2
     nbits = bitops.bit_width(pixels.dtype)
     counts = np.zeros((nbits,) + pixels.shape, dtype=np.int16)
     planes = bitops.to_bit_planes(pixels)

@@ -35,6 +35,49 @@ def median_smooth_temporal(pixels: np.ndarray, window: int = 3) -> np.ndarray:
             f"need at least window={window} temporal variants, got {n}"
         )
     half = window // 2
+    dtype = pixels.dtype
+    exact_int = np.issubdtype(dtype, np.integer) and dtype.itemsize <= 4
+    is_float = np.issubdtype(dtype, np.floating)
+    if not (exact_int or is_float):
+        # 64-bit integers round through the reference's float64 median;
+        # that rounding is part of the bit-identical contract, so keep it.
+        return _reference_median_smooth_temporal(pixels, window)
+    # One median per distinct window start; endpoint rows reuse the
+    # nearest full window, so the output is a clamped gather of those.
+    # An odd-window median is the middle order statistic, which
+    # partition (or min/max for window 3) selects in the native dtype —
+    # no float64 round trip.  NaNs poison their windows exactly as
+    # ``np.median`` does.
+    starts = np.clip(np.arange(n) - half, 0, n - window)
+    if window == 3:
+        a, b, c = pixels[:-2], pixels[1:-1], pixels[2:]
+        medians = np.maximum(np.minimum(a, b), np.minimum(np.maximum(a, b), c))
+        if is_float:
+            nan_any = np.isnan(a) | np.isnan(b) | np.isnan(c)
+            medians = np.where(nan_any, np.array(np.nan, dtype=dtype), medians)
+        return medians[starts]
+    windows = np.lib.stride_tricks.sliding_window_view(pixels, window, axis=0)
+    if exact_int:
+        medians = np.partition(windows, half, axis=-1)[..., half]
+    else:
+        part = np.partition(windows.astype(np.float64), (half, window - 1), axis=-1)
+        medians = np.where(
+            np.isnan(part[..., window - 1]), np.nan, part[..., half]
+        ).astype(dtype)
+    return medians[starts]
+
+
+def _reference_median_smooth_temporal(pixels: np.ndarray, window: int = 3) -> np.ndarray:
+    """Pre-vectorization oracle for :func:`median_smooth_temporal`."""
+    if window < 3 or window % 2 == 0:
+        raise ConfigurationError(f"window must be odd and >= 3, got {window}")
+    pixels = np.asarray(pixels)
+    n = pixels.shape[0] if pixels.ndim else 0
+    if n < window:
+        raise DataFormatError(
+            f"need at least window={window} temporal variants, got {n}"
+        )
+    half = window // 2
     out = np.empty_like(pixels)
     for i in range(n):
         start = min(max(i - half, 0), n - window)
@@ -53,6 +96,40 @@ def median_smooth_spatial(field: np.ndarray, window: int = 3) -> np.ndarray:
     field = np.asarray(field)
     if field.ndim == 3:
         return np.stack([median_smooth_spatial(band, window) for band in field])
+    if field.ndim != 2:
+        raise DataFormatError(f"expected a 2-D field or 3-D cube, got {field.ndim}-D")
+    if min(field.shape) < window:
+        raise DataFormatError(
+            f"field {field.shape} smaller than window {window}"
+        )
+    half = window // 2
+    dtype = field.dtype
+    exact_int = np.issubdtype(dtype, np.integer) and dtype.itemsize <= 4
+    is_float = np.issubdtype(dtype, np.floating)
+    if not (exact_int or is_float):
+        return _reference_median_smooth_spatial(field, window)
+    mid = (window * window) // 2
+    padded = np.pad(field, half, mode="reflect")
+    patches = np.stack(
+        [
+            padded[dr : dr + field.shape[0], dc : dc + field.shape[1]]
+            for dr in range(window)
+            for dc in range(window)
+        ]
+    )
+    if exact_int:
+        return np.partition(patches, mid, axis=0)[mid]
+    part = np.partition(patches.astype(np.float64), (mid, window * window - 1), axis=0)
+    return np.where(np.isnan(part[-1]), np.nan, part[mid]).astype(dtype)
+
+
+def _reference_median_smooth_spatial(field: np.ndarray, window: int = 3) -> np.ndarray:
+    """Pre-vectorization oracle for :func:`median_smooth_spatial`."""
+    if window < 3 or window % 2 == 0:
+        raise ConfigurationError(f"window must be odd and >= 3, got {window}")
+    field = np.asarray(field)
+    if field.ndim == 3:
+        return np.stack([_reference_median_smooth_spatial(band, window) for band in field])
     if field.ndim != 2:
         raise DataFormatError(f"expected a 2-D field or 3-D cube, got {field.ndim}-D")
     if min(field.shape) < window:

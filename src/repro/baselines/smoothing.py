@@ -25,7 +25,32 @@ def _validate(pixels: np.ndarray, window: int) -> np.ndarray:
 
 
 def _weighted_window_smooth(pixels: np.ndarray, weights: np.ndarray) -> np.ndarray:
-    """Apply a centred weighted window along axis 0 with clamped edges."""
+    """Apply a centred weighted window along axis 0 with clamped edges.
+
+    Clamped edges are an edge-pad of the temporal axis, so each tap is a
+    shifted view of one padded copy instead of a fancy-indexed gather.
+    The taps are accumulated in the same order as the original per-offset
+    loop — float addition is not associative, so the order is part of the
+    bit-identical contract with :func:`_reference_weighted_window_smooth`.
+    """
+    n = pixels.shape[0]
+    window = len(weights)
+    half = window // 2
+    pad = [(half, half)] + [(0, 0)] * (pixels.ndim - 1)
+    padded = np.pad(pixels.astype(np.float64), pad, mode="edge")
+    acc = np.zeros(pixels.shape, dtype=np.float64)
+    wsum = weights.sum()
+    for k, w in enumerate(weights):
+        acc += w * padded[k : k + n]
+    out = acc / wsum
+    if np.issubdtype(pixels.dtype, np.integer):
+        info = np.iinfo(pixels.dtype)
+        return np.clip(np.rint(out), info.min, info.max).astype(pixels.dtype)
+    return out.astype(pixels.dtype)
+
+
+def _reference_weighted_window_smooth(pixels: np.ndarray, weights: np.ndarray) -> np.ndarray:
+    """Pre-vectorization oracle for :func:`_weighted_window_smooth`."""
     n = pixels.shape[0]
     window = len(weights)
     half = window // 2

@@ -32,6 +32,7 @@ import numpy as np
 
 from repro.config import OTISConfig
 from repro.core import bitops
+from repro.core.voter import _leave_one_out_union
 from repro.core.windows import BitWindows
 from repro.exceptions import DataFormatError
 
@@ -286,23 +287,13 @@ class AlgoOTIS:
 
 
 def _and_reduce(voters: np.ndarray) -> np.ndarray:
-    out = voters[0].copy()
-    for way in range(1, voters.shape[0]):
-        out &= voters[way]
-    return out
+    return np.bitwise_and.reduce(voters, axis=0)
 
 
 def _grt(voters: np.ndarray) -> np.ndarray:
-    upsilon = voters.shape[0]
-    out = np.zeros_like(voters[0])
-    for k in range(upsilon):
-        acc = None
-        for j in range(upsilon):
-            if j == k:
-                continue
-            acc = voters[j].copy() if acc is None else acc & voters[j]
-        out |= acc
-    return out
+    # Leave-one-out union in O(Υ) bit ops via a two-level zero counter
+    # (see repro.core.voter._leave_one_out_union).
+    return _leave_one_out_union(voters)
 
 
 def _nan_spatial_median(field: np.ndarray) -> np.ndarray:

@@ -39,7 +39,61 @@ def neighbour_indices(n: int, offset: int) -> np.ndarray:
     Out-of-range neighbours reflect at the boundaries so every pixel has a
     full complement of Υ voters.
     """
+    if n < 2:
+        raise ConfigurationError(f"length must be >= 2, got {n}")
+    period = 2 * (n - 1)
+    idx = (np.arange(n, dtype=np.intp) + offset) % period
+    return np.where(idx < n, idx, period - idx).astype(np.intp)
+
+
+def _reference_neighbour_indices(n: int, offset: int) -> np.ndarray:
+    """Pre-vectorization oracle for :func:`neighbour_indices`."""
     return np.array([reflect_index(i + offset, n) for i in range(n)], dtype=np.intp)
+
+
+def _leave_one_out_union(voters: np.ndarray) -> np.ndarray:
+    """``OR_k ( AND_{j != k} voters[j] )`` in O(Υ) AND/OR operations.
+
+    A bit is in some leave-one-out AND exactly when at most one voter
+    has it clear, so a two-level saturating zero counter — ``zero1``
+    marks bits cleared by at least one voter, ``zero2`` bits cleared by
+    at least two — computes the union in one pass with two plane-sized
+    accumulators.  (A prefix/suffix AND scheme has the same O(Υ) op
+    count but allocates a Υ-plane prefix array; on large stacks that
+    allocation alone cost more than the saved ANDs.)
+    """
+    zero1 = ~voters[0]
+    zero2 = np.zeros_like(zero1)
+    for k in range(1, voters.shape[0]):
+        cleared = ~voters[k]
+        zero2 |= zero1 & cleared
+        zero1 |= cleared
+    return ~zero2
+
+
+def _reference_unanimous(voters: np.ndarray) -> np.ndarray:
+    """Pre-vectorization oracle for :meth:`VoterMatrix.unanimous`."""
+    out = voters[0].copy()
+    for way in range(1, voters.shape[0]):
+        out &= voters[way]
+    return out
+
+
+def _reference_grt(voters: np.ndarray) -> np.ndarray:
+    """Pre-vectorization O(Υ²) oracle for :meth:`VoterMatrix.grt`."""
+    upsilon = voters.shape[0]
+    if upsilon == 2:
+        return _reference_unanimous(voters)
+    out = np.zeros_like(voters[0])
+    for k in range(upsilon):
+        acc: np.ndarray | None = None
+        for j in range(upsilon):
+            if j == k:
+                continue
+            acc = voters[j].copy() if acc is None else acc & voters[j]
+        if acc is not None:
+            out |= acc
+    return out
 
 
 class VoterMatrix:
@@ -123,26 +177,31 @@ class VoterMatrix:
             raise DataFormatError(
                 f"expected {self.upsilon} way thresholds, got {thresholds.shape[0]}"
             )
-        # Broadcast (Υ, ...) thresholds against (Υ, N, ...) voters.
+        # Broadcast (Υ, ...) thresholds against (Υ, N, ...) voters.  The
+        # comparison runs in the voters' own dtype: a threshold above the
+        # dtype's maximum (e.g. 2**16 for uint16) prunes everything, which
+        # clamping to the maximum reproduces without materializing a
+        # uint64 copy of the whole voter array.
         expanded = np.expand_dims(thresholds, axis=1)
-        keep = self.xors.astype(np.uint64) > expanded
+        dtype_max = np.uint64(np.iinfo(self.xors.dtype).max)
+        capped = np.minimum(expanded, dtype_max).astype(self.xors.dtype)
+        keep = self.xors > capped
         return np.where(keep, self.xors, np.zeros_like(self.xors))
 
     @staticmethod
     def unanimous(voters: np.ndarray) -> np.ndarray:
         """Bits asserted by *all* Υ voters (the Ξ combiner of Algorithm 1)."""
-        out = voters[0].copy()
-        for way in range(1, voters.shape[0]):
-            out &= voters[way]
-        return out
+        return np.bitwise_and.reduce(voters, axis=0)
 
     @staticmethod
     def grt(voters: np.ndarray) -> np.ndarray:
         """The GRT combiner: bits asserted by at least Υ−1 of the Υ voters.
 
-        Implemented as the union over k of the AND of all voters except k,
-        exactly the ``Max / Ξ`` construction in Algorithm 1.  For Υ = 2
-        the leave-one-out AND degenerates to a single voter — any lone
+        The union over k of the AND of all voters except k, exactly the
+        ``Max / Ξ`` construction in Algorithm 1, computed in O(Υ) bit ops
+        from prefix/suffix AND arrays: the leave-one-out AND of way k is
+        ``AND(voters[:k]) & AND(voters[k+1:])``.  For Υ = 2 the
+        leave-one-out AND degenerates to a single voter — any lone
         disagreement would trigger a window-A correction — so the
         combiner falls back to unanimity, the only meaningful consensus
         two voters can express.
@@ -150,13 +209,4 @@ class VoterMatrix:
         upsilon = voters.shape[0]
         if upsilon == 2:
             return VoterMatrix.unanimous(voters)
-        out = np.zeros_like(voters[0])
-        for k in range(upsilon):
-            acc: np.ndarray | None = None
-            for j in range(upsilon):
-                if j == k:
-                    continue
-                acc = voters[j].copy() if acc is None else acc & voters[j]
-            if acc is not None:
-                out |= acc
-        return out
+        return _leave_one_out_union(voters)

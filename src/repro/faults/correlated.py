@@ -36,6 +36,141 @@ def run_probability_table(gamma_ini: float, max_terms: int) -> np.ndarray:
     return np.cumsum(powers)
 
 
+def _required_runs(draws: np.ndarray, table: np.ndarray) -> tuple[np.ndarray, int]:
+    """Per-cell minimum preceding run length that would flip the cell.
+
+    ``req[cell]`` is the smallest R with ``draw < table[R]`` — the number
+    of table entries at or below the draw — computed by one thresholded
+    byte accumulation per table level (cells whose draw is at or beyond
+    the last entry can never flip and get the sentinel 255).  The level
+    loop stops as soon as only never-flip cells remain above the current
+    entry, so it runs to the largest finite requirement, not to
+    ``max_terms``.
+
+    Returns ``(req, req_max)`` where ``req_max`` bounds every finite
+    requirement; run lengths can be clamped there during propagation.
+    """
+    never = draws >= table[-1]
+    n_never = int(np.count_nonzero(never))
+    req = np.zeros(draws.shape, dtype=np.uint8)
+    at_or_above = draws >= table[0]
+    level = 0
+    dense_levels = min(len(table), 3)
+    while True:
+        req += at_or_above
+        level += 1
+        if level == dense_levels or np.count_nonzero(at_or_above) == n_never:
+            break
+        np.greater_equal(draws, table[level], out=at_or_above)
+    req_max = min(level, len(table) - 1)
+    if level < len(table) and np.count_nonzero(at_or_above) > n_never:
+        # The geometric tail: cells needing runs past the dense levels
+        # are exponentially rare, so their exact requirement is found by
+        # a binary search over the gathered few rather than more
+        # whole-grid compares.
+        tail = np.flatnonzero(at_or_above & ~never)
+        tail_req = np.searchsorted(table, draws.ravel()[tail], side="right")
+        req.ravel()[tail] = tail_req
+        req_max = min(int(tail_req.max()), len(table) - 1)
+    if n_never:
+        req[never] = 255
+    return req, req_max
+
+
+#: Run lengths are counted densely (whole-grid shifted ANDs) up to this
+#: length; cells requiring longer runs are exponentially rare under the
+#: Eq. 2 geometric table and are evaluated by sparse gathers instead.
+_DENSE_RUN_CAP = 3
+
+
+def _extend_runs(
+    flips: np.ndarray,
+    req: np.ndarray,
+    req_max: int,
+    axis: int,
+    tail: tuple[np.ndarray, np.ndarray, np.ndarray] | None = None,
+) -> None:
+    """One directional relaxation: flip every cell whose preceding run
+    along *axis* satisfies its requirement (in place, monotone).
+
+    Clamped run lengths are accumulated as byte sums of nested
+    "run >= k" masks: ``R_k = R_{k-1} AND (cell k before is flipped)``,
+    each a shifted slice AND, so a full sweep costs O(run cap) whole-grid
+    boolean operations instead of a per-cell scan.  When *tail* (the
+    ``(rows, cols, req)`` of the cells requiring runs longer than
+    :data:`_DENSE_RUN_CAP`) is given, dense counting stops at the cap and
+    the tail cells' runs are walked by per-cell gathers — a handful of
+    small fancy-indexing ops instead of ``req_max`` whole-grid passes.
+    Without *tail* the dense count runs to ``req_max`` and the step is
+    complete on its own.
+    """
+    dense_max = req_max if tail is None else min(req_max, _DENSE_RUN_CAP)
+    runs = np.zeros(flips.shape, dtype=np.uint8)
+    reach = np.zeros(flips.shape, dtype=bool)
+    if axis == 1:
+        reach[:, 1:] = flips[:, :-1]
+    else:
+        reach[1:, :] = flips[:-1, :]
+    runs += reach
+    for k in range(2, min(dense_max, flips.shape[axis] - 1) + 1):
+        if axis == 1:
+            reach[:, k - 1] = False
+            reach[:, k:] &= flips[:, :-k]
+        else:
+            reach[k - 1, :] = False
+            reach[k:, :] &= flips[:-k, :]
+        if not reach.any():
+            break
+        runs += reach
+    flips |= runs >= req
+    if tail is None:
+        return
+    t_rows, t_cols, t_req = tail
+    if t_rows.size == 0:
+        return
+    # Tail cells flip over the iteration but are never removed from the
+    # set, so drop the already-flipped ones before walking runs.
+    pending = ~flips[t_rows, t_cols]
+    if not pending.any():
+        return
+    if not pending.all():
+        t_rows = t_rows[pending]
+        t_cols = t_cols[pending]
+        t_req = t_req[pending]
+    alive = np.ones(t_rows.size, dtype=bool)
+    newly = np.zeros(t_rows.size, dtype=bool)
+    for k in range(1, min(int(t_req.max()), flips.shape[axis] - 1) + 1):
+        if axis == 1:
+            src = t_cols - k
+            valid = src >= 0
+            alive &= flips[t_rows, np.maximum(src, 0)] & valid
+        else:
+            src = t_rows - k
+            valid = src >= 0
+            alive &= flips[np.maximum(src, 0), t_cols] & valid
+        if not alive.any():
+            break
+        newly |= alive & (t_req == k)
+    flips[t_rows[newly], t_cols[newly]] = True
+
+
+def _closure(flips: np.ndarray, req: np.ndarray, req_max: int, axis: int) -> None:
+    """Relax along *axis* until the grid is a fixpoint of that direction.
+
+    Each :func:`_extend_runs` step extends every chain by at least one
+    cell, so the loop terminates within the longest enabling chain; it is
+    only called on small frontier sub-grids, where the repeated steps are
+    cheap.
+    """
+    total = np.count_nonzero(flips)
+    while True:
+        _extend_runs(flips, req, req_max, axis)
+        new_total = np.count_nonzero(flips)
+        if new_total == total:
+            return
+        total = new_total
+
+
 def correlated_flip_grid(
     shape: tuple[int, int],
     gamma_ini: float,
@@ -44,11 +179,109 @@ def correlated_flip_grid(
 ) -> np.ndarray:
     """Generate a boolean flip grid under the §2.2.3 run-length model.
 
-    The grid is scanned in raster order; each bit's flip probability is
-    ``table[max(horizontal_run, vertical_run)]`` where the runs count the
-    flipped bits immediately to the left and immediately above — the
-    "higher of the two directions" rule of the paper.
+    Each bit's flip probability is ``table[max(horizontal_run,
+    vertical_run)]`` where the runs count the flipped bits immediately to
+    the left and immediately above — the "higher of the two directions"
+    rule of the paper.  Defined by a raster-order scan (see
+    :func:`_reference_correlated_flip_grid`), but computed here as an
+    iterative frontier fixpoint: seed with the run-0 flips (``draw <
+    Γcorr(0)``), then alternate horizontal and vertical relaxation
+    sweeps (:func:`_extend_runs`) until no new flips appear.
+
+    The two are bit-identical: the raster result is the unique fixpoint
+    of the flip condition (each cell's runs depend only on strictly
+    earlier raster cells, so membership is determined by induction along
+    the scan order), the condition is monotone (more flips ⇒ longer runs
+    ⇒ higher Γcorr ⇒ more flips, since the Eq. 2 table is increasing),
+    and the seed set never shrinks under a sweep — so the iteration
+    climbs exactly to that unique fixpoint.
     """
+    rows, cols = shape
+    if rows < 1 or cols < 1:
+        raise ConfigurationError(f"grid shape must be positive, got {shape}")
+    if gamma_ini == 0.0:
+        return np.zeros(shape, dtype=bool)
+    table = run_probability_table(gamma_ini, max_terms)
+    draws = rng.random(shape)
+    req, req_max = _required_runs(draws, table)
+    flips = req == 0
+    if req_max == 0 or not flips.any():
+        return flips
+    # Horizontal runs live entirely within a row (and vertical within a
+    # column), so a sweep only needs the lines whose flip set changed
+    # since that direction last certified them — the shrinking frontier
+    # of the fixpoint.  Certification: a single relaxation step that
+    # leaves a line unchanged proves it direction-fixed (the step *is*
+    # the direction's operator applied to the line); a changed line is
+    # not yet proven and keeps the sentinel count −1 (counts only grow,
+    # so an unchanged line is recognisable by its count alone).  Dense
+    # frontiers take one whole-grid step; sparse frontiers are gathered
+    # into a sub-grid and relaxed to closure, certifying them at once.
+    tail = None
+    if req_max > _DENSE_RUN_CAP:
+        t_rows, t_cols = np.nonzero((req > _DENSE_RUN_CAP) & (req < 255))
+        tail = (t_rows, t_cols, req[t_rows, t_cols])
+    # Dense phase: while sweeps still change many cells, per-line frontier
+    # tracking is pure overhead (every line is active anyway), so alternate
+    # whole-grid sweeps with only a scalar population count in between.
+    total = int(np.count_nonzero(flips))
+    switch = max(1, min(flips.shape) // 2)
+    h_changed = True
+    while True:
+        round_start = total
+        _extend_runs(flips, req, req_max, axis=1, tail=tail)
+        new_total = int(np.count_nonzero(flips))
+        h_changed = new_total > total
+        total = new_total
+        _extend_runs(flips, req, req_max, axis=0, tail=tail)
+        new_total = int(np.count_nonzero(flips))
+        v_changed = new_total > total
+        total = new_total
+        if not h_changed and not v_changed:
+            return flips
+        if total - round_start < switch:
+            break
+    row_counts = np.full(flips.shape[0], -1, dtype=np.int64)
+    col_counts = np.full(flips.shape[1], -1, dtype=np.int64)
+    while True:
+        current = flips.sum(axis=1, dtype=np.int64)
+        active = np.flatnonzero(current != row_counts)
+        if active.size == 0:
+            return flips
+        if active.size * 3 < flips.shape[0]:
+            sub = flips[active]
+            _closure(sub, req[active], req_max, axis=1)
+            flips[active] = sub
+            row_counts = current
+            row_counts[active] = sub.sum(axis=1, dtype=np.int64)
+        else:
+            _extend_runs(flips, req, req_max, axis=1, tail=tail)
+            after = flips.sum(axis=1, dtype=np.int64)
+            row_counts = np.where(after != current, np.int64(-1), after)
+
+        current = flips.sum(axis=0, dtype=np.int64)
+        active = np.flatnonzero(current != col_counts)
+        if active.size == 0:
+            return flips
+        if active.size * 3 < flips.shape[1]:
+            sub = np.ascontiguousarray(flips[:, active])
+            _closure(sub, np.ascontiguousarray(req[:, active]), req_max, axis=0)
+            flips[:, active] = sub
+            col_counts = current
+            col_counts[active] = sub.sum(axis=0, dtype=np.int64)
+        else:
+            _extend_runs(flips, req, req_max, axis=0, tail=tail)
+            after = flips.sum(axis=0, dtype=np.int64)
+            col_counts = np.where(after != current, np.int64(-1), after)
+
+
+def _reference_correlated_flip_grid(
+    shape: tuple[int, int],
+    gamma_ini: float,
+    rng: np.random.Generator,
+    max_terms: int = 64,
+) -> np.ndarray:
+    """Raster-order scan oracle for :func:`correlated_flip_grid`."""
     rows, cols = shape
     if rows < 1 or cols < 1:
         raise ConfigurationError(f"grid shape must be positive, got {shape}")

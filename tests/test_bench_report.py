@@ -1,0 +1,74 @@
+"""Schema smoke test for ``tools/bench_report.py``.
+
+Runs the report in quick mode (small problem sizes, sub-minute) and
+validates the structure CI and downstream tooling rely on; the timing
+values themselves are machine-dependent and deliberately unasserted.
+"""
+
+import json
+import sys
+from pathlib import Path
+
+import pytest
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+sys.path.insert(0, str(REPO_ROOT / "tools"))
+
+bench_report = pytest.importorskip("bench_report")
+
+
+@pytest.fixture(scope="module")
+def report(tmp_path_factory):
+    out = tmp_path_factory.mktemp("bench") / "report.json"
+    assert bench_report.main(["--quick", "--out", str(out)]) == 0
+    return json.loads(out.read_text())
+
+
+def test_report_top_level_schema(report):
+    assert report["schema_version"] == bench_report.SCHEMA_VERSION
+    assert report["quick"] is True
+    assert "bench_report.py" in report["generated_by"]
+    assert isinstance(report["kernels"], list) and report["kernels"]
+    assert isinstance(report["campaign"], dict)
+
+
+def test_report_kernel_entries(report):
+    for entry in report["kernels"]:
+        assert set(bench_report.KERNEL_KEYS) <= set(entry), entry
+        assert entry["before_ms"] > 0
+        assert entry["after_ms"] > 0
+        assert entry["speedup"] == pytest.approx(
+            entry["before_ms"] / entry["after_ms"], rel=1e-2
+        )
+        assert isinstance(entry["config"], dict)
+
+
+def test_report_covers_the_headline_kernels(report):
+    names = {entry["name"] for entry in report["kernels"]}
+    assert {
+        "correlated_flip_grid",
+        "voter_grt",
+        "to_bit_planes",
+        "from_bit_planes",
+        "median_smooth_temporal",
+        "majority_vote_window",
+        "cross_frame_preprocess",
+        "mosaic",
+    } <= names
+
+
+def test_report_campaign_entry(report):
+    campaign = report["campaign"]
+    assert campaign["n_trials"] >= 1
+    assert campaign["elapsed_s"] > 0
+    assert campaign["trials_per_s"] > 0
+
+
+def test_committed_report_is_schema_valid():
+    """The checked-in BENCH_PR2.json must parse under the same schema."""
+    path = REPO_ROOT / "BENCH_PR2.json"
+    committed = json.loads(path.read_text())
+    assert committed["schema_version"] == bench_report.SCHEMA_VERSION
+    for entry in committed["kernels"]:
+        assert set(bench_report.KERNEL_KEYS) <= set(entry)

@@ -1,0 +1,299 @@
+"""Machine-readable perf trajectory for the PR 2 kernel vectorization.
+
+Times every vectorized hot-path kernel against the ``_reference_*``
+oracle it replaced (the pre-vectorization implementation, kept in-tree
+as the bit-identity witness) and writes the per-kernel before/after
+numbers plus an end-to-end campaign throughput figure to a JSON report.
+
+Usage::
+
+    PYTHONPATH=src python tools/bench_report.py            # full sizes
+    PYTHONPATH=src python tools/bench_report.py --quick    # CI sizes
+
+``--quick`` shrinks problem sizes and repeat counts so the report runs
+in seconds; the committed ``BENCH_PR2.json`` is generated at full size.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import sys
+import time
+from pathlib import Path
+
+import numpy as np
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.baselines.majority import (  # noqa: E402
+    _reference_majority_vote_window,
+    majority_vote_window,
+)
+from repro.baselines.median import (  # noqa: E402
+    _reference_median_smooth_spatial,
+    _reference_median_smooth_temporal,
+    median_smooth_spatial,
+    median_smooth_temporal,
+)
+from repro.baselines.smoothing import (  # noqa: E402
+    _reference_weighted_window_smooth,
+    _weighted_window_smooth,
+)
+from repro.config import NGSTDatasetConfig  # noqa: E402
+from repro.core import bitops  # noqa: E402
+from repro.core.voter import VoterMatrix, _reference_grt  # noqa: E402
+from repro.data.ngst import generate_walk  # noqa: E402
+from repro.faults.campaign import Campaign  # noqa: E402
+from repro.faults.correlated import (  # noqa: E402
+    _reference_correlated_flip_grid,
+    correlated_flip_grid,
+)
+from repro.faults.uncorrelated import UncorrelatedFaultModel  # noqa: E402
+from repro.metrics.relative_error import psi  # noqa: E402
+from repro.otis.scan import (  # noqa: E402
+    ScanConfig,
+    _reference_cross_frame_preprocess,
+    _reference_mosaic,
+    cross_frame_preprocess,
+    mosaic,
+    scan_scene,
+)
+
+SCHEMA_VERSION = 1
+
+#: Keys every kernel entry must carry — mirrored by the schema smoke test.
+KERNEL_KEYS = ("name", "config", "before_ms", "after_ms", "speedup")
+
+
+def _time_once(fn) -> float:
+    t0 = time.perf_counter()
+    fn()
+    return time.perf_counter() - t0
+
+
+def _entry(name, config, before_fn, after_fn, repeats):
+    # Interleave the two sides so load drift on a shared machine hits
+    # both equally; best-of-N discards the contended runs.
+    before = float("inf")
+    after = float("inf")
+    for _ in range(repeats):
+        before = min(before, _time_once(before_fn))
+        after = min(after, _time_once(after_fn))
+    before_ms = before * 1e3
+    after_ms = after * 1e3
+    return {
+        "name": name,
+        "config": config,
+        "before_ms": round(before_ms, 4),
+        "after_ms": round(after_ms, 4),
+        "speedup": round(before_ms / after_ms, 3) if after_ms else float("inf"),
+    }
+
+
+def _bench_kernels(quick: bool) -> list[dict]:
+    repeats = 3 if quick else 15
+    entries = []
+
+    # --- correlated fault grid -------------------------------------------
+    side = 128 if quick else 512
+    for gamma in (0.3,) if quick else (0.1, 0.3, 0.45):
+        entries.append(
+            _entry(
+                "correlated_flip_grid",
+                {"shape": [side, side], "gamma_ini": gamma},
+                lambda g=gamma: _reference_correlated_flip_grid(
+                    (side, side), g, np.random.default_rng(0)
+                ),
+                lambda g=gamma: correlated_flip_grid(
+                    (side, side), g, np.random.default_rng(0)
+                ),
+                repeats,
+            )
+        )
+
+    # --- voter combiners -------------------------------------------------
+    n, hw = (16, 64) if quick else (32, 256)
+    rng = np.random.default_rng(1)
+    pixels = rng.integers(0, 2**16, size=(n, hw, hw), dtype=np.uint16)
+    for upsilon in (4, 8):
+        matrix = VoterMatrix(pixels, upsilon)
+        voters = matrix.pruned(matrix.thresholds(0.75))
+        entries.append(
+            _entry(
+                "voter_grt",
+                {"upsilon": upsilon, "stack": [n, hw, hw]},
+                lambda v=voters: _reference_grt(v),
+                lambda v=voters: VoterMatrix.grt(v),
+                repeats,
+            )
+        )
+
+    # --- bit-plane transforms --------------------------------------------
+    words = rng.integers(0, 2**16, size=(32, hw, hw), dtype=np.uint16)
+    entries.append(
+        _entry(
+            "to_bit_planes",
+            {"shape": list(words.shape), "dtype": "uint16"},
+            lambda: bitops._reference_to_bit_planes(words),
+            lambda: bitops.to_bit_planes(words),
+            repeats,
+        )
+    )
+    planes = bitops.to_bit_planes(words)
+    entries.append(
+        _entry(
+            "from_bit_planes",
+            {"shape": list(words.shape), "dtype": "uint16"},
+            lambda: bitops._reference_from_bit_planes(planes, np.uint16),
+            lambda: bitops.from_bit_planes(planes, np.uint16),
+            repeats,
+        )
+    )
+    values = rng.integers(0, 2**16, size=hw * hw, dtype=np.uint64)
+    entries.append(
+        _entry(
+            "ceil_pow2",
+            {"n_values": int(values.size)},
+            lambda: bitops._reference_ceil_pow2(values),
+            lambda: bitops.ceil_pow2(values),
+            repeats,
+        )
+    )
+
+    # --- sliding-window baselines ----------------------------------------
+    stack = rng.integers(0, 2**16, size=(n, hw, hw), dtype=np.uint16)
+    entries.append(
+        _entry(
+            "median_smooth_temporal",
+            {"stack": [n, hw, hw], "window": 3},
+            lambda: _reference_median_smooth_temporal(stack),
+            lambda: median_smooth_temporal(stack),
+            repeats,
+        )
+    )
+    field = rng.integers(0, 2**16, size=(hw * 2, hw * 2), dtype=np.uint16)
+    entries.append(
+        _entry(
+            "median_smooth_spatial",
+            {"field": list(field.shape), "window": 3},
+            lambda: _reference_median_smooth_spatial(field),
+            lambda: median_smooth_spatial(field),
+            repeats,
+        )
+    )
+    entries.append(
+        _entry(
+            "majority_vote_window",
+            {"stack": [n, hw, hw], "window": 5},
+            lambda: _reference_majority_vote_window(stack, 5),
+            lambda: majority_vote_window(stack, 5),
+            repeats,
+        )
+    )
+    weights = np.exp(-np.abs(np.arange(-2, 3)) / 1.0)
+    entries.append(
+        _entry(
+            "weighted_window_smooth",
+            {"stack": [n, hw, hw], "window": 5},
+            lambda: _reference_weighted_window_smooth(stack, weights),
+            lambda: _weighted_window_smooth(stack, weights),
+            repeats,
+        )
+    )
+
+    # --- overlapping-swath scan ------------------------------------------
+    scan_cfg = ScanConfig(frame_rows=32, frame_cols=hw, step_rows=8)
+    scene_rows = 256 if quick else 1024
+    scene = rng.integers(0, 2**16, size=(scene_rows, hw), dtype=np.uint16)
+    frames = scan_scene(scene, scan_cfg)
+    entries.append(
+        _entry(
+            "cross_frame_preprocess",
+            {"n_frames": len(frames), "frame": [32, hw]},
+            lambda: _reference_cross_frame_preprocess(frames, scan_cfg),
+            lambda: cross_frame_preprocess(frames, scan_cfg),
+            max(2, repeats // 3),
+        )
+    )
+    entries.append(
+        _entry(
+            "mosaic",
+            {"n_frames": len(frames), "frame": [32, hw]},
+            lambda: _reference_mosaic(frames, scan_cfg),
+            lambda: mosaic(frames, scan_cfg),
+            max(2, repeats // 3),
+        )
+    )
+    return entries
+
+
+def _bench_campaign(quick: bool) -> dict:
+    """End-to-end throughput of the generate → corrupt → smooth → ψ loop."""
+    n_trials = 4 if quick else 16
+    side = 32 if quick else 64
+    campaign = Campaign(
+        generate=lambda rng: generate_walk(
+            NGSTDatasetConfig(n_variants=16, sigma=25.0), rng, (side, side)
+        ),
+        fault_model=UncorrelatedFaultModel(0.01),
+        metric=psi,
+        preprocess=median_smooth_temporal,
+    )
+    t0 = time.perf_counter()
+    summary = campaign.run(n_trials, seed=7)
+    elapsed = time.perf_counter() - t0
+    return {
+        "n_trials": n_trials,
+        "dataset": [16, side, side],
+        "elapsed_s": round(elapsed, 4),
+        "trials_per_s": round(n_trials / elapsed, 3) if elapsed else float("inf"),
+        "mean_psi": summary.mean,
+    }
+
+
+def build_report(quick: bool) -> dict:
+    return {
+        "schema_version": SCHEMA_VERSION,
+        "generated_by": "tools/bench_report.py" + (" --quick" if quick else ""),
+        "quick": quick,
+        "python": platform.python_version(),
+        "numpy": np.__version__,
+        "kernels": _bench_kernels(quick),
+        "campaign": _bench_campaign(quick),
+    }
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="small problem sizes and repeat counts (CI mode)",
+    )
+    parser.add_argument(
+        "--out",
+        type=Path,
+        default=REPO_ROOT / "BENCH_PR2.json",
+        help="output path (default: repo-root BENCH_PR2.json)",
+    )
+    args = parser.parse_args(argv)
+    report = build_report(args.quick)
+    args.out.write_text(json.dumps(report, indent=2) + "\n")
+    width = max(len(k["name"]) for k in report["kernels"])
+    for k in report["kernels"]:
+        print(
+            f"{k['name']:<{width}}  {k['before_ms']:>10.2f}ms -> "
+            f"{k['after_ms']:>10.2f}ms  ({k['speedup']:>6.2f}x)  {k['config']}"
+        )
+    c = report["campaign"]
+    print(f"campaign: {c['n_trials']} trials in {c['elapsed_s']}s "
+          f"({c['trials_per_s']} trials/s)")
+    print(f"wrote {args.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
