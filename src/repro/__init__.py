@@ -54,6 +54,16 @@ from repro.runtime import (
     SerialBackend,
     TrialRuntime,
 )
+from repro.stream import (
+    InjectStage,
+    StreamPipeline,
+    StreamResult,
+    SyntheticWalkSource,
+    VoterStage,
+    WindowedStage,
+    run_batch,
+    run_stream,
+)
 
 __version__ = "1.0.0"
 
@@ -65,6 +75,7 @@ __all__ = [
     "CorrelatedFaultModel",
     "FaultInjector",
     "InjectionReport",
+    "InjectStage",
     "InterleavedLayout",
     "NGSTConfig",
     "NGSTDatasetConfig",
@@ -78,14 +89,21 @@ __all__ = [
     "ReproError",
     "RowMajorLayout",
     "SerialBackend",
+    "StreamPipeline",
+    "StreamResult",
+    "SyntheticWalkSource",
     "TrialRuntime",
     "UncorrelatedFaultConfig",
     "UncorrelatedFaultModel",
+    "VoterStage",
+    "WindowedStage",
     "bit_confusion",
     "generate_image_stack",
     "generate_walk",
     "improvement_factor",
     "make_dataset",
     "psi",
+    "run_batch",
+    "run_stream",
     "__version__",
 ]

@@ -6,6 +6,7 @@ Usage::
     repro fig2 [--quick] [--jobs N] [--progress]
     repro all [--quick] [--json OUT.json]
     repro fig5 --resume [--checkpoint-dir DIR]
+    repro stream [--frames N] [--chunk-frames K] [--policy P] [--progress]
 
 ``--quick`` shrinks repeats/grids so every experiment finishes in
 seconds; default parameters match the EXPERIMENTS.md record.
@@ -18,6 +19,10 @@ trial's seed comes from the same ``SeedSequence`` spawn tree.
 skips the shards already recorded — an interrupted campaign picks up
 where it stopped.  ``--progress`` prints per-shard telemetry (timing,
 trials/sec) to stderr.  See docs/RUNTIME.md.
+
+``repro stream`` runs the bounded-memory streaming pipeline instead of
+a batch experiment; its flags live in :mod:`repro.stream.cli` and its
+semantics in docs/STREAMING.md.
 """
 
 from __future__ import annotations
@@ -27,6 +32,7 @@ import json
 import sys
 from pathlib import Path
 
+from repro.exceptions import ReproError
 from repro.experiments.registry import REGISTRY, run_experiment
 from repro.runtime import (
     CheckpointStore,
@@ -79,7 +85,34 @@ _QUICK_OVERRIDES: dict[str, dict] = {
 }
 
 
+def probe_writable(directory: Path) -> str | None:
+    """Check that *directory* can hold checkpoint files.
+
+    Creates the directory (with parents) if needed and verifies a file
+    can be opened for writing inside it.  Returns a one-line problem
+    description, or ``None`` when the directory is usable — the CLI
+    turns the former into a clean exit instead of a traceback from deep
+    inside a checkpoint write.
+    """
+    probe = directory / ".write-probe"
+    try:
+        directory.mkdir(parents=True, exist_ok=True)
+        with probe.open("w"):
+            pass
+        probe.unlink()
+    except OSError as exc:
+        return f"--checkpoint-dir {directory} is not writable: {exc}"
+    return None
+
+
 def main(argv: list[str] | None = None) -> int:
+    if argv is None:
+        argv = sys.argv[1:]
+    if argv and argv[0] == "stream":
+        from repro.stream.cli import main as stream_main
+
+        return stream_main(argv[1:])
+
     parser = argparse.ArgumentParser(
         prog="repro",
         description="Regenerate figures from 'Pre-Processing Input Data to "
@@ -87,7 +120,8 @@ def main(argv: list[str] | None = None) -> int:
     )
     parser.add_argument(
         "experiment",
-        help="experiment id (see 'repro list'), 'list', 'all', or 'report'",
+        help="experiment id (see 'repro list'), 'list', 'all', 'report', "
+        "or 'stream' (streaming pipeline; 'repro stream --help')",
     )
     parser.add_argument(
         "--quick", action="store_true", help="reduced grids for a fast run"
@@ -130,6 +164,12 @@ def main(argv: list[str] | None = None) -> int:
         print(f"--jobs must be >= 1, got {args.jobs}", file=sys.stderr)
         return 2
 
+    if args.resume:
+        problem = probe_writable(Path(args.checkpoint_dir))
+        if problem:
+            print(problem, file=sys.stderr)
+            return 2
+
     if args.experiment == "list":
         for experiment_id in sorted(REGISTRY):
             print(experiment_id)
@@ -166,7 +206,12 @@ def main(argv: list[str] | None = None) -> int:
     for experiment_id in experiment_ids:
         kwargs = _QUICK_OVERRIDES.get(experiment_id, {}) if args.quick else {}
         runtime = _build_runtime(args, experiment_id)
-        for result in run_experiment(experiment_id, runtime=runtime, **kwargs):
+        try:
+            results = run_experiment(experiment_id, runtime=runtime, **kwargs)
+        except ReproError as exc:
+            print(f"{experiment_id} failed: {exc}", file=sys.stderr)
+            return 2
+        for result in results:
             print(result.to_table())
             print()
             collected.append(result.to_dict())

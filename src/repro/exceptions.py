@@ -43,3 +43,17 @@ class SimulationError(ReproError):
 
 class ALFTError(ReproError):
     """The ALFT executor could not produce any acceptable output."""
+
+
+class StreamError(ReproError):
+    """The streaming pipeline reached an inconsistent state."""
+
+
+class BufferOverflowError(StreamError):
+    """A bounded stream buffer received more frames than it can hold.
+
+    Raised by :class:`repro.stream.RingBuffer` under the ``error``
+    backpressure policy, and by the pipeline's internal alignment buffer
+    if a stage ever buffers more frames than its declared lag (a broken
+    memory-bound invariant, never expected in normal operation).
+    """

@@ -1,0 +1,90 @@
+"""Bounded-memory streaming preprocessing pipeline (``repro.stream``).
+
+The batch pipeline materializes a whole ``(T,) + coord_shape`` stack;
+this subsystem runs the same algorithms — ``Algo_NGST``, the §4
+smoothers, inline fault injection, Ψ accounting — over unbounded frame
+sequences in O(chunk + window) memory, with explicit backpressure,
+per-stage telemetry, and crash-safe chunk-boundary checkpoints.
+
+The load-bearing contract (see :mod:`repro.stream.pipeline`): for any
+chunk size, backpressure policy, and seed, the streamed outputs and Ψ
+values are bit-identical to the batch pipeline on the same stream.
+
+Quick start::
+
+    from repro.stream import (
+        InjectStage, StreamPipeline, SyntheticWalkSource, VoterStage,
+    )
+    from repro.faults import UncorrelatedFaultModel
+
+    source = SyntheticWalkSource(shape=(64,), seed=7, n_frames=4096)
+    result = StreamPipeline(
+        source,
+        [InjectStage(UncorrelatedFaultModel(), seed=11), VoterStage()],
+        chunk_frames=128,
+    ).run()
+    print(result.psi_no_preprocessing, result.psi_algorithm)
+
+Or from the command line: ``repro stream --frames 4096 --chunk-frames
+128 --progress``.
+"""
+
+from repro.stream.buffer import BackpressurePolicy, BufferStats, RingBuffer
+from repro.stream.checkpoint import StreamCheckpoint, decode_array, encode_array
+from repro.stream.pipeline import (
+    BatchResult,
+    InjectStage,
+    Stage,
+    StreamingPsi,
+    StreamPipeline,
+    StreamResult,
+    VoterStage,
+    WindowedStage,
+    run_batch,
+    run_stream,
+)
+from repro.stream.source import (
+    ArraySource,
+    DownlinkSource,
+    FrameSource,
+    SyntheticWalkSource,
+    frame_rng,
+    read_all,
+)
+from repro.stream.telemetry import (
+    ChunkCompleted,
+    StageStats,
+    StreamCompleted,
+    StreamProgressPrinter,
+    StreamStarted,
+)
+
+__all__ = [
+    "ArraySource",
+    "BackpressurePolicy",
+    "BatchResult",
+    "BufferStats",
+    "ChunkCompleted",
+    "DownlinkSource",
+    "FrameSource",
+    "InjectStage",
+    "RingBuffer",
+    "Stage",
+    "StageStats",
+    "StreamCheckpoint",
+    "StreamCompleted",
+    "StreamPipeline",
+    "StreamProgressPrinter",
+    "StreamResult",
+    "StreamStarted",
+    "StreamingPsi",
+    "SyntheticWalkSource",
+    "VoterStage",
+    "WindowedStage",
+    "decode_array",
+    "encode_array",
+    "frame_rng",
+    "read_all",
+    "run_batch",
+    "run_stream",
+]

@@ -1,0 +1,367 @@
+"""The ``repro stream`` subcommand: drive a streaming preprocessing run.
+
+Usage (via the main entry point)::
+
+    repro stream --frames 4096 --chunk-frames 128 --progress
+    repro stream --frames 100000 --gamma 0.01 --smoother median --window 5
+    repro stream --input frames.npy --no-inject --smoother majority
+    repro stream --frames 8192 --resume --checkpoint-dir .repro-checkpoints
+    repro stream --frames 8192 --resume --limit-chunks 10   # stop early (rc 3)
+
+The pipeline is source → [inject] → Algo_NGST voter → [smoother] → Ψ,
+assembled from the flags below; ``--chunk-frames`` and ``--policy`` are
+transport knobs only — results are bit-identical for every setting (see
+docs/STREAMING.md).  ``--limit-chunks`` stops after N chunks with exit
+code 3 and, with ``--resume``, leaves a checkpoint a later invocation
+picks up — the mid-campaign kill/resume tests drive exactly this path.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+from repro.config import NGSTConfig, NGSTDatasetConfig
+from repro.exceptions import ReproError
+from repro.faults import UncorrelatedFaultModel
+from repro.stream.buffer import BackpressurePolicy
+from repro.stream.checkpoint import StreamCheckpoint
+from repro.stream.pipeline import (
+    InjectStage,
+    Stage,
+    StreamPipeline,
+    StreamResult,
+    VoterStage,
+    WindowedStage,
+)
+from repro.stream.source import ArraySource, DownlinkSource, FrameSource, SyntheticWalkSource
+from repro.stream.telemetry import StreamProgressPrinter, Telemetry
+
+#: Centred-window smoother kernels available behind --smoother.
+_SMOOTHERS = ("median", "majority", "mean", "negexp", "invsq", "bisquare")
+
+#: Exit code when --limit-chunks stopped the run before exhaustion.
+EXIT_INCOMPLETE = 3
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The argument parser for ``repro stream``."""
+    parser = argparse.ArgumentParser(
+        prog="repro stream",
+        description="Run the streaming preprocessing pipeline "
+        "(bounded memory, bit-identical to the batch pipeline).",
+    )
+    src = parser.add_argument_group("source")
+    src.add_argument(
+        "--frames",
+        type=int,
+        default=1024,
+        metavar="N",
+        help="synthetic-walk frames to stream (default %(default)s)",
+    )
+    src.add_argument(
+        "--shape",
+        type=int,
+        nargs="*",
+        default=[64],
+        metavar="DIM",
+        help="coordinate shape of each frame (default: 64; pass two "
+        "values for a 2-D frame, none for a scalar pixel)",
+    )
+    src.add_argument(
+        "--seed", type=int, default=0, help="walk RNG seed (default %(default)s)"
+    )
+    src.add_argument(
+        "--sigma",
+        type=float,
+        default=None,
+        metavar="S",
+        help="walk step σ (default: the NGST dataset default)",
+    )
+    src.add_argument(
+        "--input",
+        metavar="PATH",
+        help="replay frames from an .npy (memory-mapped) or .npz file "
+        "instead of the synthetic walk",
+    )
+    src.add_argument(
+        "--key",
+        default="frames",
+        help="array name inside an .npz --input (default %(default)s)",
+    )
+    src.add_argument(
+        "--downlink",
+        action="store_true",
+        help="pass every frame through the packetised CRC/ARQ downlink "
+        "channel before the pipeline sees it",
+    )
+    stages = parser.add_argument_group("stages")
+    stages.add_argument(
+        "--gamma",
+        type=float,
+        default=0.01,
+        metavar="G",
+        help="uncorrelated bit-flip probability Γ for the inline "
+        "injector (default %(default)s)",
+    )
+    stages.add_argument(
+        "--inject-seed",
+        type=int,
+        default=1,
+        metavar="S",
+        help="fault-injection seed (default %(default)s)",
+    )
+    stages.add_argument(
+        "--no-inject",
+        action="store_true",
+        help="skip fault injection (measure smoothing distortion only)",
+    )
+    stages.add_argument(
+        "--stack-frames",
+        type=int,
+        default=64,
+        metavar="N",
+        help="temporal variants per Algo_NGST voter stack "
+        "(default %(default)s; 0 disables the voter stage)",
+    )
+    stages.add_argument(
+        "--upsilon", type=int, default=4, help="voter Υ (default %(default)s)"
+    )
+    stages.add_argument(
+        "--sensitivity",
+        type=float,
+        default=50.0,
+        metavar="L",
+        help="voter sensitivity Λ in [0, 100] (default %(default)s)",
+    )
+    stages.add_argument(
+        "--smoother",
+        choices=_SMOOTHERS,
+        default=None,
+        help="append a centred-window smoother stage after the voter",
+    )
+    stages.add_argument(
+        "--window",
+        type=int,
+        default=5,
+        metavar="W",
+        help="smoother window width, odd (default %(default)s)",
+    )
+    transport = parser.add_argument_group("transport")
+    transport.add_argument(
+        "--chunk-frames",
+        type=int,
+        default=64,
+        metavar="K",
+        help="frames per transport chunk (default %(default)s; results "
+        "are bit-identical for every value)",
+    )
+    transport.add_argument(
+        "--policy",
+        choices=[p.value for p in BackpressurePolicy],
+        default=BackpressurePolicy.BLOCK.value,
+        help="inlet backpressure policy (default %(default)s)",
+    )
+    run = parser.add_argument_group("run control")
+    run.add_argument(
+        "--limit-chunks",
+        type=int,
+        default=None,
+        metavar="N",
+        help="stop after N chunks (exit code 3 if the stream was not "
+        "exhausted); with --resume the run can be continued later",
+    )
+    run.add_argument(
+        "--resume",
+        action="store_true",
+        help="checkpoint every chunk boundary to a JSONL file and resume "
+        "from the latest record of a previous (interrupted) run",
+    )
+    run.add_argument(
+        "--checkpoint-dir",
+        metavar="DIR",
+        default=".repro-checkpoints",
+        help="where --resume stores the stream checkpoint "
+        "(default: %(default)s)",
+    )
+    run.add_argument(
+        "--progress",
+        action="store_true",
+        help="print per-chunk telemetry (throughput, queue depth) to stderr",
+    )
+    run.add_argument(
+        "--progress-every",
+        type=int,
+        default=10,
+        metavar="N",
+        help="with --progress, print every N-th chunk (default %(default)s)",
+    )
+    run.add_argument(
+        "--json", metavar="PATH", help="also dump the result as JSON to PATH"
+    )
+    return parser
+
+
+def _build_source(args: argparse.Namespace) -> FrameSource:
+    if args.input:
+        source: FrameSource = ArraySource.from_file(args.input, key=args.key)
+    else:
+        dataset = NGSTDatasetConfig()
+        if args.sigma is not None:
+            dataset = NGSTDatasetConfig(sigma=args.sigma)
+        source = SyntheticWalkSource(
+            shape=tuple(args.shape),
+            config=dataset,
+            seed=args.seed,
+            n_frames=args.frames,
+        )
+    if args.downlink:
+        source = DownlinkSource(source, seed=args.seed + 1)
+    return source
+
+
+def _build_stages(args: argparse.Namespace) -> list[Stage]:
+    stages: list[Stage] = []
+    if not args.no_inject:
+        stages.append(
+            InjectStage(UncorrelatedFaultModel(args.gamma), seed=args.inject_seed)
+        )
+    if args.stack_frames:
+        config = NGSTConfig(upsilon=args.upsilon, sensitivity=args.sensitivity)
+        stages.append(VoterStage(config, stack_frames=args.stack_frames))
+    if args.smoother:
+        stages.append(_smoother_stage(args.smoother, args.window))
+    return stages
+
+
+def _smoother_stage(name: str, window: int) -> WindowedStage:
+    """A :class:`WindowedStage` over the named centred-window kernel."""
+    from functools import partial
+
+    from repro.baselines.majority import majority_vote_window
+    from repro.baselines.median import median_smooth_temporal
+    from repro.baselines.smoothing import (
+        bisquare_smooth,
+        inverse_square_smooth,
+        mean_smooth,
+        negative_exponential_smooth,
+    )
+
+    kernels = {
+        "median": median_smooth_temporal,
+        "majority": majority_vote_window,
+        "mean": mean_smooth,
+        "negexp": negative_exponential_smooth,
+        "invsq": inverse_square_smooth,
+        "bisquare": bisquare_smooth,
+    }
+    return WindowedStage(
+        partial(kernels[name], window=window), window, f"{name}{window}"
+    )
+
+
+def _result_lines(result: StreamResult) -> list[str]:
+    lines = [
+        f"frames in/out      {result.n_frames_in}/{result.n_frames_out}",
+        f"chunks             {result.n_chunks}",
+        f"throughput         {result.frames_per_sec:.1f} frames/s",
+        f"inlet high-water   {result.high_water}",
+    ]
+    if result.psi_no_preprocessing is not None:
+        lines.append(f"psi no-preproc     {result.psi_no_preprocessing:.6g}")
+    if result.psi_algorithm is not None:
+        lines.append(f"psi algorithm      {result.psi_algorithm:.6g}")
+    improvement = result.improvement
+    if improvement is not None:
+        lines.append(f"improvement        {improvement:.3g}x")
+    for stage in result.stages:
+        lines.append(
+            f"stage {stage.name:<24} {stage.frames_per_sec:>10.1f} frames/s"
+            f"  (carry<={stage.max_buffered})"
+        )
+    if not result.completed:
+        lines.append("stopped at --limit-chunks before exhausting the stream")
+    return lines
+
+
+def _result_json(result: StreamResult) -> dict:
+    return {
+        "n_frames_in": result.n_frames_in,
+        "n_frames_out": result.n_frames_out,
+        "n_chunks": result.n_chunks,
+        "psi_no_preprocessing": result.psi_no_preprocessing,
+        "psi_algorithm": result.psi_algorithm,
+        "improvement": result.improvement,
+        "elapsed_s": result.elapsed_s,
+        "frames_per_sec": result.frames_per_sec,
+        "high_water": result.high_water,
+        "completed": result.completed,
+        "stages": [
+            {
+                "name": s.name,
+                "frames_in": s.frames_in,
+                "frames_out": s.frames_out,
+                "elapsed_s": s.elapsed_s,
+                "frames_per_sec": s.frames_per_sec,
+                "max_buffered": s.max_buffered,
+            }
+            for s in result.stages
+        ],
+    }
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Entry point for ``repro stream``; returns the exit code."""
+    args = build_parser().parse_args(argv)
+    if args.frames < 1:
+        print(f"--frames must be >= 1, got {args.frames}", file=sys.stderr)
+        return 2
+    if args.limit_chunks is not None and args.limit_chunks < 1:
+        print(
+            f"--limit-chunks must be >= 1, got {args.limit_chunks}",
+            file=sys.stderr,
+        )
+        return 2
+
+    checkpoint = None
+    if args.resume:
+        from repro.cli import probe_writable
+
+        problem = probe_writable(Path(args.checkpoint_dir))
+        if problem:
+            print(problem, file=sys.stderr)
+            return 2
+        checkpoint = StreamCheckpoint(Path(args.checkpoint_dir) / "stream.jsonl")
+
+    telemetry = None
+    if args.progress:
+        telemetry = Telemetry()
+        telemetry.subscribe(StreamProgressPrinter(every=args.progress_every))
+
+    try:
+        pipeline = StreamPipeline(
+            _build_source(args),
+            _build_stages(args),
+            chunk_frames=args.chunk_frames,
+            policy=args.policy,
+            telemetry=telemetry,
+            checkpoint=checkpoint,
+        )
+        result = pipeline.run(limit_chunks=args.limit_chunks)
+    except (ReproError, OSError) as exc:
+        print(f"stream failed: {exc}", file=sys.stderr)
+        return 2
+
+    for line in _result_lines(result):
+        print(line)
+    if args.json:
+        with open(args.json, "w") as fh:
+            json.dump(_result_json(result), fh, indent=2)
+        print(f"wrote stream result to {args.json}")
+    return 0 if result.completed else EXIT_INCOMPLETE
+
+
+if __name__ == "__main__":
+    sys.exit(main())

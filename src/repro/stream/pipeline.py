@@ -1,0 +1,926 @@
+"""Composable streaming stages and the pull-based pipeline driver.
+
+The engine runs the paper's preprocessing algorithms over unbounded
+frame sequences in O(chunk + window) memory, under one load-bearing
+contract, enforced by the property tests:
+
+    For any chunk size and any seed, the streaming outputs and Ψ values
+    are bit-identical to the batch pipeline run on the whole stream.
+    Chunking is an execution detail, never a semantics change.
+
+Three mechanisms make that hold:
+
+* **Window carry** — :class:`WindowedStage` keeps the trailing
+  ``window`` input frames between chunks and re-runs the *batch* kernel
+  (the PR 2 vectorized implementations, unmodified) over the carried
+  overlap plus the new frames, emitting only the outputs whose centred
+  windows are complete.  Head and tail frames see the kernel's own
+  clamped-edge handling exactly once, at the true stream boundaries.
+* **Stack carry** — :class:`VoterStage` groups frames into consecutive
+  Υ-voter stacks of ``stack_frames`` and runs ``Algo_NGST`` per stack;
+  a chunk boundary mid-stack simply leaves a partial carry.
+* **Per-frame seeding** — :class:`InjectStage` derives each frame's
+  fault RNG from the frame *index* (``SeedSequence`` spawn children),
+  so the flip pattern cannot depend on chunk boundaries.
+
+Ψ is accumulated by :class:`StreamingPsi` — a Kahan-compensated sum of
+per-frame error sums plus Welford mean/variance over per-frame means —
+whose result is a function of the frame sequence only.  The batch side
+of the contract is :func:`run_batch`, which applies each stage's
+``batch()`` semantics to the materialized stream and feeds the same
+accumulator; :class:`StreamPipeline` must match it byte for byte.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Sequence
+
+import numpy as np
+
+from repro.config import NGSTConfig
+from repro.core import bitops
+from repro.core.algo_ngst import AlgoNGST
+from repro.exceptions import ConfigurationError, DataFormatError, StreamError
+from repro.stream.buffer import BackpressurePolicy, RingBuffer
+from repro.stream.checkpoint import StreamCheckpoint, decode_array, encode_array
+from repro.stream.source import FrameSource, frame_rng, read_all
+from repro.stream.telemetry import (
+    ChunkCompleted,
+    StageStats,
+    StreamCompleted,
+    StreamStarted,
+    Telemetry,
+)
+
+#: Default Ψ clamps, kept in lockstep with repro.metrics.relative_error.psi.
+PSI_FLOOR = 1e-9
+PSI_CAP = 1e6
+
+
+class StreamingPsi:
+    """Chunk-invariant streaming accumulation of the paper's Ψ metric.
+
+    Per frame, the element-wise relative error is computed exactly as
+    :func:`repro.metrics.relative_error.psi` does (same float64 casts,
+    denominator floor, and cap); the frame's error *sum* then enters a
+    Kahan-compensated running total, and the frame's error *mean* a
+    Welford mean/variance recursion (for dispersion telemetry).  Every
+    floating-point operation happens at per-frame granularity in frame
+    order, so the accumulated value is a function of the frame sequence
+    alone — the streaming pipeline and the batch comparator produce the
+    same bits no matter how the frames were chunked.
+
+    ``value`` equals ``psi(observed, pristine)`` up to the difference
+    between numpy's pairwise-summed mean and the compensated sum —
+    ~1e-12 relative on realistic streams (asserted by the equivalence
+    tests).
+    """
+
+    def __init__(self, floor: float = PSI_FLOOR, cap: float = PSI_CAP) -> None:
+        if cap <= 0:
+            raise ConfigurationError(f"cap must be > 0, got {cap}")
+        self.floor = float(floor)
+        self.cap = float(cap)
+        self._sum = 0.0
+        self._comp = 0.0  # Kahan compensation term
+        self._count = 0
+        self._n_frames = 0
+        self._mean = 0.0  # Welford running mean of per-frame means
+        self._m2 = 0.0
+
+    def update(self, observed: np.ndarray, pristine: np.ndarray) -> None:
+        """Accumulate a ``(k,) + coord_shape`` pair of frame chunks."""
+        observed = np.asarray(observed)
+        pristine = np.asarray(pristine)
+        if observed.shape != pristine.shape:
+            raise DataFormatError(
+                f"shape mismatch: observed {observed.shape} vs "
+                f"pristine {pristine.shape}"
+            )
+        for j in range(observed.shape[0]):
+            obs = observed[j].astype(np.float64)
+            ref = pristine[j].astype(np.float64)
+            denom = np.maximum(np.abs(ref), self.floor)
+            with np.errstate(over="ignore", invalid="ignore"):
+                err = np.abs(obs - ref) / denom
+            err = np.where(np.isfinite(err), np.minimum(err, self.cap), self.cap)
+            frame_sum = float(err.sum())
+            # Kahan-compensated addition of the frame sum.
+            y = frame_sum - self._comp
+            t = self._sum + y
+            self._comp = (t - self._sum) - y
+            self._sum = t
+            self._count += err.size
+            # Welford over per-frame means, for dispersion reporting.
+            self._n_frames += 1
+            frame_mean = frame_sum / err.size if err.size else 0.0
+            delta = frame_mean - self._mean
+            self._mean += delta / self._n_frames
+            self._m2 += delta * (frame_mean - self._mean)
+
+    @property
+    def value(self) -> float:
+        """The accumulated Ψ (mean element-wise relative error)."""
+        return self._sum / self._count if self._count else 0.0
+
+    @property
+    def n_frames(self) -> int:
+        """Frames accumulated so far."""
+        return self._n_frames
+
+    @property
+    def frame_variance(self) -> float:
+        """Sample variance of the per-frame mean errors (ddof=1)."""
+        return self._m2 / (self._n_frames - 1) if self._n_frames > 1 else 0.0
+
+    def state_dict(self) -> dict:
+        """Exact JSON-serializable accumulator state."""
+        return {
+            "sum": self._sum,
+            "comp": self._comp,
+            "count": self._count,
+            "n_frames": self._n_frames,
+            "mean": self._mean,
+            "m2": self._m2,
+            "floor": self.floor,
+            "cap": self.cap,
+        }
+
+    def load_state(self, state: dict) -> None:
+        """Restore a :meth:`state_dict` snapshot exactly."""
+        self._sum = float(state["sum"])
+        self._comp = float(state["comp"])
+        self._count = int(state["count"])
+        self._n_frames = int(state["n_frames"])
+        self._mean = float(state["mean"])
+        self._m2 = float(state["m2"])
+        self.floor = float(state["floor"])
+        self.cap = float(state["cap"])
+
+
+class Stage:
+    """Base class for pipeline stages.
+
+    A stage consumes chunks of frames via :meth:`process` (returning
+    the frames it can emit so far, possibly fewer while its window
+    fills) and :meth:`flush` once at end-of-stream.  ``lag`` bounds the
+    frames a stage may carry between chunks — the pipeline sizes its
+    alignment buffer from the sum of lags, so the bound is part of the
+    stage contract.  ``batch()`` states the stage's batch-pipeline
+    semantics on a whole in-memory stack; it is pure (no streaming
+    state touched) and is what :func:`run_batch` and the equivalence
+    tests run against.
+    """
+
+    #: Stage name for telemetry and fingerprints.
+    name: str = "stage"
+    #: True when the stage injects faults; the pipeline measures
+    #: Ψ_NoPreprocessing across it (such a stage must have lag 0).
+    corrupts: bool = False
+    #: Maximum frames carried between process calls.
+    lag: int = 0
+
+    def process(self, frames: np.ndarray) -> np.ndarray:
+        """Consume a chunk; return the frames emittable so far."""
+        raise NotImplementedError
+
+    def flush(self) -> np.ndarray:
+        """Emit whatever the stage still holds (end of stream)."""
+        raise NotImplementedError
+
+    def batch(self, stack: np.ndarray) -> np.ndarray:
+        """The stage's semantics on a whole ``(T,) + coord_shape`` stack."""
+        raise NotImplementedError
+
+    def state_dict(self) -> dict:
+        """Exact JSON-serializable stage state for checkpoints."""
+        raise NotImplementedError
+
+    def load_state(self, state: dict) -> None:
+        """Restore a :meth:`state_dict` snapshot exactly."""
+        raise NotImplementedError
+
+    def describe(self) -> str:
+        """Identity string used in checkpoint fingerprints."""
+        return self.name
+
+
+class InjectStage(Stage):
+    """Inline fault injection with per-frame-index seeding.
+
+    Frame *i* is corrupted with ``model.corrupt(frame, rng_i)`` where
+    ``rng_i`` is the *i*-th spawn child of *seed* — identical flips for
+    identical frame indices, regardless of chunking, and resumable from
+    a bare frame counter.
+
+    Args:
+        model: any :mod:`repro.faults` model (``corrupt(data, rng)``).
+        seed: root entropy of the per-frame spawn tree.
+    """
+
+    corrupts = True
+    lag = 0
+
+    def __init__(self, model, seed: int = 0) -> None:
+        if not hasattr(model, "corrupt"):
+            raise ConfigurationError(
+                f"fault model must expose corrupt(data, rng), "
+                f"got {type(model).__name__}"
+            )
+        self.model = model
+        self.seed = int(seed)
+        self.name = f"inject[{type(model).__name__}]"
+        self._next = 0
+        self._template: np.ndarray | None = None
+        self.n_bits_flipped = 0
+        self.n_words_hit = 0
+
+    def _corrupt_one(self, frame: np.ndarray, index: int) -> np.ndarray:
+        corrupted, mask = self.model.corrupt(frame, frame_rng(self.seed, index))
+        umask = mask if mask.dtype != np.float32 else bitops.float32_to_bits(mask)
+        self.n_bits_flipped += int(bitops.popcount(umask).sum())
+        self.n_words_hit += int(np.count_nonzero(umask))
+        return corrupted
+
+    def process(self, frames: np.ndarray) -> np.ndarray:
+        out = np.empty_like(frames)
+        for j in range(frames.shape[0]):
+            out[j] = self._corrupt_one(frames[j], self._next + j)
+        self._next += frames.shape[0]
+        self._template = frames[:0]
+        return out
+
+    def flush(self) -> np.ndarray:
+        # Lag-free: nothing is ever carried between chunks.
+        if self._template is None:
+            return np.empty((0,))
+        return self._template
+
+    def batch(self, stack: np.ndarray) -> np.ndarray:
+        out = np.empty_like(stack)
+        for i in range(stack.shape[0]):
+            corrupted, _ = self.model.corrupt(stack[i], frame_rng(self.seed, i))
+            out[i] = corrupted
+        return out
+
+    def state_dict(self) -> dict:
+        return {
+            "next": self._next,
+            "n_bits_flipped": self.n_bits_flipped,
+            "n_words_hit": self.n_words_hit,
+        }
+
+    def load_state(self, state: dict) -> None:
+        self._next = int(state["next"])
+        self.n_bits_flipped = int(state["n_bits_flipped"])
+        self.n_words_hit = int(state["n_words_hit"])
+
+    def describe(self) -> str:
+        cfg = getattr(self.model, "config", None)
+        return f"{self.name}(config={cfg!r}, seed={self.seed})"
+
+
+class WindowedStage(Stage):
+    """A centred-window kernel run over sliding chunks with overlap carry.
+
+    Wraps any batch kernel with the repo's centred-window conventions —
+    :func:`~repro.baselines.median.median_smooth_temporal`,
+    :func:`~repro.baselines.majority.majority_vote_window`, the §4
+    weighted smoothers — and streams it: the stage keeps the trailing
+    ``window`` input frames, re-runs the kernel over carry + new frames,
+    and emits only the outputs whose centred windows are complete.
+
+    Correctness at the seams, with ``half = window // 2``:
+
+    * An *interior* output ``i`` needs exactly inputs
+      ``[i - half, i + half]``; the carry guarantees they are present
+      and lie strictly inside the kernel's sub-array (no edge handling
+      touches them), so the value is the batch kernel's at that index.
+    * The first ``half`` outputs are only emitted while the carry still
+      starts at frame 0, so the kernel's own head clamping (nearest
+      full window / edge pad) applies exactly as in the batch run.
+    * The last ``half`` outputs are emitted by :meth:`flush`, where the
+      carry holds the final ``window`` frames — the kernel's tail
+      clamping sees the true end of stream.
+
+    Args:
+        kernel: ``stack -> stack`` batch kernel (same-length output).
+        window: odd centred window width >= 3.
+        name: telemetry/fingerprint name.
+    """
+
+    def __init__(
+        self,
+        kernel: Callable[[np.ndarray], np.ndarray],
+        window: int,
+        name: str,
+    ) -> None:
+        if window < 3 or window % 2 == 0:
+            raise ConfigurationError(f"window must be odd and >= 3, got {window}")
+        self.kernel = kernel
+        self.window = int(window)
+        self.name = name
+        self.lag = self.window  # carry holds at most `window` frames
+        self._buf: np.ndarray | None = None
+        self._start = 0  # global index of _buf[0]
+        self._emitted = 0  # next output index to emit
+        self._seen = 0  # total input frames seen
+
+    def process(self, frames: np.ndarray) -> np.ndarray:
+        if frames.shape[0] == 0:
+            return frames
+        if self._buf is None:
+            self._buf = np.array(frames, copy=True)
+        else:
+            self._buf = np.concatenate([self._buf, frames], axis=0)
+        self._seen += frames.shape[0]
+        half = self.window // 2
+        ready = self._seen - half  # outputs [emitted, ready) are final
+        if self._seen < self.window or ready <= self._emitted:
+            return frames[:0]
+        out = self.kernel(self._buf)
+        emit = out[self._emitted - self._start : ready - self._start]
+        self._emitted = ready
+        keep_from = max(0, self._seen - self.window)
+        self._buf = self._buf[keep_from - self._start :]
+        self._start = keep_from
+        return emit
+
+    def flush(self) -> np.ndarray:
+        if self._buf is None:
+            raise DataFormatError(
+                f"{self.name}: stream ended before any frame arrived"
+            )
+        # Streams shorter than the window fail here exactly as the
+        # batch kernel does on the same short stack.
+        out = self.kernel(self._buf)
+        emit = out[self._emitted - self._start :]
+        self._emitted = self._seen
+        return emit
+
+    def batch(self, stack: np.ndarray) -> np.ndarray:
+        return self.kernel(stack)
+
+    def state_dict(self) -> dict:
+        return {
+            "buf": None if self._buf is None else encode_array(self._buf),
+            "start": self._start,
+            "emitted": self._emitted,
+            "seen": self._seen,
+        }
+
+    def load_state(self, state: dict) -> None:
+        self._buf = None if state["buf"] is None else decode_array(state["buf"])
+        self._start = int(state["start"])
+        self._emitted = int(state["emitted"])
+        self._seen = int(state["seen"])
+
+    def describe(self) -> str:
+        return f"{self.name}(window={self.window})"
+
+
+class VoterStage(Stage):
+    """``Algo_NGST`` over consecutive temporal stacks of the stream.
+
+    The stream is grouped into back-to-back stacks of ``stack_frames``
+    temporal variants — the paper's N readouts of one integration — and
+    each full stack runs Algorithm 1 (Υ-way voter matrix, dynamic
+    thresholds, bit-window correction) the moment its last frame
+    arrives.  A chunk boundary mid-stack simply leaves a partial carry
+    of at most ``stack_frames - 1`` frames.  At end of stream a
+    remainder longer than Υ/2 frames is processed as a short final
+    stack (the voter matrix needs more than Υ/2 variants); anything
+    shorter passes through uncorrected — both rules are part of the
+    batch semantics, so streaming and batch agree on every frame.
+
+    Args:
+        config: ``Algo_NGST`` parameters (Υ, Λ, per-coordinate thresholds).
+        stack_frames: N, temporal variants per stack (> Υ/2).
+    """
+
+    def __init__(
+        self, config: NGSTConfig | None = None, stack_frames: int = 64
+    ) -> None:
+        self.config = config or NGSTConfig()
+        if stack_frames <= self.config.upsilon // 2:
+            raise ConfigurationError(
+                f"stack_frames must exceed upsilon/2="
+                f"{self.config.upsilon // 2}, got {stack_frames}"
+            )
+        self.stack_frames = int(stack_frames)
+        self._algo = AlgoNGST(self.config)
+        self.name = f"algo_ngst[N={self.stack_frames}]"
+        self.lag = self.stack_frames - 1
+        self._pending: np.ndarray | None = None
+        self.n_stacks = 0
+        self.n_pixels_corrected = 0
+        self.n_bits_corrected = 0
+
+    def _run_stack(self, stack: np.ndarray) -> np.ndarray:
+        result = self._algo(stack)
+        self.n_stacks += 1
+        self.n_pixels_corrected += result.n_pixels_corrected
+        self.n_bits_corrected += result.n_bits_corrected
+        return result.corrected
+
+    def process(self, frames: np.ndarray) -> np.ndarray:
+        if frames.shape[0] == 0:
+            return frames
+        if self._pending is None or self._pending.shape[0] == 0:
+            self._pending = np.array(frames, copy=True)
+        else:
+            self._pending = np.concatenate([self._pending, frames], axis=0)
+        emitted = []
+        while self._pending.shape[0] >= self.stack_frames:
+            stack = self._pending[: self.stack_frames]
+            self._pending = self._pending[self.stack_frames :]
+            emitted.append(self._run_stack(stack))
+        if not emitted:
+            return frames[:0]
+        return emitted[0] if len(emitted) == 1 else np.concatenate(emitted, axis=0)
+
+    def flush(self) -> np.ndarray:
+        if self._pending is None:
+            return np.empty((0,), dtype=np.uint16)
+        remainder = self._pending
+        self._pending = remainder[:0]
+        if remainder.shape[0] > self.config.upsilon // 2:
+            return self._run_stack(remainder)
+        return remainder  # too short to vote on: pass through uncorrected
+
+    def batch(self, stack: np.ndarray) -> np.ndarray:
+        algo = AlgoNGST(self.config)  # fresh: batch() must not touch stats
+        out = np.empty_like(stack)
+        t = 0
+        while t + self.stack_frames <= stack.shape[0]:
+            out[t : t + self.stack_frames] = algo(
+                stack[t : t + self.stack_frames]
+            ).corrected
+            t += self.stack_frames
+        remainder = stack[t:]
+        if remainder.shape[0] > self.config.upsilon // 2:
+            out[t:] = algo(remainder).corrected
+        else:
+            out[t:] = remainder
+        return out
+
+    def state_dict(self) -> dict:
+        return {
+            "pending": None
+            if self._pending is None
+            else encode_array(self._pending),
+            "n_stacks": self.n_stacks,
+            "n_pixels_corrected": self.n_pixels_corrected,
+            "n_bits_corrected": self.n_bits_corrected,
+        }
+
+    def load_state(self, state: dict) -> None:
+        self._pending = (
+            None if state["pending"] is None else decode_array(state["pending"])
+        )
+        self.n_stacks = int(state["n_stacks"])
+        self.n_pixels_corrected = int(state["n_pixels_corrected"])
+        self.n_bits_corrected = int(state["n_bits_corrected"])
+
+    def describe(self) -> str:
+        return (
+            f"{self.name}(upsilon={self.config.upsilon}, "
+            f"sensitivity={self.config.sensitivity}, "
+            f"per_coord={self.config.per_coordinate_thresholds})"
+        )
+
+
+@dataclass(frozen=True)
+class StreamResult:
+    """What one streaming run produced.
+
+    Attributes:
+        n_frames_in: frames pulled from the source (counting resumed
+            ones).
+        n_frames_out: frames emitted by the final stage.
+        n_chunks: transport chunks processed (counting resumed ones).
+        psi_no_preprocessing: Ψ of the corrupted stream against the
+            pristine one (None when the pipeline has no inject stage or
+            measurement is off).
+        psi_algorithm: Ψ of the pipeline output against the pristine
+            stream (None when measurement is off).
+        elapsed_s: wall-clock seconds spent in this process.
+        frames_per_sec: ``n_frames_in / elapsed_s``.
+        stages: per-stage totals, pipeline order.
+        high_water: inlet buffer high-water mark.
+        completed: False when the run stopped at ``limit_chunks`` with
+            the source not yet exhausted (state checkpointed, resume to
+            continue).
+    """
+
+    n_frames_in: int
+    n_frames_out: int
+    n_chunks: int
+    psi_no_preprocessing: float | None
+    psi_algorithm: float | None
+    elapsed_s: float
+    frames_per_sec: float
+    stages: tuple[StageStats, ...] = field(default=())
+    high_water: int = 0
+    completed: bool = True
+
+    @property
+    def improvement(self) -> float | None:
+        """Ψ_NoPreprocessing / Ψ_Algorithm, the paper's gain measure."""
+        if self.psi_no_preprocessing is None or self.psi_algorithm is None:
+            return None
+        if self.psi_algorithm == 0.0:
+            return float("inf") if self.psi_no_preprocessing > 0 else 1.0
+        return self.psi_no_preprocessing / self.psi_algorithm
+
+
+class _StageRunner:
+    """A stage plus its driver-side accounting."""
+
+    def __init__(self, stage: Stage) -> None:
+        self.stage = stage
+        self.frames_in = 0
+        self.frames_out = 0
+        self.elapsed_s = 0.0
+        self.max_buffered = 0
+
+    def run(self, frames: np.ndarray) -> np.ndarray:
+        t0 = time.perf_counter()
+        out = self.stage.process(frames)
+        self.elapsed_s += time.perf_counter() - t0
+        self.frames_in += frames.shape[0]
+        self.frames_out += out.shape[0]
+        self.max_buffered = max(
+            self.max_buffered, self.frames_in - self.frames_out
+        )
+        return out
+
+    def run_flush(self) -> np.ndarray:
+        t0 = time.perf_counter()
+        out = self.stage.flush()
+        self.elapsed_s += time.perf_counter() - t0
+        self.frames_out += out.shape[0]
+        return out
+
+    @property
+    def stats(self) -> StageStats:
+        return StageStats(
+            name=self.stage.name,
+            frames_in=self.frames_in,
+            frames_out=self.frames_out,
+            elapsed_s=self.elapsed_s,
+            frames_per_sec=(
+                self.frames_in / self.elapsed_s if self.elapsed_s > 0 else 0.0
+            ),
+            max_buffered=self.max_buffered,
+        )
+
+    def state_dict(self) -> dict:
+        return {
+            "stage": self.stage.state_dict(),
+            "frames_in": self.frames_in,
+            "frames_out": self.frames_out,
+            "max_buffered": self.max_buffered,
+        }
+
+    def load_state(self, state: dict) -> None:
+        self.stage.load_state(state["stage"])
+        self.frames_in = int(state["frames_in"])
+        self.frames_out = int(state["frames_out"])
+        self.max_buffered = int(state["max_buffered"])
+
+
+class StreamPipeline:
+    """Pull-based streaming engine: source → inlet buffer → stages → Ψ.
+
+    Each cycle pulls at most ``chunk_frames`` frames from the source
+    (under the ``block`` policy, never more than the inlet has room
+    for — that *is* the backpressure), stages them through the inlet
+    ring buffer, and pushes them through the stage chain.  Pristine
+    frames are parked in a bounded alignment buffer sized to
+    ``chunk_frames + Σ stage lags`` with the ``error`` policy, so the
+    documented O(chunk + window) memory bound is enforced at runtime,
+    not just claimed.
+
+    Ψ accounting: the frames *entering* the first ``corrupts`` stage
+    are the pristine reference; Ψ_NoPreprocessing is accumulated across
+    that stage (it must be lag-free) and Ψ_Algorithm between the final
+    stage's output and the aligned reference frames.  Without a
+    ``corrupts`` stage the source frames are the reference and only
+    Ψ_Algorithm is reported (the smoothing-distortion view).
+
+    Args:
+        source: where frames come from.
+        stages: the stage chain, upstream first (may be empty).
+        chunk_frames: transport granularity in frames (>= 1).  Never a
+            semantics knob: results are bit-identical for every value.
+        policy: inlet backpressure policy (results identical for all
+            three; they differ only when a buffer actually overflows,
+            which the pull driver never causes).
+        telemetry: optional hub for stream events.
+        checkpoint: optional :class:`StreamCheckpoint`; when set, every
+            chunk boundary records the exact pipeline state and
+            :meth:`run` resumes from the latest matching record.
+        measure: accumulate Ψ metrics (disable for pure throughput runs).
+        sink: optional consumer called with every ``(k,) + coord_shape``
+            chunk the final stage emits — the stream's output tap (the
+            equivalence tests use it to collect frames for byte-for-byte
+            comparison against the batch output).
+    """
+
+    def __init__(
+        self,
+        source: FrameSource,
+        stages: Sequence[Stage] = (),
+        chunk_frames: int = 64,
+        policy: "str | BackpressurePolicy" = BackpressurePolicy.BLOCK,
+        telemetry: Telemetry | None = None,
+        checkpoint: StreamCheckpoint | None = None,
+        measure: bool = True,
+        sink: Callable[[np.ndarray], None] | None = None,
+    ) -> None:
+        if chunk_frames < 1:
+            raise ConfigurationError(
+                f"chunk_frames must be >= 1, got {chunk_frames}"
+            )
+        self.source = source
+        self.stages = list(stages)
+        corrupting = [s for s in self.stages if s.corrupts]
+        if len(corrupting) > 1:
+            raise ConfigurationError(
+                "at most one corrupting stage per pipeline "
+                f"(got {[s.name for s in corrupting]})"
+            )
+        if corrupting and corrupting[0].lag != 0:
+            raise ConfigurationError(
+                f"corrupting stage {corrupting[0].name} must be lag-free"
+            )
+        self.chunk_frames = int(chunk_frames)
+        self.policy = BackpressurePolicy.parse(policy)
+        self.telemetry = telemetry
+        self.checkpoint = checkpoint
+        self.measure = bool(measure)
+        self.sink = sink
+        self._runners = [_StageRunner(s) for s in self.stages]
+        self._inlet = RingBuffer(self.chunk_frames, self.policy)
+        total_lag = sum(s.lag for s in self.stages)
+        self._pending = RingBuffer(
+            self.chunk_frames + total_lag, BackpressurePolicy.ERROR
+        )
+        self._psi_nopre = StreamingPsi()
+        self._psi_algo = StreamingPsi()
+        self._chunk_index = 0
+        self._frames_in = 0
+        self._frames_out = 0
+        self._restored_frames = 0
+
+    def fingerprint(self) -> str:
+        """Stable identity of the stream's *semantics* for checkpoints.
+
+        Deliberately excludes ``chunk_frames`` and ``policy``: the
+        pipeline is chunk-invariant, so a checkpoint written under one
+        transport configuration resumes correctly under another.
+        """
+        stages = ",".join(s.describe() for s in self.stages)
+        return f"src={self.source.describe()};stages=[{stages}];v1"
+
+    # -- state management -------------------------------------------------
+
+    def _state_dict(self) -> dict:
+        return {
+            "chunk_index": self._chunk_index,
+            "frames_in": self._frames_in,
+            "frames_out": self._frames_out,
+            "source": self.source.state_dict(),
+            "runners": [r.state_dict() for r in self._runners],
+            "pending": self._pending.state_dict(),
+            "psi_nopre": self._psi_nopre.state_dict(),
+            "psi_algo": self._psi_algo.state_dict(),
+        }
+
+    def _load_state(self, state: dict) -> None:
+        self._chunk_index = int(state["chunk_index"])
+        self._frames_in = int(state["frames_in"])
+        self._frames_out = int(state["frames_out"])
+        self.source.load_state(state["source"])
+        if len(state["runners"]) != len(self._runners):
+            raise StreamError(
+                f"checkpoint has {len(state['runners'])} stage states, "
+                f"pipeline has {len(self._runners)}"
+            )
+        for runner, sub in zip(self._runners, state["runners"]):
+            runner.load_state(sub)
+        self._pending.load_state(state["pending"])
+        self._psi_nopre.load_state(state["psi_nopre"])
+        self._psi_algo.load_state(state["psi_algo"])
+        self._restored_frames = self._frames_in
+
+    def _maybe_resume(self) -> None:
+        if self.checkpoint is None:
+            return
+        record = self.checkpoint.latest(self.fingerprint())
+        if record is not None:
+            self._load_state(record["state"])
+
+    # -- the drive loop ---------------------------------------------------
+
+    def _through_stages(self, frames: np.ndarray, first: int = 0) -> np.ndarray:
+        """Push *frames* through ``runners[first:]``, with Ψ accounting."""
+        data = frames
+        for runner in self._runners[first:]:
+            if runner.stage.corrupts and self.measure:
+                self._pending.push(data)
+                pristine = data
+                data = runner.run(data)
+                self._psi_nopre.update(data, pristine)
+            else:
+                data = runner.run(data)
+        return data
+
+    def _account_output(self, data: np.ndarray) -> None:
+        if data.shape[0] == 0:
+            return
+        self._frames_out += data.shape[0]
+        if self.measure:
+            reference = self._pending.pop(data.shape[0])
+            self._psi_algo.update(data, reference)
+        if self.sink is not None:
+            self.sink(data)
+
+    def _emit(self, event: object) -> None:
+        if self.telemetry is not None:
+            self.telemetry.emit(event)
+
+    def run(self, limit_chunks: int | None = None) -> StreamResult:
+        """Drive the stream to exhaustion (or for *limit_chunks* chunks).
+
+        Returns the :class:`StreamResult`; when ``limit_chunks`` stops
+        the run early the result has ``completed=False`` and — if a
+        checkpoint store is configured — the state needed to resume is
+        already on disk.
+        """
+        if limit_chunks is not None and limit_chunks < 1:
+            raise ConfigurationError(
+                f"limit_chunks must be >= 1, got {limit_chunks}"
+            )
+        self._maybe_resume()
+        has_injector = any(s.corrupts for s in self.stages)
+        started_at = time.perf_counter()
+        self._emit(
+            StreamStarted(
+                source=self.source.describe(),
+                stages=tuple(s.name for s in self.stages),
+                chunk_frames=self.chunk_frames,
+                policy=self.policy.value,
+                resumed_frames=self._restored_frames,
+            )
+        )
+        chunks_this_call = 0
+        exhausted = False
+        while True:
+            if limit_chunks is not None and chunks_this_call >= limit_chunks:
+                break
+            room = (
+                self._inlet.free
+                if self.policy is BackpressurePolicy.BLOCK
+                else self.chunk_frames
+            )
+            pull = min(self.chunk_frames, room)
+            if pull == 0:  # pragma: no cover - inlet is drained every cycle
+                raise StreamError("inlet buffer wedged with zero room")
+            frames = self.source.read(pull)
+            if frames.shape[0] == 0:
+                exhausted = True
+                break
+            t0 = time.perf_counter()
+            self._inlet.push(frames)
+            chunk = self._inlet.pop()
+            self._frames_in += chunk.shape[0]
+            if self.measure and not has_injector:
+                self._pending.push(chunk)
+            out = self._through_stages(chunk)
+            self._account_output(out)
+            elapsed = time.perf_counter() - t0
+            self._chunk_index += 1
+            chunks_this_call += 1
+            self._emit(
+                ChunkCompleted(
+                    chunk_index=self._chunk_index,
+                    frames_in=chunk.shape[0],
+                    frames_out=out.shape[0],
+                    elapsed_s=elapsed,
+                    frames_per_sec=(
+                        chunk.shape[0] / elapsed if elapsed > 0 else 0.0
+                    ),
+                    queue_depth=len(self._inlet),
+                    high_water=self._inlet.stats.high_water,
+                )
+            )
+            if self.checkpoint is not None:
+                self.checkpoint.record(
+                    self.fingerprint(),
+                    self._chunk_index,
+                    self._frames_in,
+                    self._state_dict(),
+                )
+        if exhausted:
+            for i, runner in enumerate(self._runners):
+                tail = runner.run_flush()
+                out = self._through_stages(tail, first=i + 1)
+                self._account_output(out)
+        elapsed_total = time.perf_counter() - started_at
+        stats = tuple(r.stats for r in self._runners)
+        result = StreamResult(
+            n_frames_in=self._frames_in,
+            n_frames_out=self._frames_out,
+            n_chunks=self._chunk_index,
+            psi_no_preprocessing=(
+                self._psi_nopre.value if self.measure and has_injector else None
+            ),
+            psi_algorithm=self._psi_algo.value if self.measure else None,
+            elapsed_s=elapsed_total,
+            frames_per_sec=(
+                self._frames_in / elapsed_total if elapsed_total > 0 else 0.0
+            ),
+            stages=stats,
+            high_water=self._inlet.stats.high_water,
+            completed=exhausted,
+        )
+        if exhausted:
+            self._emit(
+                StreamCompleted(
+                    n_frames_in=self._frames_in,
+                    n_frames_out=self._frames_out,
+                    n_chunks=self._chunk_index,
+                    elapsed_s=elapsed_total,
+                    frames_per_sec=result.frames_per_sec,
+                    stages=stats,
+                    high_water=self._inlet.stats.high_water,
+                )
+            )
+        return result
+
+
+def run_stream(
+    source: FrameSource,
+    stages: Sequence[Stage] = (),
+    chunk_frames: int = 64,
+    policy: "str | BackpressurePolicy" = BackpressurePolicy.BLOCK,
+    **kwargs,
+) -> StreamResult:
+    """One-shot convenience wrapper around :class:`StreamPipeline`."""
+    return StreamPipeline(
+        source, stages, chunk_frames=chunk_frames, policy=policy, **kwargs
+    ).run()
+
+
+@dataclass(frozen=True)
+class BatchResult:
+    """The batch comparator's outputs (the other side of the contract).
+
+    Attributes:
+        output: the final ``(T,) + coord_shape`` stack.
+        psi_no_preprocessing: Ψ across the corrupting stage, or None.
+        psi_algorithm: Ψ of output against the pristine reference.
+        n_frames: T.
+    """
+
+    output: np.ndarray
+    psi_no_preprocessing: float | None
+    psi_algorithm: float | None
+    n_frames: int
+
+
+def run_batch(source: FrameSource, stages: Sequence[Stage] = ()) -> BatchResult:
+    """The whole-stream batch pipeline the streaming engine must match.
+
+    Materializes the (finite) source, applies each stage's ``batch()``
+    semantics to the full stack, and accumulates Ψ with the same
+    :class:`StreamingPsi` recursion in the same frame order.  Stages'
+    ``batch()`` methods are pure, so instances may be shared with a
+    streaming run.
+    """
+    stack = read_all(source)
+    reference = stack
+    psi_nopre: float | None = None
+    data = stack
+    for stage in stages:
+        if stage.corrupts:
+            reference = data
+            corrupted = stage.batch(data)
+            acc = StreamingPsi()
+            acc.update(corrupted, reference)
+            psi_nopre = acc.value
+            data = corrupted
+        else:
+            data = stage.batch(data)
+    acc = StreamingPsi()
+    acc.update(data, reference)
+    return BatchResult(
+        output=data,
+        psi_no_preprocessing=psi_nopre,
+        psi_algorithm=acc.value,
+        n_frames=stack.shape[0],
+    )

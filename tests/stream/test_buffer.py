@@ -1,0 +1,115 @@
+"""RingBuffer policies, accounting, and exact state round-trips."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import BufferOverflowError, ConfigurationError
+from repro.stream.buffer import BackpressurePolicy, RingBuffer
+
+
+def frames(*values):
+    return np.asarray(values, dtype=np.uint16)
+
+
+class TestPolicyParsing:
+    def test_parse_cli_spellings(self):
+        assert BackpressurePolicy.parse("block") is BackpressurePolicy.BLOCK
+        assert (
+            BackpressurePolicy.parse("drop-oldest")
+            is BackpressurePolicy.DROP_OLDEST
+        )
+        assert BackpressurePolicy.parse("error") is BackpressurePolicy.ERROR
+
+    def test_parse_passthrough_and_unknown(self):
+        assert (
+            BackpressurePolicy.parse(BackpressurePolicy.BLOCK)
+            is BackpressurePolicy.BLOCK
+        )
+        with pytest.raises(ConfigurationError):
+            BackpressurePolicy.parse("drop_newest")
+
+
+class TestBlockPolicy:
+    def test_partial_accept_reports_count(self):
+        buf = RingBuffer(4, "block")
+        assert buf.push(frames(1, 2, 3)) == 3
+        assert buf.push(frames(4, 5, 6)) == 1  # only one slot left
+        stats = buf.stats
+        assert stats.n_refused == 2
+        assert stats.depth == 4
+        np.testing.assert_array_equal(buf.pop(), frames(1, 2, 3, 4))
+
+    def test_fifo_across_wraparound(self):
+        buf = RingBuffer(3, "block")
+        buf.push(frames(1, 2, 3))
+        np.testing.assert_array_equal(buf.pop(2), frames(1, 2))
+        buf.push(frames(4, 5))  # wraps around the ring edge
+        np.testing.assert_array_equal(buf.pop(), frames(3, 4, 5))
+
+
+class TestDropOldestPolicy:
+    def test_evicts_oldest_and_counts(self):
+        buf = RingBuffer(3, "drop-oldest")
+        assert buf.push(frames(1, 2, 3)) == 3
+        assert buf.push(frames(4, 5)) == 5 - 3  # returns frames accepted
+        np.testing.assert_array_equal(buf.pop(), frames(3, 4, 5))
+        assert buf.stats.n_dropped == 2
+
+    def test_oversized_chunk_keeps_freshest(self):
+        buf = RingBuffer(3, "drop-oldest")
+        buf.push(frames(1))
+        buf.push(frames(2, 3, 4, 5, 6))
+        np.testing.assert_array_equal(buf.pop(), frames(4, 5, 6))
+        assert buf.stats.n_dropped == 1 + 2  # buffered one + chunk's own head
+
+
+class TestErrorPolicy:
+    def test_overflow_raises_without_accepting(self):
+        buf = RingBuffer(2, "error")
+        buf.push(frames(1))
+        with pytest.raises(BufferOverflowError):
+            buf.push(frames(2, 3))
+        assert len(buf) == 1  # nothing was accepted
+
+    def test_fitting_push_is_accepted(self):
+        buf = RingBuffer(2, "error")
+        assert buf.push(frames(1, 2)) == 2
+        np.testing.assert_array_equal(buf.pop(), frames(1, 2))
+
+
+class TestAccountingAndState:
+    def test_high_water_tracks_peak_occupancy(self):
+        buf = RingBuffer(5, "block")
+        buf.push(frames(1, 2, 3, 4))
+        buf.pop(3)
+        buf.push(frames(5))
+        assert buf.stats.high_water == 4
+
+    def test_peek_does_not_consume(self):
+        buf = RingBuffer(3, "block")
+        buf.push(frames(7, 8))
+        np.testing.assert_array_equal(buf.peek(), frames(7, 8))
+        assert len(buf) == 2
+        assert buf.stats.n_popped == 0
+
+    def test_shape_mismatch_rejected(self):
+        buf = RingBuffer(4, "block")
+        buf.push(np.zeros((2, 3), dtype=np.uint16))
+        with pytest.raises(ConfigurationError):
+            buf.push(np.zeros((1, 5), dtype=np.uint16))
+
+    def test_state_round_trip_is_exact(self):
+        buf = RingBuffer(4, "drop-oldest")
+        buf.push(frames(1, 2, 3, 4))
+        buf.pop(2)
+        buf.push(frames(5, 6, 7))  # forces a drop and a wrap
+        state = buf.state_dict()
+
+        clone = RingBuffer(4, "drop-oldest")
+        clone.load_state(state)
+        assert clone.stats == buf.stats
+        np.testing.assert_array_equal(clone.pop(), buf.pop())
+
+    def test_capacity_must_be_positive(self):
+        with pytest.raises(ConfigurationError):
+            RingBuffer(0)

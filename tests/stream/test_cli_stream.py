@@ -1,0 +1,164 @@
+"""The ``repro stream`` subcommand, including mid-campaign kill/resume."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.cli import main as repro_main
+from repro.stream.cli import EXIT_INCOMPLETE, main as stream_main
+
+
+def run_json(tmp_path, args, name="out.json"):
+    out = tmp_path / name
+    rc = stream_main(args + ["--json", str(out)])
+    return rc, json.loads(out.read_text())
+
+
+class TestBasicRuns:
+    def test_delegated_through_repro_main(self, capsys):
+        rc = repro_main(["stream", "--frames", "64", "--chunk-frames", "32"])
+        assert rc == 0
+        captured = capsys.readouterr()
+        assert "frames in/out      64/64" in captured.out
+        assert "psi algorithm" in captured.out
+
+    def test_json_output_schema(self, tmp_path):
+        rc, data = run_json(
+            tmp_path, ["--frames", "96", "--chunk-frames", "32", "--shape", "8"]
+        )
+        assert rc == 0
+        assert data["n_frames_in"] == data["n_frames_out"] == 96
+        assert data["completed"] is True
+        assert data["psi_no_preprocessing"] > data["psi_algorithm"] > 0
+        assert data["improvement"] > 1
+        assert [s["name"] for s in data["stages"]] == [
+            "inject[UncorrelatedFaultModel]",
+            "algo_ngst[N=64]",
+        ]
+
+    def test_smoother_and_no_inject(self, tmp_path):
+        rc, data = run_json(
+            tmp_path,
+            [
+                "--frames", "80", "--shape", "4", "--no-inject",
+                "--stack-frames", "0", "--smoother", "median", "--window", "3",
+            ],
+        )
+        assert rc == 0
+        assert data["psi_no_preprocessing"] is None
+        assert data["psi_algorithm"] >= 0
+        assert [s["name"] for s in data["stages"]] == ["median3"]
+
+    def test_replay_an_npy_file(self, tmp_path):
+        frames = np.arange(600, dtype=np.uint16).reshape(100, 6)
+        path = tmp_path / "frames.npy"
+        np.save(path, frames)
+        rc, data = run_json(
+            tmp_path,
+            ["--input", str(path), "--stack-frames", "16", "--gamma", "0.005"],
+        )
+        assert rc == 0 and data["n_frames_in"] == 100
+
+    def test_progress_goes_to_stderr(self, capsys):
+        rc = stream_main(
+            ["--frames", "64", "--chunk-frames", "16", "--progress",
+             "--progress-every", "2"]
+        )
+        assert rc == 0
+        captured = capsys.readouterr()
+        assert "[stream] start:" in captured.err
+        assert "[stream] done:" in captured.err
+
+
+class TestKillResumeViaCli:
+    def test_interrupted_run_resumes_to_identical_psi(self, tmp_path):
+        base = [
+            "--frames", "200", "--shape", "8", "--chunk-frames", "16",
+            "--stack-frames", "24", "--seed", "3", "--inject-seed", "5",
+        ]
+        rc, uninterrupted = run_json(tmp_path, list(base), name="full.json")
+        assert rc == 0
+
+        ckdir = str(tmp_path / "ck")
+        resume = base + ["--resume", "--checkpoint-dir", ckdir]
+        rc, killed = run_json(
+            tmp_path, resume + ["--limit-chunks", "4"], name="killed.json"
+        )
+        assert rc == EXIT_INCOMPLETE
+        assert killed["completed"] is False and killed["n_frames_in"] == 64
+
+        rc, resumed = run_json(tmp_path, list(resume), name="resumed.json")
+        assert rc == 0
+        assert resumed["completed"] is True
+        assert resumed["n_frames_in"] == 200
+        assert resumed["psi_algorithm"] == uninterrupted["psi_algorithm"]
+        assert (
+            resumed["psi_no_preprocessing"]
+            == uninterrupted["psi_no_preprocessing"]
+        )
+
+    def test_resume_with_different_chunk_size(self, tmp_path):
+        base = [
+            "--frames", "120", "--shape", "4", "--stack-frames", "16",
+            "--seed", "8", "--inject-seed", "9",
+        ]
+        rc, uninterrupted = run_json(tmp_path, list(base), name="full.json")
+        ckdir = str(tmp_path / "ck")
+        rc, _ = run_json(
+            tmp_path,
+            base + ["--resume", "--checkpoint-dir", ckdir, "--chunk-frames",
+                    "8", "--limit-chunks", "3"],
+            name="killed.json",
+        )
+        assert rc == EXIT_INCOMPLETE
+        rc, resumed = run_json(
+            tmp_path,
+            base + ["--resume", "--checkpoint-dir", ckdir, "--chunk-frames", "40"],
+            name="resumed.json",
+        )
+        assert rc == 0
+        assert resumed["psi_algorithm"] == uninterrupted["psi_algorithm"]
+
+
+class TestErrorPaths:
+    def test_unknown_experiment_is_one_line(self, capsys):
+        rc = repro_main(["definitely-not-an-experiment"])
+        assert rc == 2
+        captured = capsys.readouterr()
+        assert "unknown experiment" in captured.err
+        assert "Traceback" not in captured.err
+
+    def test_unwritable_checkpoint_dir_main_cli(self, capsys):
+        rc = repro_main(
+            ["fig2", "--quick", "--resume", "--checkpoint-dir", "/proc/nope"]
+        )
+        assert rc == 2
+        captured = capsys.readouterr()
+        assert "not writable" in captured.err
+        assert "Traceback" not in captured.err
+
+    def test_unwritable_checkpoint_dir_stream_cli(self, capsys):
+        rc = stream_main(
+            ["--frames", "10", "--resume", "--checkpoint-dir", "/proc/nope"]
+        )
+        assert rc == 2
+        captured = capsys.readouterr()
+        assert "not writable" in captured.err
+
+    def test_missing_input_file_is_one_line(self, capsys, tmp_path):
+        rc = stream_main(["--input", str(tmp_path / "absent.npy")])
+        assert rc == 2
+        assert "stream failed:" in capsys.readouterr().err
+
+    def test_bad_flag_values(self, capsys):
+        assert stream_main(["--frames", "0"]) == 2
+        assert stream_main(["--frames", "10", "--limit-chunks", "0"]) == 2
+        # configuration errors surface as one-line failures, not tracebacks
+        rc = stream_main(["--frames", "10", "--window", "4", "--smoother", "mean"])
+        assert rc == 2
+        assert "stream failed:" in capsys.readouterr().err
+
+    def test_unknown_policy_rejected_by_argparse(self):
+        with pytest.raises(SystemExit):
+            stream_main(["--policy", "drop-newest"])

@@ -19,10 +19,27 @@ bench_report = pytest.importorskip("bench_report")
 
 
 @pytest.fixture(scope="module")
-def report(tmp_path_factory):
-    out = tmp_path_factory.mktemp("bench") / "report.json"
-    assert bench_report.main(["--quick", "--out", str(out)]) == 0
-    return json.loads(out.read_text())
+def reports(tmp_path_factory):
+    bench_dir = tmp_path_factory.mktemp("bench")
+    out = bench_dir / "report.json"
+    stream_out = bench_dir / "stream.json"
+    assert (
+        bench_report.main(
+            ["--quick", "--out", str(out), "--stream-out", str(stream_out)]
+        )
+        == 0
+    )
+    return json.loads(out.read_text()), json.loads(stream_out.read_text())
+
+
+@pytest.fixture(scope="module")
+def report(reports):
+    return reports[0]
+
+
+@pytest.fixture(scope="module")
+def stream_report(reports):
+    return reports[1]
 
 
 def test_report_top_level_schema(report):
@@ -72,3 +89,45 @@ def test_committed_report_is_schema_valid():
     assert committed["schema_version"] == bench_report.SCHEMA_VERSION
     for entry in committed["kernels"]:
         assert set(bench_report.KERNEL_KEYS) <= set(entry)
+
+
+def test_stream_report_top_level_schema(stream_report):
+    assert stream_report["schema_version"] == bench_report.STREAM_SCHEMA_VERSION
+    assert stream_report["quick"] is True
+    assert isinstance(stream_report["throughput"], list)
+    assert stream_report["throughput"]
+    assert isinstance(stream_report["memory"], dict)
+
+
+def test_stream_throughput_entries(stream_report):
+    for entry in stream_report["throughput"]:
+        assert set(bench_report.STREAM_KEYS) <= set(entry), entry
+        assert entry["chunk_frames"] >= 1
+        assert entry["frames_per_sec"] > 0
+        assert entry["elapsed_s"] > 0
+
+
+def test_stream_psi_is_chunk_invariant(stream_report):
+    """The bit-identity contract, witnessed in the benchmark itself."""
+    psis = {entry["psi_algorithm"] for entry in stream_report["throughput"]}
+    assert len(psis) == 1
+
+
+def test_stream_memory_demonstrates_the_bound(stream_report):
+    memory = stream_report["memory"]
+    small, large = memory["stream"]
+    assert large["n_frames"] == 2 * small["n_frames"]
+    # Doubling the stream length barely moves the streaming peak...
+    assert memory["stream_growth_ratio"] < 1.25
+    # ...while the batch pipeline's peak scales with the whole stream.
+    assert large["peak_bytes"] < memory["batch"]["peak_bytes"]
+    assert memory["total_stage_lag"] >= 0
+
+
+def test_committed_stream_report_is_schema_valid():
+    """The checked-in BENCH_PR3.json must parse under the same schema."""
+    committed = json.loads((REPO_ROOT / "BENCH_PR3.json").read_text())
+    assert committed["schema_version"] == bench_report.STREAM_SCHEMA_VERSION
+    for entry in committed["throughput"]:
+        assert set(bench_report.STREAM_KEYS) <= set(entry)
+    assert committed["memory"]["stream_growth_ratio"] < 1.25

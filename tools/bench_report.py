@@ -1,17 +1,24 @@
-"""Machine-readable perf trajectory for the PR 2 kernel vectorization.
+"""Machine-readable perf trajectory for the kernel and streaming work.
 
 Times every vectorized hot-path kernel against the ``_reference_*``
 oracle it replaced (the pre-vectorization implementation, kept in-tree
 as the bit-identity witness) and writes the per-kernel before/after
-numbers plus an end-to-end campaign throughput figure to a JSON report.
+numbers plus an end-to-end campaign throughput figure to
+``BENCH_PR2.json``.  A second report, ``BENCH_PR3.json``, covers the
+``repro.stream`` subsystem: frames/sec across transport chunk sizes
+(with the Ψ value recorded per run — identical by the bit-identity
+contract) and peak traced allocation of the streaming path versus the
+batch pipeline, demonstrating the O(chunk + window) memory bound (the
+streaming peak stays flat as the stream length doubles; the batch peak
+scales with it).
 
 Usage::
 
     PYTHONPATH=src python tools/bench_report.py            # full sizes
     PYTHONPATH=src python tools/bench_report.py --quick    # CI sizes
 
-``--quick`` shrinks problem sizes and repeat counts so the report runs
-in seconds; the committed ``BENCH_PR2.json`` is generated at full size.
+``--quick`` shrinks problem sizes and repeat counts so the reports run
+in seconds; the committed JSON files are generated at full size.
 """
 
 from __future__ import annotations
@@ -21,6 +28,7 @@ import json
 import platform
 import sys
 import time
+import tracemalloc
 from pathlib import Path
 
 import numpy as np
@@ -61,11 +69,24 @@ from repro.otis.scan import (  # noqa: E402
     mosaic,
     scan_scene,
 )
+from repro.stream import (  # noqa: E402
+    InjectStage,
+    StreamPipeline,
+    SyntheticWalkSource,
+    VoterStage,
+    run_batch,
+)
 
 SCHEMA_VERSION = 1
 
+#: BENCH_PR3.json schema version (streaming report).
+STREAM_SCHEMA_VERSION = 1
+
 #: Keys every kernel entry must carry — mirrored by the schema smoke test.
 KERNEL_KEYS = ("name", "config", "before_ms", "after_ms", "speedup")
+
+#: Keys every streaming-throughput entry must carry.
+STREAM_KEYS = ("chunk_frames", "frames_per_sec", "elapsed_s", "psi_algorithm")
 
 
 def _time_once(fn) -> float:
@@ -254,6 +275,115 @@ def _bench_campaign(quick: bool) -> dict:
     }
 
 
+def _stream_pipeline(n_frames, coord, chunk, stack_frames=32):
+    source = SyntheticWalkSource(shape=coord, seed=3, n_frames=n_frames)
+    stages = [
+        InjectStage(UncorrelatedFaultModel(0.01), seed=5),
+        VoterStage(stack_frames=stack_frames),
+    ]
+    return source, stages, StreamPipeline(
+        source, stages, chunk_frames=chunk
+    )
+
+
+def _bench_stream_throughput(quick: bool) -> list[dict]:
+    """Frames/sec per transport chunk size; Ψ recorded to witness identity."""
+    n_frames = 1024 if quick else 8192
+    coord = (64,)
+    chunks = (1, 16, 64, 256) if quick else (1, 16, 64, 256, 1024, 8192)
+    entries = []
+    for chunk in chunks:
+        _, _, pipeline = _stream_pipeline(n_frames, coord, chunk)
+        t0 = time.perf_counter()
+        result = pipeline.run()
+        elapsed = time.perf_counter() - t0
+        entries.append(
+            {
+                "chunk_frames": chunk,
+                "n_frames": n_frames,
+                "coord_shape": list(coord),
+                "frames_per_sec": round(n_frames / elapsed, 2) if elapsed else 0.0,
+                "elapsed_s": round(elapsed, 4),
+                # Identical across every chunk size by the bit-identity
+                # contract; recorded unrounded so drift would be visible.
+                "psi_algorithm": result.psi_algorithm,
+            }
+        )
+    return entries
+
+
+def _traced_peak(fn) -> int:
+    """Peak traced allocation (bytes) while running *fn*.
+
+    numpy registers its buffer allocator with ``tracemalloc``, so this
+    captures array storage — the footprint that matters here — without
+    the noise of whole-process RSS.
+    """
+    tracemalloc.start()
+    tracemalloc.reset_peak()
+    fn()
+    _, peak = tracemalloc.get_traced_memory()
+    tracemalloc.stop()
+    return int(peak)
+
+
+def _bench_stream_memory(quick: bool) -> dict:
+    """Streaming vs batch peak memory on the same workload.
+
+    Two facts demonstrate the O(chunk + window) bound: the streaming
+    peak is far below the batch peak at equal stream length, and it
+    stays flat when the stream length doubles (the batch peak doubles).
+    """
+    coord = (64,)
+    chunk = 64
+    n_small = 2048 if quick else 16384
+    n_large = 2 * n_small
+
+    stream_peaks = []
+    for n_frames in (n_small, n_large):
+        _, _, pipeline = _stream_pipeline(n_frames, coord, chunk)
+        stream_peaks.append(
+            {
+                "n_frames": n_frames,
+                "peak_bytes": _traced_peak(pipeline.run),
+            }
+        )
+
+    def batch():
+        source, stages, _ = _stream_pipeline(n_large, coord, chunk)
+        run_batch(source, stages)
+
+    batch_peak = _traced_peak(batch)
+    total_lag = sum(s.lag for s in _stream_pipeline(n_small, coord, chunk)[1])
+    return {
+        "coord_shape": list(coord),
+        "frame_bytes": int(np.prod(coord)) * 2,  # uint16 frames
+        "chunk_frames": chunk,
+        "total_stage_lag": total_lag,
+        "stream": stream_peaks,
+        "batch": {"n_frames": n_large, "peak_bytes": batch_peak},
+        # ~1.0 when the bound holds (peak independent of stream length).
+        "stream_growth_ratio": round(
+            stream_peaks[1]["peak_bytes"] / stream_peaks[0]["peak_bytes"], 3
+        ),
+        "stream_to_batch_ratio": round(
+            stream_peaks[1]["peak_bytes"] / batch_peak, 4
+        ),
+    }
+
+
+def build_stream_report(quick: bool) -> dict:
+    return {
+        "schema_version": STREAM_SCHEMA_VERSION,
+        "generated_by": "tools/bench_report.py" + (" --quick" if quick else ""),
+        "quick": quick,
+        "python": platform.python_version(),
+        "numpy": np.__version__,
+        "throughput": _bench_stream_throughput(quick),
+        "memory": _bench_stream_memory(quick),
+    }
+
+
 def build_report(quick: bool) -> dict:
     return {
         "schema_version": SCHEMA_VERSION,
@@ -277,7 +407,13 @@ def main(argv: list[str] | None = None) -> int:
         "--out",
         type=Path,
         default=REPO_ROOT / "BENCH_PR2.json",
-        help="output path (default: repo-root BENCH_PR2.json)",
+        help="kernel report path (default: repo-root BENCH_PR2.json)",
+    )
+    parser.add_argument(
+        "--stream-out",
+        type=Path,
+        default=REPO_ROOT / "BENCH_PR3.json",
+        help="streaming report path (default: repo-root BENCH_PR3.json)",
     )
     args = parser.parse_args(argv)
     report = build_report(args.quick)
@@ -292,6 +428,22 @@ def main(argv: list[str] | None = None) -> int:
     print(f"campaign: {c['n_trials']} trials in {c['elapsed_s']}s "
           f"({c['trials_per_s']} trials/s)")
     print(f"wrote {args.out}")
+
+    stream_report = build_stream_report(args.quick)
+    args.stream_out.write_text(json.dumps(stream_report, indent=2) + "\n")
+    for t in stream_report["throughput"]:
+        print(
+            f"stream: chunk={t['chunk_frames']:<5}  "
+            f"{t['frames_per_sec']:>10.1f} frames/s  "
+            f"psi={t['psi_algorithm']:.6g}"
+        )
+    m = stream_report["memory"]
+    print(
+        f"stream memory: peak {m['stream'][-1]['peak_bytes'] / 1e6:.2f} MB vs "
+        f"batch {m['batch']['peak_bytes'] / 1e6:.2f} MB "
+        f"(growth ratio {m['stream_growth_ratio']}x when the stream doubles)"
+    )
+    print(f"wrote {args.stream_out}")
     return 0
 
 
