@@ -19,8 +19,9 @@ verify:
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only
 
-# Machine-readable before/after kernel timings (BENCH_PR2.json) plus
-# streaming throughput/memory figures (BENCH_PR3.json).
+# Machine-readable before/after kernel timings (BENCH_PR2.json),
+# streaming throughput/memory figures (BENCH_PR3.json), and the fused
+# sweep / cache / shared-memory report (BENCH_PR4.json).
 # BENCH_ARGS=--quick shrinks problem sizes for CI.
 bench-report:
 	PYTHONPATH=src $(PYTHON) tools/bench_report.py $(BENCH_ARGS)

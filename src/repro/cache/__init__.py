@@ -1,0 +1,33 @@
+"""Content-addressed artifact cache for campaign preprocessing.
+
+Every Ψ-vs-Λ sweep re-derives the same expensive upstream artifacts —
+pristine datasets and corrupted fault realizations — once per arm of
+the (seed, Γ) grid.  This subsystem eliminates that redundancy:
+
+* :mod:`repro.cache.fingerprint` derives a canonical content key from
+  (generator config, ``SeedSequence`` entropy, fault-model params);
+* :class:`ArtifactCache` serves artifacts from an in-process LRU tier
+  and an optional crash-safe on-disk tier (``.npz`` + JSON sidecar,
+  atomic rename, size-capped eviction);
+* :class:`SharedArtifactMap` broadcasts cached read-only arrays to
+  process-pool workers through one ``multiprocessing.shared_memory``
+  segment instead of pickling per shard.
+
+The fused trial scheduler in :mod:`repro.runtime.fusion` drives all
+three; see docs/CACHING.md for key derivation, tier semantics, and the
+shared-memory lifecycle.
+"""
+
+from repro.cache.fingerprint import canonicalize, fingerprint, seed_fingerprint
+from repro.cache.sharedmem import SharedArtifactMap
+from repro.cache.store import ArtifactCache, CachedArtifact, CacheStats
+
+__all__ = [
+    "ArtifactCache",
+    "CacheStats",
+    "CachedArtifact",
+    "SharedArtifactMap",
+    "canonicalize",
+    "fingerprint",
+    "seed_fingerprint",
+]

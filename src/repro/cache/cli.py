@@ -1,0 +1,75 @@
+"""The ``repro cache`` subcommand: inspect or clear the on-disk tier.
+
+Usage (via the main entry point)::
+
+    repro cache stats [--cache-dir DIR] [--json]
+    repro cache clear [--cache-dir DIR]
+
+``stats`` reports the disk tier's entry count and byte usage (the
+in-memory LRU tier is per-process and therefore always empty from a
+fresh CLI invocation); ``clear`` deletes every cached payload/sidecar
+pair plus any stale temp files.  Both default to the same directory
+the experiment commands use for ``--cache-dir``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+from repro.cache.store import ArtifactCache
+
+#: Default on-disk cache location, shared with the experiment commands.
+DEFAULT_CACHE_DIR = ".repro-cache"
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The argument parser for ``repro cache``."""
+    parser = argparse.ArgumentParser(
+        prog="repro cache",
+        description="Inspect or clear the on-disk artifact cache tier.",
+    )
+    parser.add_argument("action", choices=("stats", "clear"))
+    parser.add_argument(
+        "--cache-dir",
+        metavar="DIR",
+        default=DEFAULT_CACHE_DIR,
+        help="on-disk cache directory (default: %(default)s)",
+    )
+    parser.add_argument(
+        "--json",
+        action="store_true",
+        help="('stats' only) emit the snapshot as JSON on stdout",
+    )
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Entry point for ``repro cache``; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    directory = Path(args.cache_dir)
+    if args.action == "clear" and not directory.exists():
+        print(f"cache directory {directory} does not exist", file=sys.stderr)
+        return 2
+    cache = ArtifactCache(max_memory_bytes=0, directory=directory)
+    if args.action == "clear":
+        before, before_bytes = cache.stats().n_disk_entries, cache.stats().disk_bytes
+        cache.clear()
+        print(f"cleared {before} entr{'y' if before == 1 else 'ies'} "
+              f"({before_bytes} bytes) from {directory}")
+        return 0
+    stats = cache.stats()
+    if args.json:
+        snapshot = {
+            "directory": str(directory),
+            "n_disk_entries": stats.n_disk_entries,
+            "disk_bytes": stats.disk_bytes,
+        }
+        print(json.dumps(snapshot, indent=2, sort_keys=True))
+        return 0
+    print(f"cache directory: {directory}")
+    print(f"disk entries:    {stats.n_disk_entries}")
+    print(f"disk bytes:      {stats.disk_bytes}")
+    return 0

@@ -1,0 +1,110 @@
+"""Canonical content fingerprints for cache keys.
+
+An artifact is addressed by *what produced it*: the generator
+configuration, the fault-model parameters, and the trial's
+``SeedSequence`` entropy.  :func:`fingerprint` reduces any nesting of
+dataclasses, mappings, sequences, numpy scalars/arrays, and seed
+sequences to one canonical JSON document and returns its SHA-256 hex
+digest.  Two byte-identical configurations always map to the same key;
+changing any field — or the entropy — changes the key.
+
+The canonical form is deliberately strict:
+
+* dataclasses serialise as ``{"__dataclass__": <qualified name>,
+  "fields": {...}}`` so two config types with coincidentally equal
+  fields cannot collide;
+* floats serialise via ``repr`` (shortest round-trip form), keeping
+  ``0.1`` distinct from ``0.1000000001``;
+* ``SeedSequence`` serialises its entropy *and* spawn key, so sibling
+  trials spawned from one root never share a key;
+* arrays serialise as dtype + shape + a SHA-256 of their bytes.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+from enum import Enum
+from typing import Any
+
+import numpy as np
+
+from repro.exceptions import ConfigurationError
+
+
+def canonicalize(obj: Any) -> Any:
+    """Reduce *obj* to a canonical JSON-serialisable structure.
+
+    Supports None, bool, int, float, str, Enum, bytes, numpy scalars
+    and arrays, ``SeedSequence``, dataclass instances, mappings, and
+    sequences; anything else raises :class:`ConfigurationError` rather
+    than silently keying on an unstable ``repr``.
+    """
+    if obj is None or isinstance(obj, (bool, int, str)):
+        return obj
+    if isinstance(obj, float):
+        return {"__float__": repr(obj)}
+    if isinstance(obj, Enum):
+        return {"__enum__": f"{type(obj).__name__}.{obj.name}"}
+    if isinstance(obj, bytes):
+        return {"__bytes__": hashlib.sha256(obj).hexdigest()}
+    if isinstance(obj, np.random.SeedSequence):
+        return {
+            "__seed_sequence__": {
+                "entropy": canonicalize(obj.entropy),
+                "spawn_key": [int(k) for k in obj.spawn_key],
+                "pool_size": int(obj.pool_size),
+            }
+        }
+    if isinstance(obj, np.generic):
+        return canonicalize(obj.item())
+    if isinstance(obj, np.ndarray):
+        data = np.ascontiguousarray(obj)
+        return {
+            "__ndarray__": {
+                "dtype": str(data.dtype),
+                "shape": list(data.shape),
+                "sha256": hashlib.sha256(data.tobytes()).hexdigest(),
+            }
+        }
+    if dataclasses.is_dataclass(obj) and not isinstance(obj, type):
+        fields = {
+            f.name: canonicalize(getattr(obj, f.name))
+            for f in dataclasses.fields(obj)
+        }
+        name = f"{type(obj).__module__}.{type(obj).__qualname__}"
+        return {"__dataclass__": name, "fields": fields}
+    if isinstance(obj, dict):
+        canon = {}
+        for key, value in obj.items():
+            if not isinstance(key, str):
+                raise ConfigurationError(
+                    f"cache-key mapping keys must be str, got {type(key).__name__}"
+                )
+            canon[key] = canonicalize(value)
+        return {"__mapping__": canon}
+    if isinstance(obj, (list, tuple)):
+        return [canonicalize(item) for item in obj]
+    raise ConfigurationError(
+        f"cannot derive a stable cache key from {type(obj).__name__!r}; "
+        "pass configs as dataclasses, mappings, sequences, or scalars"
+    )
+
+
+def fingerprint(*parts: Any) -> str:
+    """SHA-256 hex digest of the canonical form of *parts*.
+
+    The variadic parts are hashed as one canonical list, so
+    ``fingerprint(a, b)`` differs from ``fingerprint((a, b))`` only in
+    never colliding with a single-part key by construction.
+    """
+    canonical = json.dumps(
+        canonicalize(list(parts)), sort_keys=True, separators=(",", ":")
+    )
+    return hashlib.sha256(canonical.encode()).hexdigest()
+
+
+def seed_fingerprint(seed: np.random.SeedSequence) -> str:
+    """Fingerprint of one trial's ``SeedSequence`` identity alone."""
+    return fingerprint(seed)

@@ -1,0 +1,225 @@
+"""Zero-copy broadcast of cached artifacts to pool workers.
+
+A :class:`SharedArtifactMap` packs a set of cache entries into **one**
+``multiprocessing.shared_memory`` segment and exposes them as a
+read-only mapping of key → :class:`CachedArtifact` whose arrays are
+views into the segment.  Pickling the map serialises only the segment
+name and the array specs (dtype, shape, byte offset) — a few hundred
+bytes — so handing it to a process pool costs O(1) IPC regardless of
+how many megabytes of artifacts it carries; workers attach to the same
+physical pages instead of unpickling private copies.
+
+Lifecycle: the creating process owns the segment and must call
+:meth:`SharedArtifactMap.shutdown` (or use the map as a context
+manager) to unlink it; a ``weakref.finalize`` backstop unlinks on
+garbage collection or interpreter exit, so a crashed worker never
+strands the segment — attachments die with the worker's address space
+and the owner's unlink removes the name.  Workers attach lazily on
+first access and deliberately unregister the attachment from
+``multiprocessing.resource_tracker``, which would otherwise unlink the
+owner's segment when the first worker exits.
+"""
+
+from __future__ import annotations
+
+import weakref
+from collections.abc import Iterator, Mapping
+from dataclasses import dataclass
+from multiprocessing import shared_memory
+
+import numpy as np
+
+from repro.cache.store import CachedArtifact
+
+#: Worker-side attachments by segment name, kept open for the life of
+#: the worker process so repeated shard calls attach exactly once.
+_ATTACHED: dict[str, shared_memory.SharedMemory] = {}
+
+
+@dataclass(frozen=True)
+class _ArraySpec:
+    """Placement of one array inside the shared segment."""
+
+    name: str
+    dtype: str
+    shape: tuple[int, ...]
+    offset: int
+    nbytes: int
+
+
+def _unregister_from_tracker(shm: shared_memory.SharedMemory) -> None:
+    """Stop the resource tracker from unlinking a borrowed segment.
+
+    Attaching registers the segment with this process's tracker, which
+    unlinks it when the process exits — correct for an owner, fatal for
+    a worker borrowing the parent's broadcast.  Best-effort: tracker
+    internals differ across Python versions.
+    """
+    try:  # pragma: no cover - depends on interpreter internals
+        from multiprocessing import resource_tracker
+
+        resource_tracker.unregister(shm._name, "shared_memory")
+    except Exception:
+        pass
+
+
+class SharedArtifactMap(Mapping[str, CachedArtifact]):
+    """Read-only mapping of cache entries backed by one shared segment.
+
+    Build one with :meth:`broadcast`; pass it (pickled or fork-inherited)
+    to pool workers, who see the same bytes zero-copy.  The owner must
+    :meth:`shutdown` the map when the pool is done.
+    """
+
+    def __init__(
+        self,
+        segment_name: str,
+        specs: dict[str, tuple[_ArraySpec, ...]],
+        metas: dict[str, dict],
+        owner: bool,
+        shm: shared_memory.SharedMemory | None = None,
+    ) -> None:
+        self._segment_name = segment_name
+        self._specs = specs
+        self._metas = metas
+        self._owner = owner
+        self._shm = shm
+        self._entries: dict[str, CachedArtifact] | None = None
+        self._finalizer = None
+        if owner and shm is not None:
+            self._finalizer = weakref.finalize(self, _owner_cleanup, shm)
+
+    # -- construction -----------------------------------------------------
+
+    @classmethod
+    def broadcast(
+        cls, entries: Mapping[str, CachedArtifact]
+    ) -> "SharedArtifactMap":
+        """Pack *entries* into a fresh shared segment owned by the caller."""
+        total = sum(artifact.nbytes for artifact in entries.values())
+        shm = shared_memory.SharedMemory(create=True, size=max(1, total))
+        specs: dict[str, tuple[_ArraySpec, ...]] = {}
+        metas: dict[str, dict] = {}
+        offset = 0
+        for key, artifact in entries.items():
+            placed = []
+            for name in sorted(artifact.arrays):
+                array = np.ascontiguousarray(artifact.arrays[name])
+                end = offset + array.nbytes
+                shm.buf[offset:end] = array.tobytes()
+                placed.append(
+                    _ArraySpec(
+                        name=name,
+                        dtype=str(array.dtype),
+                        shape=tuple(array.shape),
+                        offset=offset,
+                        nbytes=array.nbytes,
+                    )
+                )
+                offset = end
+            specs[key] = tuple(placed)
+            metas[key] = dict(artifact.meta)
+        return cls(shm.name, specs, metas, owner=True, shm=shm)
+
+    def worker_view(self) -> "SharedArtifactMap":
+        """A non-owning handle safe to ship to (or inherit in) workers.
+
+        Fork-inherited copies of the *owner* would run its finalizer on
+        worker exit and unlink the live segment under the parent; a
+        worker view never unlinks.  It carries the owner's open segment
+        so fork-inherited workers reuse the mapping directly (no
+        attach, no resource-tracker traffic); pickling drops it, so
+        spawn workers attach by name instead.
+        """
+        return SharedArtifactMap(
+            self._segment_name, self._specs, self._metas, owner=False, shm=self._shm
+        )
+
+    # -- mapping protocol -------------------------------------------------
+
+    def _materialise(self) -> dict[str, CachedArtifact]:
+        if self._entries is None:
+            if self._shm is None:
+                self._shm = shared_memory.SharedMemory(name=self._segment_name)
+                _unregister_from_tracker(self._shm)
+                _ATTACHED[self._segment_name] = self._shm
+            entries = {}
+            for key, placed in self._specs.items():
+                arrays = {}
+                for spec in placed:
+                    view = np.frombuffer(
+                        self._shm.buf,
+                        dtype=np.dtype(spec.dtype),
+                        count=int(np.prod(spec.shape, dtype=np.int64))
+                        if spec.shape
+                        else 1,
+                        offset=spec.offset,
+                    ).reshape(spec.shape)
+                    view.flags.writeable = False
+                    arrays[spec.name] = view
+                entries[key] = CachedArtifact(arrays, dict(self._metas[key]))
+            self._entries = entries
+        return self._entries
+
+    def __getitem__(self, key: str) -> CachedArtifact:
+        return self._materialise()[key]
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self._specs)
+
+    def __len__(self) -> int:
+        return len(self._specs)
+
+    @property
+    def nbytes(self) -> int:
+        """Total artifact payload bytes carried by the segment."""
+        return sum(
+            spec.nbytes for placed in self._specs.values() for spec in placed
+        )
+
+    @property
+    def segment_name(self) -> str:
+        """The shared segment's system-wide name."""
+        return self._segment_name
+
+    # -- lifecycle --------------------------------------------------------
+
+    def shutdown(self) -> None:
+        """Owner: release views and unlink the segment (idempotent)."""
+        self._entries = None
+        if self._finalizer is not None:
+            self._finalizer()
+            self._finalizer = None
+        self._shm = None
+
+    def __enter__(self) -> "SharedArtifactMap":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.shutdown()
+
+    # -- pickling ---------------------------------------------------------
+
+    def __getstate__(self) -> dict:
+        return {
+            "segment_name": self._segment_name,
+            "specs": self._specs,
+            "metas": self._metas,
+        }
+
+    def __setstate__(self, state: dict) -> None:
+        self.__init__(
+            state["segment_name"], state["specs"], state["metas"], owner=False
+        )
+
+
+def _owner_cleanup(shm: shared_memory.SharedMemory) -> None:
+    """Close and unlink the owner's segment; tolerate races on exit."""
+    try:
+        shm.close()
+    except BufferError:  # a view is still alive; unlink still proceeds
+        pass
+    try:
+        shm.unlink()
+    except FileNotFoundError:
+        pass

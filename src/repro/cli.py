@@ -7,6 +7,8 @@ Usage::
     repro all [--quick] [--json OUT.json]
     repro fig5 --resume [--checkpoint-dir DIR]
     repro stream [--frames N] [--chunk-frames K] [--policy P] [--progress]
+    repro fig2 --cache-dir .repro-cache   # persist artifacts across runs
+    repro cache stats|clear [--cache-dir DIR]
 
 ``--quick`` shrinks repeats/grids so every experiment finishes in
 seconds; default parameters match the EXPERIMENTS.md record.
@@ -32,6 +34,7 @@ import json
 import sys
 from pathlib import Path
 
+from repro.cache import ArtifactCache
 from repro.exceptions import ReproError
 from repro.experiments.registry import REGISTRY, run_experiment
 from repro.runtime import (
@@ -112,6 +115,10 @@ def main(argv: list[str] | None = None) -> int:
         from repro.stream.cli import main as stream_main
 
         return stream_main(argv[1:])
+    if argv and argv[0] == "cache":
+        from repro.cache.cli import main as cache_main
+
+        return cache_main(argv[1:])
 
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -121,7 +128,8 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument(
         "experiment",
         help="experiment id (see 'repro list'), 'list', 'all', 'report', "
-        "or 'stream' (streaming pipeline; 'repro stream --help')",
+        "'stream' (streaming pipeline; 'repro stream --help'), or "
+        "'cache' (artifact cache maintenance; 'repro cache --help')",
     )
     parser.add_argument(
         "--quick", action="store_true", help="reduced grids for a fast run"
@@ -158,6 +166,14 @@ def main(argv: list[str] | None = None) -> int:
         action="store_true",
         help="print per-shard telemetry (timing, trials/sec) to stderr",
     )
+    parser.add_argument(
+        "--cache-dir",
+        metavar="DIR",
+        default=None,
+        help="persist the artifact cache's disk tier here, so pristine "
+        "datasets and fault realizations survive across invocations "
+        "(default: in-memory cache only; see 'repro cache')",
+    )
     args = parser.parse_args(argv)
 
     if args.jobs < 1:
@@ -168,6 +184,12 @@ def main(argv: list[str] | None = None) -> int:
         problem = probe_writable(Path(args.checkpoint_dir))
         if problem:
             print(problem, file=sys.stderr)
+            return 2
+
+    if args.cache_dir is not None:
+        problem = probe_writable(Path(args.cache_dir))
+        if problem:
+            print(problem.replace("--checkpoint-dir", "--cache-dir"), file=sys.stderr)
             return 2
 
     if args.experiment == "list":
@@ -241,7 +263,10 @@ def _build_runtime(args: argparse.Namespace, experiment_id: str) -> TrialRuntime
     if args.progress:
         telemetry = Telemetry()
         telemetry.subscribe(ProgressPrinter())
-    return TrialRuntime(backend=backend, checkpoint=checkpoint, telemetry=telemetry)
+    cache = ArtifactCache(directory=args.cache_dir)
+    return TrialRuntime(
+        backend=backend, checkpoint=checkpoint, telemetry=telemetry, cache=cache
+    )
 
 
 if __name__ == "__main__":

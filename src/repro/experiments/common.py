@@ -1,5 +1,6 @@
 """Shared experiment machinery: result containers, averaging sweeps,
-optimal-sensitivity search, and ASCII rendering."""
+fused multi-arm sweeps, optimal-sensitivity search, and ASCII
+rendering."""
 
 from __future__ import annotations
 
@@ -8,11 +9,21 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-from repro.config import NGSTConfig
+from repro.cache import ArtifactCache
+from repro.config import NGSTConfig, NGSTDatasetConfig
 from repro.core.algo_ngst import AlgoNGST
+from repro.data.ngst import generate_walk
 from repro.exceptions import ConfigurationError
 from repro.metrics.relative_error import psi
-from repro.runtime import TrialRuntime
+from repro.runtime import (
+    Arm,
+    ArmRequest,
+    ArtifactPipeline,
+    DatasetSpec,
+    FaultSpec,
+    TrialRuntime,
+    fuse,
+)
 
 
 @dataclass
@@ -112,6 +123,71 @@ def averaged(
         raise ConfigurationError(f"n_repeats must be >= 1, got {n_repeats}")
     runtime = runtime if runtime is not None else TrialRuntime()
     return float(np.mean(runtime.run(runner, n_repeats, seed)))
+
+
+def experiment_runtime(runtime: TrialRuntime | None = None) -> TrialRuntime:
+    """The runtime an experiment sweep should use.
+
+    Passes a caller-provided runtime through untouched; otherwise
+    builds a serial runtime with a fresh in-memory
+    :class:`~repro.cache.ArtifactCache`, so every grid point of the
+    sweep shares pristine datasets (identical across fault-parameter
+    points of the same seed) instead of regenerating them.
+    """
+    if runtime is not None:
+        return runtime
+    return TrialRuntime(cache=ArtifactCache())
+
+
+def walk_dataset(
+    config: NGSTDatasetConfig, shape: tuple[int, ...]
+) -> DatasetSpec:
+    """Cacheable :class:`DatasetSpec` for the NGST random-walk generator."""
+    return DatasetSpec(
+        build=lambda rng: generate_walk(config, rng, shape),
+        key_parts=("ngst_walk", config, tuple(shape)),
+    )
+
+
+def averaged_arms(
+    arms: Sequence[Arm],
+    dataset: DatasetSpec,
+    fault,
+    n_repeats: int,
+    seed: int,
+    runtime: TrialRuntime | None = None,
+) -> dict[str, float]:
+    """Mean of every arm over ``n_repeats`` fused trials.
+
+    The fused counterpart of calling :func:`averaged` once per arm:
+    dataset generation and fault injection run **once per trial**
+    through the runtime's artifact cache, and every arm evaluates the
+    same read-only arrays.  Values — and therefore the means — are
+    bit-identical to the per-arm :func:`averaged` calls, because fused
+    production replays the canonical trial protocol exactly.
+
+    Args:
+        arms: the arms to evaluate; names key the returned dict.
+        dataset: pristine-dataset spec (see :func:`walk_dataset`).
+        fault: a :class:`~repro.runtime.FaultSpec`, a fault model
+            exposing ``cache_key_parts()``, or None to run arms on
+            pristine data.
+        n_repeats: trials per arm (>= 1).
+        seed: root seed shared by every arm.
+        runtime: execution runtime; defaults to
+            :func:`experiment_runtime`'s cached serial runtime.
+    """
+    if n_repeats < 1:
+        raise ConfigurationError(f"n_repeats must be >= 1, got {n_repeats}")
+    if fault is not None and not isinstance(fault, FaultSpec):
+        fault = FaultSpec.of(fault)
+    runtime = experiment_runtime(runtime)
+    pipeline = ArtifactPipeline(dataset=dataset, fault=fault)
+    (group,) = fuse(
+        [ArmRequest(arm, pipeline, n_repeats, seed) for arm in arms]
+    )
+    values = runtime.run_fused(group)
+    return {name: float(np.mean(values[name])) for name in values}
 
 
 def best_sensitivity(

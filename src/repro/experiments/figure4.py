@@ -3,28 +3,33 @@
 Paper shape: Algo_NGST "does much better in combating the correlated
 failures in a bit-locality than the two smoothing algorithms, both of
 which show quite similar performance".
+
+Each Γ_ini point runs as one fused multi-arm group (see
+:func:`repro.experiments.common.averaged_arms`): the walk and its
+correlated fault realization are produced once per trial, and all four
+arms — no-preprocessing, Algo_NGST at the per-dataset optimal Λ, and
+the two smoothing baselines — score the same cached arrays,
+bit-identical to the historical per-arm loops.
 """
 
 from __future__ import annotations
 
 from collections.abc import Sequence
 
-import numpy as np
-
 from repro.baselines.majority import majority_vote_temporal
 from repro.baselines.median import median_smooth_temporal
 from repro.config import CorrelatedFaultConfig, NGSTDatasetConfig
-from repro.data.ngst import generate_walk
 from repro.experiments.common import (
     DEFAULT_LAMBDA_GRID,
     ExperimentResult,
-    averaged,
+    averaged_arms,
     best_sensitivity,
+    experiment_runtime,
+    walk_dataset,
 )
 from repro.faults.correlated import CorrelatedFaultModel
-from repro.faults.injector import FaultInjector
 from repro.metrics.relative_error import psi
-from repro.runtime import TrialRuntime
+from repro.runtime import Arm, TrialRuntime
 
 DEFAULT_GAMMA_INI_GRID = (0.005, 0.01, 0.025, 0.05, 0.1, 0.15, 0.2)
 
@@ -46,30 +51,39 @@ def run(
         x_label="Gamma_ini",
         y_label="avg relative error Psi",
     )
+    runtime = experiment_runtime(runtime)
     dataset_cfg = NGSTDatasetConfig(n_variants=n_variants, sigma=sigma)
-    labels = ("no-preprocessing", "Algo_NGST (opt L)", "median-w3", "majority-w3")
+    dataset = walk_dataset(dataset_cfg, shape)
+
+    arms = [
+        Arm("no-preprocessing", lambda corrupted, pristine: psi(corrupted, pristine)),
+        Arm(
+            "Algo_NGST (opt L)",
+            lambda corrupted, pristine: best_sensitivity(
+                corrupted, pristine, lambdas
+            )[1],
+        ),
+        Arm(
+            "median-w3",
+            lambda corrupted, pristine: psi(
+                median_smooth_temporal(corrupted), pristine
+            ),
+        ),
+        Arm(
+            "majority-w3",
+            lambda corrupted, pristine: psi(
+                majority_vote_temporal(corrupted), pristine
+            ),
+        ),
+    ]
+    labels = [arm.name for arm in arms]
     curves: dict[str, list[float]] = {label: [] for label in labels}
 
     for gamma_ini in gamma_ini_grid:
-
-        def one_point(rng: np.random.Generator, which: str) -> float:
-            pristine = generate_walk(dataset_cfg, rng, shape)
-            model = CorrelatedFaultModel(CorrelatedFaultConfig(gamma_ini=gamma_ini))
-            injector = FaultInjector(model, seed=int(rng.integers(2**31)))
-            corrupted, _ = injector.inject(pristine)
-            if which == "none":
-                return psi(corrupted, pristine)
-            if which == "median":
-                return psi(median_smooth_temporal(corrupted), pristine)
-            if which == "majority":
-                return psi(majority_vote_temporal(corrupted), pristine)
-            _, best = best_sensitivity(corrupted, pristine, lambdas)
-            return best
-
-        for label, which in zip(labels, ("none", "algo", "median", "majority")):
-            curves[label].append(
-                averaged(lambda rng: one_point(rng, which), n_repeats, seed, runtime)
-            )
+        model = CorrelatedFaultModel(CorrelatedFaultConfig(gamma_ini=gamma_ini))
+        means = averaged_arms(arms, dataset, model, n_repeats, seed, runtime)
+        for label in labels:
+            curves[label].append(means[label])
 
     for label in labels:
         result.add(label, list(gamma_ini_grid), curves[label])

@@ -344,6 +344,10 @@ class CorrelatedFaultModel:
         self.config = config
         self.layout = layout or RowMajorLayout()
 
+    def cache_key_parts(self) -> tuple:
+        """Canonical identity of this model (config + layout) for cache keys."""
+        return (type(self).__name__, self.config, self.layout.cache_key_parts())
+
     def corrupt(
         self, data: np.ndarray, rng: np.random.Generator
     ) -> tuple[np.ndarray, np.ndarray]:

@@ -32,6 +32,19 @@ class InjectionReport:
         return self.n_bits_flipped / self.total_bits if self.total_bits else 0.0
 
 
+def derive_injector_seed(rng: np.random.Generator) -> int:
+    """The canonical per-trial injector seed: one draw from *rng*.
+
+    Every experiment derives its :class:`FaultInjector` seed with
+    exactly this protocol — a single ``integers(2**31)`` draw from the
+    trial's generator, taken *after* dataset generation — and the fused
+    scheduler (:mod:`repro.runtime.fusion`) replays the same draw from
+    the same stream position, which is what makes fused and unfused
+    campaigns bit-identical.
+    """
+    return int(rng.integers(2**31))
+
+
 class FaultInjector:
     """Applies a fault model to datasets with reproducible seeding.
 

@@ -38,6 +38,15 @@ class MemoryLayout(ABC):
         n_rows = math.ceil(n_words * nbits / row_bits)
         return n_rows, row_bits
 
+    def cache_key_parts(self) -> tuple:
+        """Canonical identity of this layout for artifact cache keys.
+
+        Subclasses with extra placement parameters must extend the
+        tuple; two layouts that place bits differently must never share
+        key parts.
+        """
+        return (type(self).__name__, self.row_words)
+
     @abstractmethod
     def word_permutation(self, n_words: int) -> np.ndarray:
         """Physical word slot for each logical word index."""
@@ -89,6 +98,10 @@ class PixelMajorLayout(MemoryLayout):
             raise ConfigurationError(f"n_variants must be >= 1, got {n_variants}")
         self.n_variants = n_variants
 
+    def cache_key_parts(self) -> tuple:
+        """Layout identity including the variant grouping."""
+        return (type(self).__name__, self.row_words, self.n_variants)
+
     def word_permutation(self, n_words: int) -> np.ndarray:
         if n_words % self.n_variants:
             raise ConfigurationError(
@@ -115,6 +128,10 @@ class InterleavedLayout(MemoryLayout):
         if stride is not None and stride < 1:
             raise ConfigurationError(f"stride must be >= 1, got {stride}")
         self._stride = stride
+
+    def cache_key_parts(self) -> tuple:
+        """Layout identity including the configured stride."""
+        return (type(self).__name__, self.row_words, self._stride)
 
     def effective_stride(self, n_words: int) -> int:
         """The stride actually used: the configured one nudged to be

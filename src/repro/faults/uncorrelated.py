@@ -48,6 +48,10 @@ class UncorrelatedFaultModel:
             config = UncorrelatedFaultConfig(gamma0=float(config))
         self.config = config
 
+    def cache_key_parts(self) -> tuple:
+        """Canonical identity of this model for artifact cache keys."""
+        return (type(self).__name__, self.config)
+
     def corrupt(
         self, data: np.ndarray, rng: np.random.Generator
     ) -> tuple[np.ndarray, np.ndarray]:

@@ -12,6 +12,14 @@ interrupted campaign resumes where it stopped, and a
 :class:`Telemetry` hub reports per-shard timing and throughput.
 Results are bit-identical across backends, shard sizes, and
 interrupt/resume cycles.
+
+Multi-arm sweeps additionally go through the **plan-fusion pass**
+(:mod:`repro.runtime.fusion`): arm plans sharing a (dataset,
+fault-realization) fingerprint fuse into one schedule whose artifacts
+are produced once per trial, served through a content-addressed
+:class:`~repro.cache.ArtifactCache`, and broadcast zero-copy to pool
+workers over shared memory — still bit-identical to the per-arm
+unfused plans.
 """
 
 from repro.runtime.backend import (
@@ -19,11 +27,22 @@ from repro.runtime.backend import (
     ProcessPoolBackend,
     SerialBackend,
     ShardResult,
+    default_start_method,
 )
 from repro.runtime.checkpoint import CheckpointStore
 from repro.runtime.executor import TrialRuntime
+from repro.runtime.fusion import (
+    Arm,
+    ArmRequest,
+    ArtifactPipeline,
+    DatasetSpec,
+    FaultSpec,
+    FusedGroup,
+    fuse,
+)
 from repro.runtime.plan import Shard, TrialPlan, default_shard_size
 from repro.runtime.telemetry import (
+    CacheSnapshot,
     ProgressPrinter,
     RunCompleted,
     RunStarted,
@@ -32,8 +51,15 @@ from repro.runtime.telemetry import (
 )
 
 __all__ = [
+    "Arm",
+    "ArmRequest",
+    "ArtifactPipeline",
+    "CacheSnapshot",
     "CheckpointStore",
+    "DatasetSpec",
     "Executor",
+    "FaultSpec",
+    "FusedGroup",
     "ProcessPoolBackend",
     "ProgressPrinter",
     "RunCompleted",
@@ -46,4 +72,6 @@ __all__ = [
     "TrialPlan",
     "TrialRuntime",
     "default_shard_size",
+    "default_start_method",
+    "fuse",
 ]

@@ -6,18 +6,24 @@ take a shard function and a list of shards, yield a
 order) — so everything above them (checkpointing, telemetry, result
 assembly) is backend-agnostic.
 
-:class:`ProcessPoolBackend` uses a fork-context ``multiprocessing``
+:class:`ProcessPoolBackend` prefers a fork-context ``multiprocessing``
 pool and passes the shard function to workers through the pool
 initializer, which fork inherits rather than pickles.  Campaign trial
 functions are typically closures over lambdas (dataset generators,
 preprocessing arms) that could never cross a pickle boundary; fork
 inheritance lets exactly the same campaign objects run serially or in
-parallel.
+parallel.  Where fork is unavailable (macOS with threads, Windows) the
+backend falls back to the platform's spawn context, which pickles the
+initializer arguments — shard functions must then be picklable
+(module-level functions, or closures rebuilt worker-side from
+picklable specs); an unpicklable one fails fast with a clear
+configuration error instead of a pool deadlock.
 """
 
 from __future__ import annotations
 
 import multiprocessing
+import pickle
 import time
 from abc import ABC, abstractmethod
 from collections.abc import Callable, Iterator, Sequence
@@ -27,7 +33,9 @@ from repro.exceptions import ConfigurationError
 from repro.runtime.plan import Shard
 
 #: A shard function: runs every trial in a shard, returns their values
-#: in trial order.
+#: in trial order — either a bare list, or a ``(values, meta)`` tuple
+#: when the shard has side data (e.g. worker cache counters) to ship
+#: back alongside the values.
 ShardFn = Callable[[Shard], list]
 
 
@@ -40,11 +48,14 @@ class ShardResult:
         values: per-trial results in trial order.
         elapsed_s: wall-clock seconds spent running the shard (measured
             inside the worker, so it excludes queueing).
+        meta: optional worker-side side data (e.g. cache counter
+            deltas); never checkpointed.
     """
 
     index: int
     values: list
     elapsed_s: float
+    meta: dict | None = None
 
 
 class Executor(ABC):
@@ -52,9 +63,13 @@ class Executor(ABC):
 
     Attributes:
         jobs: worker count (1 for serial backends).
+        crosses_process_boundary: True when shards may run in other
+            processes, so artifacts shared with workers must travel
+            through inherited or shared memory, not object references.
     """
 
     jobs: int = 1
+    crosses_process_boundary: bool = False
 
     @abstractmethod
     def run_shards(
@@ -73,9 +88,17 @@ class Executor(ABC):
 
 def _timed_shard(shard_fn: ShardFn, shard: Shard) -> ShardResult:
     start = time.perf_counter()
-    values = shard_fn(shard)
+    out = shard_fn(shard)
+    meta = None
+    if isinstance(out, tuple):  # (values, meta) — see ShardFn docs
+        values, meta = out
+    else:
+        values = out
     return ShardResult(
-        index=shard.index, values=list(values), elapsed_s=time.perf_counter() - start
+        index=shard.index,
+        values=list(values),
+        elapsed_s=time.perf_counter() - start,
+        meta=meta,
     )
 
 
@@ -106,20 +129,38 @@ def _run_worker_shard(shard: Shard) -> ShardResult:
     return _timed_shard(_WORKER_SHARD_FN, shard)
 
 
+def default_start_method() -> str:
+    """The platform's best start method: ``fork`` when available.
+
+    Fork inherits non-picklable shard functions; platforms without it
+    (Windows, and macOS once threads exist) fall back to ``spawn``,
+    where shard functions must be picklable.
+    """
+    available = multiprocessing.get_all_start_methods()
+    return "fork" if "fork" in available else "spawn"
+
+
 class ProcessPoolBackend(Executor):
-    """Runs shards across a fork-context multiprocessing pool.
+    """Runs shards across a multiprocessing pool.
 
     Args:
         jobs: number of worker processes (>= 1).
-        start_method: multiprocessing start method; only ``fork``
-            supports non-picklable trial functions, so it is the
-            default and the only method accepted unless the shard
-            function is known to be picklable.
+        start_method: multiprocessing start method; default picks
+            :func:`default_start_method` (``fork`` where available,
+            else ``spawn``).  Only ``fork`` supports non-picklable
+            shard functions; under ``spawn``/``forkserver`` the shard
+            function crosses a pickle boundary and an unpicklable one
+            raises :class:`~repro.exceptions.ConfigurationError` before
+            any worker starts.
     """
 
-    def __init__(self, jobs: int, start_method: str = "fork") -> None:
+    crosses_process_boundary = True
+
+    def __init__(self, jobs: int, start_method: str | None = None) -> None:
         if jobs < 1:
             raise ConfigurationError(f"jobs must be >= 1, got {jobs}")
+        if start_method is None:
+            start_method = default_start_method()
         if start_method not in multiprocessing.get_all_start_methods():
             raise ConfigurationError(
                 f"start method {start_method!r} unavailable on this platform "
@@ -139,6 +180,16 @@ class ProcessPoolBackend(Executor):
             # One worker cannot beat in-process execution; skip the pool.
             yield from SerialBackend().run_shards(shard_fn, shards)
             return
+        if self.start_method != "fork":
+            try:
+                pickle.dumps(shard_fn)
+            except Exception as exc:
+                raise ConfigurationError(
+                    f"shard function is not picklable under the "
+                    f"{self.start_method!r} start method ({exc}); use the "
+                    f"fork start method or a picklable (module-level) "
+                    f"trial function"
+                ) from None
         ctx = multiprocessing.get_context(self.start_method)
         with ctx.Pool(
             processes=n_workers, initializer=_init_worker, initargs=(shard_fn,)

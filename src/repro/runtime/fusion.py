@@ -1,0 +1,279 @@
+"""Plan fusion: run generation + injection once, evaluate every arm.
+
+The unfused campaign protocol runs one :class:`~repro.runtime.TrialPlan`
+per arm (Λ value, algorithm baseline, no-preprocessing control), and
+every arm's trial re-generates the pristine dataset and re-runs fault
+injection — even though those artifacts are bit-identical across arms
+of the same (seed, Γ) grid point, because every arm's trial ``i`` uses
+the same ``SeedSequence`` child and draws from it in the same order.
+
+This module makes that sharing explicit:
+
+* :class:`DatasetSpec` / :class:`FaultSpec` describe artifact
+  production declaratively, with canonical key parts for the
+  content-addressed cache;
+* :class:`ArtifactPipeline` produces a trial's (pristine, corrupted)
+  pair through an :class:`~repro.cache.ArtifactCache`, capturing the
+  generator state alongside the pristine dataset so that a cache hit
+  leaves the RNG stream exactly where a cache miss would have — the
+  invariant that keeps fused, cached, and unfused runs bit-identical;
+* :func:`fuse` groups per-arm :class:`ArmRequest` entries that share a
+  (dataset, fault-realization) fingerprint into :class:`FusedGroup`
+  schedules, which :meth:`repro.runtime.TrialRuntime.run_fused`
+  executes with one production pass per trial.
+
+Arms must be *pure*: ``evaluate(corrupted, pristine)`` may not consume
+random state or mutate its (read-only) inputs.  Under that contract a
+fused run returns exactly the values the per-arm unfused plans would.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Sequence
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.cache.fingerprint import fingerprint
+from repro.cache.store import ArtifactCache, CachedArtifact
+from repro.exceptions import ConfigurationError
+from repro.faults.injector import FaultInjector, derive_injector_seed
+
+#: An arm evaluator: ``(corrupted, pristine) -> float | list of floats``.
+ArmFn = Callable[[np.ndarray, np.ndarray], object]
+
+
+@dataclass(frozen=True)
+class DatasetSpec:
+    """Declarative pristine-dataset production.
+
+    Attributes:
+        build: ``rng -> pristine array``; must be a deterministic
+            function of its configuration and the generator stream.
+        key_parts: canonical identity of the generator configuration
+            (dataclasses/tuples/scalars — see
+            :func:`repro.cache.fingerprint.canonicalize`).  Every field
+            that changes the output must be represented here.
+    """
+
+    build: Callable[[np.random.Generator], np.ndarray]
+    key_parts: tuple
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """Declarative fault-realization production.
+
+    Attributes:
+        model: any object with ``corrupt(data, rng)``.
+        key_parts: canonical identity of the fault parameters.
+    """
+
+    model: object
+    key_parts: tuple
+
+    @classmethod
+    def of(cls, model) -> "FaultSpec":
+        """Derive the spec from a model exposing ``cache_key_parts()``."""
+        parts = getattr(model, "cache_key_parts", None)
+        if parts is None:
+            raise ConfigurationError(
+                f"{type(model).__name__} does not expose cache_key_parts(); "
+                "construct FaultSpec with explicit key_parts instead"
+            )
+        return cls(model=model, key_parts=tuple(parts()))
+
+
+@dataclass(frozen=True)
+class Arm:
+    """One preprocessing arm evaluated against the shared artifacts.
+
+    Attributes:
+        name: unique label within its fused group (also the result key).
+        evaluate: pure ``(corrupted, pristine) -> value`` — no RNG, no
+            mutation of the read-only inputs.
+    """
+
+    name: str
+    evaluate: ArmFn
+
+
+@dataclass(frozen=True)
+class ArtifactPipeline:
+    """Generate → corrupt production line behind a fused trial.
+
+    Attributes:
+        dataset: pristine-dataset spec.
+        fault: fault-realization spec; None runs arms on the pristine
+            data (corrupted is the pristine array itself).
+    """
+
+    dataset: DatasetSpec
+    fault: FaultSpec | None = None
+
+    def base_fingerprint(self) -> str:
+        """Identity of the production line, independent of the trial seed.
+
+        Two :class:`ArmRequest` entries may fuse only when this matches
+        — same generator config *and* same fault parameters.
+        """
+        fault_parts = self.fault.key_parts if self.fault is not None else None
+        return fingerprint("pipeline", self.dataset.key_parts, fault_parts)
+
+    def pristine_key(self, seed: np.random.SeedSequence) -> str:
+        """Cache key of the trial's pristine dataset."""
+        return fingerprint("pristine", self.dataset.key_parts, seed)
+
+    def realization_key(self, seed: np.random.SeedSequence) -> str:
+        """Cache key of the trial's corrupted fault realization."""
+        assert self.fault is not None
+        return fingerprint(
+            "realization", self.dataset.key_parts, self.fault.key_parts, seed
+        )
+
+    def produce(
+        self,
+        seed: np.random.SeedSequence,
+        cache: ArtifactCache | None = None,
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """The trial's (pristine, corrupted) pair, through the cache.
+
+        Replays the canonical unfused trial protocol exactly: build the
+        dataset from ``default_rng(seed)``, then derive the injector
+        seed with one :func:`~repro.faults.injector.derive_injector_seed`
+        draw from the *same* stream.  A pristine cache hit restores the
+        captured post-generation RNG state before that draw, so hits
+        and misses leave the stream in identical positions and the
+        realization is bit-identical either way.
+        """
+        rng = np.random.default_rng(seed)
+        pristine = None
+        if cache is not None:
+            entry = cache.get(self.pristine_key(seed))
+            if entry is not None:
+                pristine = entry.arrays["pristine"]
+                rng.bit_generator.state = entry.meta["rng_state"]
+        if pristine is None:
+            pristine = self.dataset.build(rng)
+            if cache is not None:
+                cache.put(
+                    self.pristine_key(seed),
+                    CachedArtifact.build(
+                        {"pristine": pristine},
+                        {"rng_state": rng.bit_generator.state},
+                    ),
+                )
+            view = np.asarray(pristine).view()
+            view.flags.writeable = False
+            pristine = view
+        if self.fault is None:
+            return pristine, pristine
+
+        corrupted = None
+        realization_key = self.realization_key(seed)
+        if cache is not None:
+            entry = cache.get(realization_key)
+            if entry is not None:
+                corrupted = entry.arrays["corrupted"]
+        if corrupted is None:
+            injector = FaultInjector(self.fault.model, seed=derive_injector_seed(rng))
+            corrupted, _ = injector.inject(np.asarray(pristine))
+            if cache is not None:
+                cache.put(
+                    realization_key,
+                    CachedArtifact.build({"corrupted": corrupted}),
+                )
+            view = np.asarray(corrupted).view()
+            view.flags.writeable = False
+            corrupted = view
+        return pristine, corrupted
+
+
+@dataclass(frozen=True)
+class ArmRequest:
+    """One logical single-arm trial plan, before fusion.
+
+    Attributes:
+        arm: the preprocessing arm.
+        pipeline: the artifact production line the arm evaluates against.
+        n_trials: trial count of the arm's plan.
+        seed: root seed of the arm's plan.
+    """
+
+    arm: Arm
+    pipeline: ArtifactPipeline
+    n_trials: int
+    seed: int
+
+
+@dataclass(frozen=True)
+class FusedGroup:
+    """Arm plans fused onto one shared artifact production pass.
+
+    Attributes:
+        pipeline: the shared production line.
+        arms: the arms to evaluate per trial, in request order.
+        n_trials: shared trial count.
+        seed: shared root seed.
+    """
+
+    pipeline: ArtifactPipeline
+    arms: tuple[Arm, ...]
+    n_trials: int
+    seed: int
+
+    def __post_init__(self) -> None:
+        names = [arm.name for arm in self.arms]
+        if len(set(names)) != len(names):
+            raise ConfigurationError(f"duplicate arm names in fused group: {names}")
+        if not self.arms:
+            raise ConfigurationError("a fused group needs at least one arm")
+
+    @property
+    def arm_names(self) -> tuple[str, ...]:
+        return tuple(arm.name for arm in self.arms)
+
+    @property
+    def plan_variant(self) -> str:
+        """Plan-fingerprint variant tag for checkpoint compatibility.
+
+        Fused shard records store one value *list* per trial (one entry
+        per arm), so they must never be resumed into an unfused plan —
+        or into a fused plan with different arms.  Folding the arm
+        names into the plan fingerprint guarantees both.
+        """
+        return "fused:" + fingerprint(list(self.arm_names))[:12]
+
+
+def fuse(requests: Sequence[ArmRequest]) -> list[FusedGroup]:
+    """Group arm requests that share a (dataset, fault) fingerprint.
+
+    Requests fuse when their pipelines' :meth:`base_fingerprint`, trial
+    count, and root seed all match: their per-trial artifacts are then
+    provably identical, so generation and injection run once per group.
+    Groups come back in first-request order, single-arm groups included
+    (they simply gain the caching path).
+    """
+    groups: dict[tuple, list[ArmRequest]] = {}
+    for request in requests:
+        if request.n_trials < 1:
+            raise ConfigurationError(
+                f"n_trials must be >= 1, got {request.n_trials}"
+            )
+        signature = (
+            request.pipeline.base_fingerprint(),
+            request.n_trials,
+            request.seed,
+        )
+        groups.setdefault(signature, []).append(request)
+    fused = []
+    for members in groups.values():
+        fused.append(
+            FusedGroup(
+                pipeline=members[0].pipeline,
+                arms=tuple(m.arm for m in members),
+                n_trials=members[0].n_trials,
+                seed=members[0].seed,
+            )
+        )
+    return fused

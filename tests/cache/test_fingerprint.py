@@ -1,0 +1,168 @@
+"""Cache-key invalidation properties for :mod:`repro.cache.fingerprint`.
+
+The contract under test: byte-identical configurations always produce
+the same key (hits), and changing *any* field — or the SeedSequence
+entropy/spawn position — produces a different key (misses).  A stale
+hit would silently serve the wrong artifact, so these properties guard
+the whole caching design.
+"""
+
+import dataclasses
+from enum import Enum
+
+import numpy as np
+import pytest
+
+from repro.cache import canonicalize, fingerprint, seed_fingerprint
+from repro.config import (
+    CorrelatedFaultConfig,
+    NGSTConfig,
+    NGSTDatasetConfig,
+    UncorrelatedFaultConfig,
+)
+from repro.exceptions import ConfigurationError
+
+
+class TestDeterminism:
+    def test_equal_configs_hit(self):
+        a = NGSTDatasetConfig(n_variants=32, sigma=25.0)
+        b = NGSTDatasetConfig(n_variants=32, sigma=25.0)
+        assert fingerprint(a) == fingerprint(b)
+
+    def test_repeated_calls_are_stable(self):
+        cfg = CorrelatedFaultConfig(gamma_ini=0.05)
+        assert fingerprint(cfg, (16, 16)) == fingerprint(cfg, (16, 16))
+
+    def test_list_and_tuple_parts_are_equivalent(self):
+        assert fingerprint([1, 2, 3]) == fingerprint((1, 2, 3))
+
+    def test_equal_seed_sequences_hit(self):
+        assert seed_fingerprint(np.random.SeedSequence(7)) == seed_fingerprint(
+            np.random.SeedSequence(7)
+        )
+
+    def test_spawned_children_match_respawned_children(self):
+        a = np.random.SeedSequence(7).spawn(3)
+        b = np.random.SeedSequence(7).spawn(3)
+        assert [seed_fingerprint(s) for s in a] == [
+            seed_fingerprint(s) for s in b
+        ]
+
+
+def _candidate_values(value):
+    if isinstance(value, bool):
+        yield not value
+    elif isinstance(value, int):
+        yield value + 1
+        yield max(value - 1, 1)
+    elif isinstance(value, float):
+        yield value + 1.0
+        yield value / 2 + 1e-3
+        yield value * 0.9 + 1e-4
+    elif isinstance(value, str):
+        yield value + "x"
+
+
+def _variants(config):
+    """One *valid* single-field mutation per mutable field of a config."""
+    for field in dataclasses.fields(config):
+        value = getattr(config, field.name)
+        for candidate in _candidate_values(value):
+            try:
+                mutated = dataclasses.replace(config, **{field.name: candidate})
+            except ConfigurationError:
+                continue  # candidate violates the config's invariants
+            yield field.name, mutated
+            break
+
+
+class TestInvalidation:
+    @pytest.mark.parametrize(
+        "config",
+        [
+            NGSTDatasetConfig(),
+            NGSTConfig(),
+            UncorrelatedFaultConfig(),
+            CorrelatedFaultConfig(),
+        ],
+        ids=lambda c: type(c).__name__,
+    )
+    def test_any_field_change_misses(self, config):
+        base = fingerprint(config)
+        for name, mutated in _variants(config):
+            assert fingerprint(mutated) != base, f"field {name} not keyed"
+
+    def test_entropy_change_misses(self):
+        assert seed_fingerprint(np.random.SeedSequence(1)) != seed_fingerprint(
+            np.random.SeedSequence(2)
+        )
+
+    def test_sibling_spawned_seeds_differ(self):
+        a, b = np.random.SeedSequence(7).spawn(2)
+        assert seed_fingerprint(a) != seed_fingerprint(b)
+
+    def test_spawned_child_differs_from_root(self):
+        root = np.random.SeedSequence(7)
+        (child,) = root.spawn(1)
+        assert seed_fingerprint(child) != seed_fingerprint(root)
+
+    def test_float_precision_is_significant(self):
+        assert fingerprint(0.1) != fingerprint(0.1000000001)
+
+    def test_int_and_float_do_not_collide(self):
+        assert fingerprint(1) != fingerprint(1.0)
+
+    def test_equal_fields_of_different_dataclasses_do_not_collide(self):
+        @dataclasses.dataclass(frozen=True)
+        class A:
+            x: int = 1
+
+        @dataclasses.dataclass(frozen=True)
+        class B:
+            x: int = 1
+
+        assert fingerprint(A()) != fingerprint(B())
+
+    def test_part_boundaries_are_significant(self):
+        assert fingerprint("ab", "c") != fingerprint("a", "bc")
+
+    def test_array_content_is_keyed(self):
+        a = np.arange(8, dtype=np.uint16)
+        b = a.copy()
+        assert fingerprint(a) == fingerprint(b)
+        b[3] ^= 1
+        assert fingerprint(a) != fingerprint(b)
+
+    def test_array_dtype_and_shape_are_keyed(self):
+        a = np.zeros(8, dtype=np.uint16)
+        assert fingerprint(a) != fingerprint(a.astype(np.uint32))
+        assert fingerprint(a) != fingerprint(a.reshape(2, 4))
+
+
+class TestCanonicalize:
+    def test_rejects_opaque_objects(self):
+        with pytest.raises(ConfigurationError, match="stable cache key"):
+            canonicalize(object())
+
+    def test_rejects_non_string_mapping_keys(self):
+        with pytest.raises(ConfigurationError, match="must be str"):
+            canonicalize({1: "x"})
+
+    def test_enum_members_are_distinct(self):
+        class Mode(Enum):
+            A = 1
+            B = 2
+
+        assert fingerprint(Mode.A) != fingerprint(Mode.B)
+
+    def test_numpy_scalars_match_python_scalars(self):
+        assert fingerprint(np.int64(5)) == fingerprint(5)
+
+    def test_bytes_are_content_keyed(self):
+        assert fingerprint(b"abc") == fingerprint(b"abc")
+        assert fingerprint(b"abc") != fingerprint(b"abd")
+
+    def test_nested_structures(self):
+        cfg = NGSTDatasetConfig()
+        nested = {"dataset": cfg, "grid": [0.1, 0.2], "meta": None}
+        assert fingerprint(nested) == fingerprint(dict(nested))

@@ -1,0 +1,197 @@
+"""Tests for :class:`repro.cache.SharedArtifactMap`: zero-copy
+broadcast, worker attachment across both start methods, pickled handle
+size, and guaranteed segment cleanup."""
+
+import multiprocessing
+import pickle
+
+import numpy as np
+import pytest
+
+from repro.cache import CachedArtifact, SharedArtifactMap
+from tests.runtime.test_backend import needs_fork, needs_spawn
+
+
+def _entries(n=3, frames=4, side=8):
+    rng = np.random.default_rng(11)
+    return {
+        f"key-{i}": CachedArtifact.build(
+            {
+                "pristine": rng.integers(
+                    0, 2**16, size=(frames, side, side)
+                ).astype(np.uint16),
+                "corrupted": rng.integers(
+                    0, 2**16, size=(frames, side, side)
+                ).astype(np.uint16),
+            },
+            {"tag": i},
+        )
+        for i in range(n)
+    }
+
+
+class TestBroadcast:
+    def test_round_trips_every_entry(self):
+        entries = _entries()
+        with SharedArtifactMap.broadcast(entries) as shared:
+            assert set(shared) == set(entries)
+            assert len(shared) == len(entries)
+            for key, artifact in entries.items():
+                got = shared[key]
+                assert got.meta == artifact.meta
+                for name, array in artifact.arrays.items():
+                    np.testing.assert_array_equal(got.arrays[name], array)
+            del got  # release the last view before the owner unlinks
+
+    def test_views_are_read_only(self):
+        with SharedArtifactMap.broadcast(_entries(1)) as shared:
+            with pytest.raises(ValueError):
+                shared["key-0"].arrays["pristine"][0, 0, 0] = 1
+
+    def test_nbytes_matches_payload(self):
+        entries = _entries()
+        expected = sum(a.nbytes for a in entries.values())
+        with SharedArtifactMap.broadcast(entries) as shared:
+            assert shared.nbytes == expected
+
+    def test_empty_broadcast(self):
+        with SharedArtifactMap.broadcast({}) as shared:
+            assert len(shared) == 0
+            assert shared.nbytes == 0
+
+    def test_views_share_pages_not_copies(self):
+        """Entries materialized twice are the *same* views: the map does
+        not silently copy the segment into private memory."""
+        with SharedArtifactMap.broadcast(_entries(1)) as shared:
+            first = shared["key-0"].arrays["pristine"]
+            second = shared["key-0"].arrays["pristine"]
+            assert first is second
+            del first, second  # release views before the owner unlinks
+
+
+class TestHandle:
+    def test_pickled_handle_is_small(self):
+        """The whole point: the handle's wire size must not scale with
+        the artifact payload it carries."""
+        entries = _entries(n=4, frames=16, side=32)
+        with SharedArtifactMap.broadcast(entries) as shared:
+            handle_bytes = len(pickle.dumps(shared))
+            assert handle_bytes < shared.nbytes / 50
+            assert handle_bytes < 8192
+
+    def test_pickle_drops_the_segment_object(self):
+        with SharedArtifactMap.broadcast(_entries(1)) as shared:
+            clone = pickle.loads(pickle.dumps(shared))
+            assert clone._shm is None
+            assert clone._owner is False
+            assert clone.segment_name == shared.segment_name
+            np.testing.assert_array_equal(
+                clone["key-0"].arrays["pristine"],
+                shared["key-0"].arrays["pristine"],
+            )
+
+    def test_worker_view_is_not_an_owner(self):
+        with SharedArtifactMap.broadcast(_entries(1)) as shared:
+            view = shared.worker_view()
+            assert view._owner is False
+            assert view._finalizer is None
+            # The view reuses the owner's open segment: no re-attach.
+            assert view._shm is shared._shm
+            np.testing.assert_array_equal(
+                view["key-0"].arrays["corrupted"],
+                shared["key-0"].arrays["corrupted"],
+            )
+            view.shutdown()  # release views before the owner unlinks
+
+
+def _read_in_worker(args):
+    """Worker: materialize a handle and checksum one array."""
+    handle, key, name = args
+    return int(np.asarray(handle[key].arrays[name], dtype=np.uint64).sum())
+
+
+class TestWorkers:
+    @needs_fork
+    def test_fork_workers_see_identical_bytes(self):
+        entries = _entries()
+        with SharedArtifactMap.broadcast(entries) as shared:
+            view = shared.worker_view()
+            jobs = [
+                (view, key, name)
+                for key in entries
+                for name in ("pristine", "corrupted")
+            ]
+            with multiprocessing.get_context("fork").Pool(2) as pool:
+                sums = pool.map(_read_in_worker, jobs)
+            expected = [
+                int(np.asarray(entries[key].arrays[name], dtype=np.uint64).sum())
+                for _, key, name in jobs
+            ]
+            assert sums == expected
+
+    @needs_spawn
+    def test_spawn_workers_attach_by_name(self):
+        """Spawn pickles the handle; workers attach to the named segment
+        and must not unlink it when they exit (the owner still reads)."""
+        entries = _entries(n=2)
+        with SharedArtifactMap.broadcast(entries) as shared:
+            jobs = [(shared.worker_view(), key, "pristine") for key in entries]
+            with multiprocessing.get_context("spawn").Pool(2) as pool:
+                sums = pool.map(_read_in_worker, jobs)
+            expected = [
+                int(np.asarray(entries[key].arrays["pristine"], dtype=np.uint64).sum())
+                for key in entries
+            ]
+            assert sums == expected
+            # Workers have exited; the owner's segment must still be live.
+            np.testing.assert_array_equal(
+                shared["key-0"].arrays["pristine"],
+                entries["key-0"].arrays["pristine"],
+            )
+
+
+class TestLifecycle:
+    def _segment_exists(self, name):
+        from multiprocessing import shared_memory
+
+        try:
+            probe = shared_memory.SharedMemory(name=name)
+        except FileNotFoundError:
+            return False
+        probe.close()
+        from repro.cache.sharedmem import _unregister_from_tracker
+
+        _unregister_from_tracker(probe)
+        return True
+
+    def test_shutdown_unlinks_the_segment(self):
+        shared = SharedArtifactMap.broadcast(_entries(1))
+        name = shared.segment_name
+        assert self._segment_exists(name)
+        shared.shutdown()
+        assert not self._segment_exists(name)
+
+    def test_shutdown_is_idempotent(self):
+        shared = SharedArtifactMap.broadcast(_entries(1))
+        shared.shutdown()
+        shared.shutdown()  # must not raise
+
+    def test_context_manager_unlinks_on_error(self):
+        with pytest.raises(RuntimeError, match="boom"):
+            with SharedArtifactMap.broadcast(_entries(1)) as shared:
+                name = shared.segment_name
+                raise RuntimeError("boom")
+        assert not self._segment_exists(name)
+
+    def test_garbage_collection_backstop(self):
+        """Dropping the owner without shutdown must still unlink."""
+        shared = SharedArtifactMap.broadcast(_entries(1))
+        name = shared.segment_name
+        del shared
+        assert not self._segment_exists(name)
+
+    def test_worker_view_shutdown_never_unlinks(self):
+        with SharedArtifactMap.broadcast(_entries(1)) as shared:
+            view = shared.worker_view()
+            view.shutdown()
+            assert self._segment_exists(shared.segment_name)

@@ -1,0 +1,204 @@
+"""End-to-end bit-identity of fused + cached + shared-memory execution.
+
+The contract the whole PR rests on: for every backend, worker count,
+and cache temperature (none / cold / warm / disk-backed), a fused
+multi-arm run returns **bit-identical** values (``tobytes`` equality of
+the float payloads via exact ``==``) to running each arm as its own
+unfused serial plan with the canonical trial protocol.
+"""
+
+import multiprocessing
+
+import numpy as np
+import pytest
+
+from repro.baselines.median import median_smooth_temporal
+from repro.cache import ArtifactCache
+from repro.config import NGSTConfig, NGSTDatasetConfig
+from repro.core.algo_ngst import AlgoNGST
+from repro.experiments.common import walk_dataset
+from repro.faults.correlated import CorrelatedFaultModel
+from repro.faults.injector import FaultInjector, derive_injector_seed
+from repro.metrics.relative_error import psi
+from repro.runtime import (
+    Arm,
+    ArmRequest,
+    ArtifactPipeline,
+    FaultSpec,
+    ProcessPoolBackend,
+    SerialBackend,
+    TrialRuntime,
+    fuse,
+)
+
+needs_fork = pytest.mark.skipif(
+    "fork" not in multiprocessing.get_all_start_methods(),
+    reason="fork start method unavailable",
+)
+
+N_TRIALS = 6
+SEED = 2003
+SHAPE = (6, 8, 8)  # (frames, rows, cols) of uint16 NGST walk variants
+
+
+def _fixture():
+    """A small figure-4-style grid point with three preprocessing arms."""
+    dataset_config = NGSTDatasetConfig(n_variants=SHAPE[0])
+    model = CorrelatedFaultModel(0.05)
+    dataset = walk_dataset(dataset_config, SHAPE[1:])
+    algo = AlgoNGST(NGSTConfig(sensitivity=80.0))
+    arms = [
+        Arm("none", lambda corrupted, pristine: psi(corrupted, pristine)),
+        Arm(
+            "algo_ngst",
+            lambda corrupted, pristine, algo=algo: psi(
+                algo(corrupted).corrected, pristine
+            ),
+        ),
+        Arm(
+            "median_w3",
+            lambda corrupted, pristine: psi(
+                median_smooth_temporal(corrupted), pristine
+            ),
+        ),
+    ]
+    return dataset, model, arms
+
+
+def _unfused_reference(dataset, model, arms):
+    """Each arm as its own serial plan, canonical trial protocol."""
+    results = {}
+    for arm in arms:
+        def trial(rng, arm=arm):
+            pristine = dataset.build(rng)
+            injector = FaultInjector(model, seed=derive_injector_seed(rng))
+            corrupted, _ = injector.inject(pristine)
+            return arm.evaluate(corrupted, pristine)
+
+        results[arm.name] = TrialRuntime().run(trial, N_TRIALS, seed=SEED)
+    return results
+
+
+def _fused_group(dataset, model, arms):
+    requests = [
+        ArmRequest(
+            arm=arm,
+            pipeline=ArtifactPipeline(dataset=dataset, fault=FaultSpec.of(model)),
+            n_trials=N_TRIALS,
+            seed=SEED,
+        )
+        for arm in arms
+    ]
+    (group,) = fuse(requests)
+    return group
+
+
+def _assert_identical(fused, reference):
+    assert set(fused) == set(reference)
+    for name in reference:
+        assert fused[name] == reference[name], f"arm {name} diverged"
+        assert np.asarray(fused[name]).tobytes() == np.asarray(
+            reference[name]
+        ).tobytes()
+
+
+@pytest.fixture(scope="module")
+def reference():
+    dataset, model, arms = _fixture()
+    return _unfused_reference(dataset, model, arms)
+
+
+class TestSerialEquivalence:
+    def test_fused_without_cache(self, reference):
+        dataset, model, arms = _fixture()
+        fused = TrialRuntime().run_fused(_fused_group(dataset, model, arms))
+        _assert_identical(fused, reference)
+
+    def test_fused_cold_cache(self, reference):
+        dataset, model, arms = _fixture()
+        runtime = TrialRuntime(cache=ArtifactCache())
+        fused = runtime.run_fused(_fused_group(dataset, model, arms))
+        _assert_identical(fused, reference)
+        stats = runtime.cache.stats()
+        assert stats.misses > 0  # cold: everything was produced once
+
+    def test_fused_warm_cache(self, reference):
+        dataset, model, arms = _fixture()
+        runtime = TrialRuntime(cache=ArtifactCache())
+        group = _fused_group(dataset, model, arms)
+        runtime.run_fused(group, key="cold")
+        warm = runtime.run_fused(group, key="warm")
+        _assert_identical(warm, reference)
+        assert runtime.cache.stats().hits >= 2 * N_TRIALS  # pristine + realization
+
+    def test_fused_disk_tier_across_processes_simulated(self, reference, tmp_path):
+        """A fresh runtime (empty memory tier) serving from disk."""
+        dataset, model, arms = _fixture()
+        group = _fused_group(dataset, model, arms)
+        TrialRuntime(cache=ArtifactCache(directory=tmp_path)).run_fused(group)
+
+        fresh = TrialRuntime(cache=ArtifactCache(directory=tmp_path))
+        fused = fresh.run_fused(group)
+        _assert_identical(fused, reference)
+        assert fresh.cache.stats().disk_hits >= 2 * N_TRIALS
+
+
+@needs_fork
+class TestPoolEquivalence:
+    @pytest.mark.parametrize("jobs", [2, 3])
+    def test_fused_pool_cold(self, reference, jobs):
+        dataset, model, arms = _fixture()
+        runtime = TrialRuntime(
+            backend=ProcessPoolBackend(jobs, start_method="fork"),
+            cache=ArtifactCache(),
+            shard_size=1,
+        )
+        fused = runtime.run_fused(_fused_group(dataset, model, arms))
+        _assert_identical(fused, reference)
+
+    def test_fused_pool_warm_broadcast(self, reference):
+        """Warm entries travel to workers via the shared-memory overlay
+        and the worker-side hit counters ride back to the parent."""
+        dataset, model, arms = _fixture()
+        group = _fused_group(dataset, model, arms)
+        cache = ArtifactCache()
+        TrialRuntime(cache=cache).run_fused(group, key="warmup")
+
+        runtime = TrialRuntime(
+            backend=ProcessPoolBackend(2, start_method="fork"),
+            cache=cache,
+            shard_size=1,
+        )
+        fused = runtime.run_fused(group, key="pooled")
+        _assert_identical(fused, reference)
+        assert cache.stats().overlay_hits >= 2 * N_TRIALS
+
+    def test_shard_size_does_not_change_values(self, reference):
+        dataset, model, arms = _fixture()
+        for shard_size in (1, 2, N_TRIALS):
+            runtime = TrialRuntime(
+                backend=ProcessPoolBackend(2, start_method="fork"),
+                cache=ArtifactCache(),
+                shard_size=shard_size,
+            )
+            fused = runtime.run_fused(_fused_group(dataset, model, arms))
+            _assert_identical(fused, reference)
+
+
+class TestSpawnLimitation:
+    @pytest.mark.skipif(
+        "spawn" not in multiprocessing.get_all_start_methods(),
+        reason="spawn start method unavailable",
+    )
+    def test_fused_closures_fail_fast_under_spawn(self):
+        """Fused shard functions are closures; spawn must reject them
+        with the pre-flight pickling error instead of hanging a pool."""
+        from repro.exceptions import ConfigurationError
+
+        dataset, model, arms = _fixture()
+        runtime = TrialRuntime(
+            backend=ProcessPoolBackend(2, start_method="spawn"),
+            cache=ArtifactCache(),
+        )
+        with pytest.raises(ConfigurationError, match="not picklable"):
+            runtime.run_fused(_fused_group(dataset, model, arms))

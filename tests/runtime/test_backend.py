@@ -1,17 +1,33 @@
 """Tests for the execution backends."""
 
+import multiprocessing
 import os
 
 import numpy as np
 import pytest
 
 from repro.exceptions import ConfigurationError
-from repro.runtime.backend import ProcessPoolBackend, SerialBackend
+from repro.runtime.backend import (
+    ProcessPoolBackend,
+    SerialBackend,
+    default_start_method,
+)
 from repro.runtime.plan import TrialPlan
 
 
 def _shard_fn(shard):
     return [float(np.random.default_rng(seed).normal()) for seed in shard.seeds]
+
+
+#: Marks for tests that need a specific start method on this platform.
+needs_fork = pytest.mark.skipif(
+    "fork" not in multiprocessing.get_all_start_methods(),
+    reason="fork start method unavailable",
+)
+needs_spawn = pytest.mark.skipif(
+    "spawn" not in multiprocessing.get_all_start_methods(),
+    reason="spawn start method unavailable",
+)
 
 
 def _collect(backend, shard_fn, shards):
@@ -91,3 +107,57 @@ class TestProcessPoolBackend:
     def test_describe(self):
         assert "ProcessPoolBackend" in ProcessPoolBackend(3).describe()
         assert "jobs=3" in ProcessPoolBackend(3).describe()
+
+    def test_crosses_process_boundary_flags(self):
+        assert ProcessPoolBackend(2).crosses_process_boundary is True
+        assert SerialBackend().crosses_process_boundary is False
+
+    def test_tuple_shard_return_carries_meta(self):
+        shard_fn = lambda shard: ([1.0] * shard.n_trials, {"tag": 7})  # noqa: E731
+        plan = TrialPlan(2, seed=0, shard_size=2)
+        (result,) = SerialBackend().run_shards(shard_fn, plan.shards)
+        assert result.values == [1.0, 1.0]
+        assert result.meta == {"tag": 7}
+
+
+class TestStartMethods:
+    def test_default_start_method_is_available(self):
+        assert default_start_method() in multiprocessing.get_all_start_methods()
+
+    @needs_fork
+    def test_fork_backend_explicit(self):
+        plan = TrialPlan(5, seed=3, shard_size=2)
+        backend = ProcessPoolBackend(2, start_method="fork")
+        assert _collect(backend, _shard_fn, plan.shards) == _collect(
+            SerialBackend(), _shard_fn, plan.shards
+        )
+
+    @needs_spawn
+    def test_spawn_matches_serial_bitwise(self):
+        """Module-level shard functions cross the spawn pickle boundary
+        and still produce bit-identical values."""
+        plan = TrialPlan(5, seed=3, shard_size=2)
+        backend = ProcessPoolBackend(2, start_method="spawn")
+        assert _collect(backend, _shard_fn, plan.shards) == _collect(
+            SerialBackend(), _shard_fn, plan.shards
+        )
+
+    @needs_spawn
+    def test_spawn_rejects_unpicklable_shard_fn_before_pool_start(self):
+        """An unpicklable closure must fail fast with a clear error, not
+        deadlock a half-started pool."""
+        offset = 1.0
+        shard_fn = lambda shard: [offset] * shard.n_trials  # noqa: E731
+        plan = TrialPlan(4, seed=1, shard_size=1)
+        backend = ProcessPoolBackend(2, start_method="spawn")
+        with pytest.raises(ConfigurationError, match="not picklable"):
+            list(backend.run_shards(shard_fn, plan.shards))
+
+    @needs_spawn
+    def test_spawn_single_worker_still_serial(self):
+        """The jobs=1 fallback sidesteps pickling entirely."""
+        offset = 2.5
+        shard_fn = lambda shard: [offset] * shard.n_trials  # noqa: E731
+        plan = TrialPlan(2, seed=1, shard_size=2)
+        backend = ProcessPoolBackend(1, start_method="spawn")
+        assert _collect(backend, shard_fn, plan.shards) == [2.5, 2.5]

@@ -1,0 +1,185 @@
+"""Tests for the plan-fusion pass (:mod:`repro.runtime.fusion`)."""
+
+import numpy as np
+import pytest
+
+from repro.cache import ArtifactCache
+from repro.config import NGSTDatasetConfig
+from repro.exceptions import ConfigurationError
+from repro.faults.correlated import CorrelatedFaultModel
+from repro.faults.uncorrelated import UncorrelatedFaultModel
+from repro.runtime import (
+    Arm,
+    ArmRequest,
+    ArtifactPipeline,
+    DatasetSpec,
+    FaultSpec,
+    FusedGroup,
+    fuse,
+)
+
+
+def _dataset(n_variants=8, shape=(4, 4)):
+    config = NGSTDatasetConfig(n_variants=n_variants)
+    from repro.experiments.common import walk_dataset
+
+    return walk_dataset(config, shape)
+
+
+def _mean_arm(name="mean"):
+    return Arm(name=name, evaluate=lambda corrupted, pristine: float(corrupted.mean()))
+
+
+def _request(arm=None, gamma0=0.01, n_trials=4, seed=0, n_variants=8):
+    pipeline = ArtifactPipeline(
+        dataset=_dataset(n_variants=n_variants),
+        fault=FaultSpec.of(UncorrelatedFaultModel(gamma0)),
+    )
+    return ArmRequest(
+        arm=arm or _mean_arm(), pipeline=pipeline, n_trials=n_trials, seed=seed
+    )
+
+
+class TestFuse:
+    def test_same_pipeline_requests_fuse_into_one_group(self):
+        requests = [_request(arm=_mean_arm(f"arm-{i}")) for i in range(3)]
+        groups = fuse(requests)
+        assert len(groups) == 1
+        assert groups[0].arm_names == ("arm-0", "arm-1", "arm-2")
+        assert groups[0].n_trials == 4
+
+    def test_different_fault_params_do_not_fuse(self):
+        groups = fuse([_request(gamma0=0.01), _request(gamma0=0.02)])
+        assert len(groups) == 2
+
+    def test_different_dataset_config_does_not_fuse(self):
+        groups = fuse([_request(n_variants=8), _request(n_variants=16)])
+        assert len(groups) == 2
+
+    def test_different_trial_count_or_seed_does_not_fuse(self):
+        assert len(fuse([_request(n_trials=4), _request(n_trials=8)])) == 2
+        assert len(fuse([_request(seed=0), _request(seed=1)])) == 2
+
+    def test_groups_preserve_first_request_order(self):
+        requests = [
+            _request(arm=_mean_arm("a"), gamma0=0.01),
+            _request(arm=_mean_arm("b"), gamma0=0.02),
+            _request(arm=_mean_arm("c"), gamma0=0.01),
+        ]
+        groups = fuse(requests)
+        assert [g.arm_names for g in groups] == [("a", "c"), ("b",)]
+
+    def test_single_arm_group_is_legal(self):
+        (group,) = fuse([_request()])
+        assert group.arm_names == ("mean",)
+
+    def test_rejects_bad_trial_count(self):
+        with pytest.raises(ConfigurationError, match="n_trials"):
+            fuse([_request(n_trials=0)])
+
+
+class TestFusedGroup:
+    def test_rejects_duplicate_arm_names(self):
+        request = _request()
+        with pytest.raises(ConfigurationError, match="duplicate arm names"):
+            FusedGroup(
+                pipeline=request.pipeline,
+                arms=(_mean_arm("x"), _mean_arm("x")),
+                n_trials=2,
+                seed=0,
+            )
+
+    def test_rejects_empty_group(self):
+        with pytest.raises(ConfigurationError, match="at least one arm"):
+            FusedGroup(pipeline=_request().pipeline, arms=(), n_trials=2, seed=0)
+
+    def test_plan_variant_depends_on_arm_names(self):
+        """Checkpoints of different arm sets must never cross-resume."""
+        pipeline = _request().pipeline
+        one = FusedGroup(pipeline=pipeline, arms=(_mean_arm("a"),), n_trials=2, seed=0)
+        two = FusedGroup(
+            pipeline=pipeline, arms=(_mean_arm("a"), _mean_arm("b")), n_trials=2, seed=0
+        )
+        assert one.plan_variant != two.plan_variant
+        assert one.plan_variant.startswith("fused:")
+
+
+class TestFaultSpec:
+    def test_of_derives_key_parts_from_model(self):
+        spec = FaultSpec.of(CorrelatedFaultModel(0.05))
+        assert spec.key_parts
+
+    def test_of_rejects_models_without_key_parts(self):
+        class Opaque:
+            def corrupt(self, data, rng):
+                return data
+
+        with pytest.raises(ConfigurationError, match="cache_key_parts"):
+            FaultSpec.of(Opaque())
+
+
+class TestArtifactPipeline:
+    def _pipeline(self, gamma0=0.05):
+        return ArtifactPipeline(
+            dataset=_dataset(),
+            fault=FaultSpec.of(UncorrelatedFaultModel(gamma0)),
+        )
+
+    def test_produce_is_deterministic_without_cache(self):
+        pipeline = self._pipeline()
+        seed = np.random.SeedSequence(3)
+        p1, c1 = pipeline.produce(seed)
+        p2, c2 = pipeline.produce(np.random.SeedSequence(3))
+        assert p1.tobytes() == p2.tobytes()
+        assert c1.tobytes() == c2.tobytes()
+
+    def test_outputs_are_read_only(self):
+        pristine, corrupted = self._pipeline().produce(np.random.SeedSequence(3))
+        for array in (pristine, corrupted):
+            with pytest.raises(ValueError):
+                np.asarray(array)[(0,) * array.ndim] = 0
+
+    def test_cache_hit_is_bit_identical_to_miss(self):
+        """The RNG-state restore: a pristine hit must leave the stream
+        exactly where a miss would, so the realization matches too."""
+        pipeline = self._pipeline()
+        seed = np.random.SeedSequence(3)
+        cold_p, cold_c = pipeline.produce(seed)
+
+        cache = ArtifactCache()
+        miss_p, miss_c = pipeline.produce(seed, cache)  # populates
+        hit_p, hit_c = pipeline.produce(seed, cache)  # serves both entries
+        assert cache.stats().hits >= 2
+        for produced in (miss_p, hit_p):
+            assert produced.tobytes() == cold_p.tobytes()
+        for produced in (miss_c, hit_c):
+            assert produced.tobytes() == cold_c.tobytes()
+
+    def test_pristine_hit_realization_miss_is_bit_identical(self):
+        """The asymmetric case: warm dataset, cold realization."""
+        pipeline = self._pipeline()
+        seed = np.random.SeedSequence(3)
+        cold_p, cold_c = pipeline.produce(seed)
+
+        cache = ArtifactCache()
+        pipeline.produce(seed, cache)
+        # Evict only the realization; the pristine entry stays warm.
+        realization = pipeline.realization_key(seed)
+        cache._memory.pop(realization)
+        _, warm_c = pipeline.produce(seed, cache)
+        assert warm_c.tobytes() == cold_c.tobytes()
+
+    def test_fingerprints_separate_seeds_and_pipelines(self):
+        pipeline = self._pipeline()
+        other = self._pipeline(gamma0=0.1)
+        a, b = np.random.SeedSequence(0), np.random.SeedSequence(1)
+        assert pipeline.pristine_key(a) != pipeline.pristine_key(b)
+        assert pipeline.realization_key(a) != other.realization_key(a)
+        assert pipeline.base_fingerprint() != other.base_fingerprint()
+        # The pristine key ignores fault params (shared across Γ grid)...
+        assert pipeline.pristine_key(a) == other.pristine_key(a)
+
+    def test_faultless_pipeline_returns_pristine_twice(self):
+        pipeline = ArtifactPipeline(dataset=_dataset(), fault=None)
+        pristine, corrupted = pipeline.produce(np.random.SeedSequence(0))
+        assert corrupted is pristine

@@ -23,13 +23,26 @@ def reports(tmp_path_factory):
     bench_dir = tmp_path_factory.mktemp("bench")
     out = bench_dir / "report.json"
     stream_out = bench_dir / "stream.json"
+    cache_out = bench_dir / "cache.json"
     assert (
         bench_report.main(
-            ["--quick", "--out", str(out), "--stream-out", str(stream_out)]
+            [
+                "--quick",
+                "--out",
+                str(out),
+                "--stream-out",
+                str(stream_out),
+                "--cache-out",
+                str(cache_out),
+            ]
         )
         == 0
     )
-    return json.loads(out.read_text()), json.loads(stream_out.read_text())
+    return (
+        json.loads(out.read_text()),
+        json.loads(stream_out.read_text()),
+        json.loads(cache_out.read_text()),
+    )
 
 
 @pytest.fixture(scope="module")
@@ -40,6 +53,11 @@ def report(reports):
 @pytest.fixture(scope="module")
 def stream_report(reports):
     return reports[1]
+
+
+@pytest.fixture(scope="module")
+def cache_report(reports):
+    return reports[2]
 
 
 def test_report_top_level_schema(report):
@@ -131,3 +149,48 @@ def test_committed_stream_report_is_schema_valid():
     for entry in committed["throughput"]:
         assert set(bench_report.STREAM_KEYS) <= set(entry)
     assert committed["memory"]["stream_growth_ratio"] < 1.25
+
+
+def test_cache_report_top_level_schema(cache_report):
+    assert cache_report["schema_version"] == bench_report.CACHE_SCHEMA_VERSION
+    assert cache_report["quick"] is True
+    assert set(bench_report.FUSED_KEYS) <= set(cache_report["fused_sweep"])
+    assert set(bench_report.POOL_KEYS) <= set(cache_report["pool"])
+    assert set(bench_report.IPC_KEYS) <= set(cache_report["ipc"])
+
+
+def test_cache_report_witnesses_bit_identity(cache_report):
+    """The benchmark itself verifies fused == unfused, both backends."""
+    assert cache_report["fused_sweep"]["bit_identical"] is True
+    assert cache_report["pool"]["bit_identical"] is True
+
+
+def test_cache_report_cache_counters(cache_report):
+    """A warm rerun of the same sweep must actually hit the cache."""
+    cache = cache_report["fused_sweep"]["cache"]
+    assert cache["hits"] > 0
+    assert cache["hit_rate"] > 0
+    assert cache["bytes_saved"] > 0
+
+
+def test_cache_report_ipc_handle_is_smaller(cache_report):
+    """The shm handle must beat pickling the arrays itself on bytes."""
+    ipc = cache_report["ipc"]
+    assert ipc["handle_bytes"] < ipc["pickled_arrays_bytes"]
+    assert ipc["payload_bytes"] > 0
+
+
+def test_committed_cache_report_is_schema_valid():
+    """The checked-in BENCH_PR4.json must parse under the same schema
+    and show the headline result: >= 3x warm-cache speedup on the
+    Λ-sweep with a nonzero hit rate, bit-identical to unfused."""
+    committed = json.loads((REPO_ROOT / "BENCH_PR4.json").read_text())
+    assert committed["schema_version"] == bench_report.CACHE_SCHEMA_VERSION
+    assert set(bench_report.FUSED_KEYS) <= set(committed["fused_sweep"])
+    assert set(bench_report.POOL_KEYS) <= set(committed["pool"])
+    assert set(bench_report.IPC_KEYS) <= set(committed["ipc"])
+    fused = committed["fused_sweep"]
+    assert fused["bit_identical"] is True
+    assert fused["speedup_warm"] >= 3.0
+    assert fused["cache"]["hit_rate"] > 0
+    assert fused["cache"]["bytes_saved"] > 0
