@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test verify bench bench-report figures quick-figures report claims clean
+.PHONY: install test verify bench bench-report serve-bench figures quick-figures report claims clean
 
 install:
 	pip install -e . || $(PYTHON) setup.py develop
@@ -15,6 +15,7 @@ test:
 verify:
 	PYTHONPATH=src $(PYTHON) -m pytest -x -q
 	PYTHONPATH=src $(PYTHON) -m repro.cli fig2 --quick --jobs 2
+	PYTHONPATH=src $(PYTHON) tools/serve_smoke.py
 
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only
@@ -25,6 +26,12 @@ bench:
 # BENCH_ARGS=--quick shrinks problem sizes for CI.
 bench-report:
 	PYTHONPATH=src $(PYTHON) tools/bench_report.py $(BENCH_ARGS)
+
+# Serve load harness: concurrent-stream throughput/latency plus the
+# chaos-kill/drain/restart churn phase (BENCH_PR6.json).  The committed
+# report is full-size (500 streams); BENCH_ARGS=--quick for CI.
+serve-bench:
+	PYTHONPATH=src $(PYTHON) tools/load_serve.py $(BENCH_ARGS)
 
 figures:
 	$(PYTHON) -m repro.cli all --json results_full.json | tee results_full.txt

@@ -15,7 +15,14 @@ captured RNG state, for example).  Lookups fall through three tiers:
 Disk writes are safe under concurrent writers: payload and sidecar are
 written to unique temp files and published with ``os.replace`` (atomic
 on POSIX), so readers never observe a partial file and the last writer
-wins.  The sidecar records the payload's SHA-256; a torn pair or a
+wins.  Within one process the cache is additionally thread-safe: an
+internal re-entrant lock serialises tier bookkeeping (LRU order, byte
+accounting, counters), so worker-pool threads — the serve layer runs
+every stream's pipeline on a shared thread pool — can share one cache
+instance.  ``get_or_create`` deliberately runs its factory *outside*
+the lock: two threads may race to produce the same key (both results
+are identical by construction, last writer wins), but a slow factory
+never blocks unrelated lookups.  The sidecar records the payload's SHA-256; a torn pair or a
 crash-corrupted payload fails verification and is treated as a miss
 (and deleted), never served.
 """
@@ -26,6 +33,7 @@ import hashlib
 import io
 import json
 import os
+import threading
 import uuid
 from collections import OrderedDict
 from collections.abc import Callable, Mapping
@@ -154,6 +162,7 @@ class ArtifactCache:
         self.max_memory_bytes = int(max_memory_bytes)
         self.max_disk_bytes = int(max_disk_bytes)
         self.directory = Path(directory) if directory is not None else None
+        self._lock = threading.RLock()
         self._memory: OrderedDict[str, CachedArtifact] = OrderedDict()
         self._memory_bytes = 0
         self._overlay: Mapping[str, CachedArtifact] | None = None
@@ -183,6 +192,10 @@ class ArtifactCache:
 
     def get(self, key: str) -> CachedArtifact | None:
         """The artifact stored under *key*, or None on a miss."""
+        with self._lock:
+            return self._get_locked(key)
+
+    def _get_locked(self, key: str) -> CachedArtifact | None:
         if self._overlay is not None:
             artifact = self._overlay.get(key)
             if artifact is not None:
@@ -208,7 +221,8 @@ class ArtifactCache:
         inspects which entries are warm without recording synthetic
         hits that would distort the campaign's hit-rate telemetry.
         """
-        return self._memory.get(key)
+        with self._lock:
+            return self._memory.get(key)
 
     def get_or_create(
         self, key: str, factory: Callable[[], CachedArtifact]
@@ -226,26 +240,29 @@ class ArtifactCache:
     def put(self, key: str, artifact: CachedArtifact) -> None:
         """Store *artifact* under *key* in every writable tier."""
         artifact = CachedArtifact(_frozen(artifact.arrays), dict(artifact.meta))
-        self._counts["puts"] += 1
-        self._admit_memory(key, artifact)
-        self._disk_write(key, artifact)
+        with self._lock:
+            self._counts["puts"] += 1
+            self._admit_memory(key, artifact)
+            self._disk_write(key, artifact)
 
     # -- stats / maintenance ----------------------------------------------
 
     def stats(self) -> CacheStats:
         """Current counters plus tier occupancy."""
-        n_disk, disk_bytes = self._disk_usage()
-        return CacheStats(
-            **self._counts,
-            n_memory_entries=len(self._memory),
-            memory_bytes=self._memory_bytes,
-            n_disk_entries=n_disk,
-            disk_bytes=disk_bytes,
-        )
+        with self._lock:
+            n_disk, disk_bytes = self._disk_usage()
+            return CacheStats(
+                **self._counts,
+                n_memory_entries=len(self._memory),
+                memory_bytes=self._memory_bytes,
+                n_disk_entries=n_disk,
+                disk_bytes=disk_bytes,
+            )
 
     def counters(self) -> dict[str, int]:
         """A snapshot of the raw event counters (no occupancy fields)."""
-        return dict(self._counts)
+        with self._lock:
+            return dict(self._counts)
 
     def merge_counters(self, delta: Mapping[str, int]) -> None:
         """Fold a worker process's counter *delta* into this cache.
@@ -256,12 +273,17 @@ class ArtifactCache:
         telemetry reflects worker-side hits too.  Unknown keys are
         ignored (forward compatibility).
         """
-        for name, value in delta.items():
-            if name in self._counts:
-                self._counts[name] += int(value)
+        with self._lock:
+            for name, value in delta.items():
+                if name in self._counts:
+                    self._counts[name] += int(value)
 
     def clear(self) -> None:
         """Drop every entry from the memory and disk tiers."""
+        with self._lock:
+            self._clear_locked()
+
+    def _clear_locked(self) -> None:
         self._memory.clear()
         self._memory_bytes = 0
         if self.directory is not None and self.directory.is_dir():

@@ -7,6 +7,7 @@ Usage::
     repro all [--quick] [--json OUT.json]
     repro fig5 --resume [--checkpoint-dir DIR]
     repro stream [--frames N] [--chunk-frames K] [--policy P] [--progress]
+    repro serve [--port P] [--control-port C] [--checkpoint-dir DIR]
     repro fig2 --cache-dir .repro-cache   # persist artifacts across runs
     repro cache stats|clear [--cache-dir DIR]
 
@@ -24,7 +25,8 @@ trials/sec) to stderr.  See docs/RUNTIME.md.
 
 ``repro stream`` runs the bounded-memory streaming pipeline instead of
 a batch experiment; its flags live in :mod:`repro.stream.cli` and its
-semantics in docs/STREAMING.md.
+semantics in docs/STREAMING.md.  ``repro serve`` starts the always-on
+multi-tenant streaming service (:mod:`repro.serve.cli`, docs/SERVING.md).
 """
 
 from __future__ import annotations
@@ -119,6 +121,10 @@ def main(argv: list[str] | None = None) -> int:
         from repro.cache.cli import main as cache_main
 
         return cache_main(argv[1:])
+    if argv and argv[0] == "serve":
+        from repro.serve.cli import main as serve_main
+
+        return serve_main(argv[1:])
 
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -128,7 +134,8 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument(
         "experiment",
         help="experiment id (see 'repro list'), 'list', 'all', 'report', "
-        "'stream' (streaming pipeline; 'repro stream --help'), or "
+        "'stream' (streaming pipeline; 'repro stream --help'), "
+        "'serve' (streaming service; 'repro serve --help'), or "
         "'cache' (artifact cache maintenance; 'repro cache --help')",
     )
     parser.add_argument(

@@ -57,3 +57,23 @@ class BufferOverflowError(StreamError):
     if a stage ever buffers more frames than its declared lag (a broken
     memory-bound invariant, never expected in normal operation).
     """
+
+
+class CheckpointMismatchError(StreamError):
+    """A resume found checkpoint records, but none match this pipeline.
+
+    Raised under strict resume when the checkpoint store holds records
+    for *other* fingerprints only — the stream's source or stage
+    configuration changed since the interrupted run.  Restarting
+    silently would discard the recorded progress, so strict consumers
+    (the ``repro stream`` CLI, the serve layer) abort loudly instead.
+    """
+
+
+class ServeError(ReproError):
+    """The streaming service refused or could not complete a request.
+
+    Covers protocol violations on the ingest socket (bad message types,
+    malformed frame payloads), unknown or busy tenant streams, and
+    sessions rejected during a graceful drain.
+    """

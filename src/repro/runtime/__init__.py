@@ -26,6 +26,7 @@ from repro.runtime.backend import (
     Executor,
     ProcessPoolBackend,
     SerialBackend,
+    ThreadPoolBackend,
     ShardResult,
     default_start_method,
 )
@@ -65,6 +66,7 @@ __all__ = [
     "RunCompleted",
     "RunStarted",
     "SerialBackend",
+    "ThreadPoolBackend",
     "Shard",
     "ShardCompleted",
     "ShardResult",

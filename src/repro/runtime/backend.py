@@ -27,6 +27,7 @@ import pickle
 import time
 from abc import ABC, abstractmethod
 from collections.abc import Callable, Iterator, Sequence
+from concurrent.futures import Future, ThreadPoolExecutor, as_completed
 from dataclasses import dataclass
 
 from repro.exceptions import ConfigurationError
@@ -112,6 +113,64 @@ class SerialBackend(Executor):
     ) -> Iterator[ShardResult]:
         for shard in shards:
             yield _timed_shard(shard_fn, shard)
+
+
+class ThreadPoolBackend(Executor):
+    """Runs shards (or ad-hoc jobs) across a persistent thread pool.
+
+    Threads share the calling process, so shard functions need no
+    pickling and shared state (caches, pipelines) needs no IPC; the
+    GIL is the ceiling, but the hot kernels are NumPy calls that
+    release it, so CPU-bound shards still overlap usefully.  This is
+    the backend the serve layer multiplexes its per-tenant stream
+    sessions onto: :meth:`submit` exposes the pool for one-off jobs
+    (an asyncio loop bridges them with ``asyncio.wrap_future``), while
+    :meth:`run_shards` keeps the backend drop-in compatible with the
+    trial runtime.
+
+    The pool is created lazily on first use and persists across calls
+    (a long-running service must not pay thread startup per chunk);
+    call :meth:`shutdown` when done.
+
+    Args:
+        jobs: number of worker threads (>= 1).
+    """
+
+    crosses_process_boundary = False
+
+    def __init__(self, jobs: int) -> None:
+        if jobs < 1:
+            raise ConfigurationError(f"jobs must be >= 1, got {jobs}")
+        self.jobs = jobs
+        self._pool: ThreadPoolExecutor | None = None
+
+    @property
+    def pool(self) -> ThreadPoolExecutor:
+        """The lazily created executor backing this backend."""
+        if self._pool is None:
+            self._pool = ThreadPoolExecutor(
+                max_workers=self.jobs, thread_name_prefix="repro-worker"
+            )
+        return self._pool
+
+    def submit(self, fn: Callable, /, *args, **kwargs) -> "Future":
+        """Run ``fn(*args, **kwargs)`` on the pool; returns its future."""
+        return self.pool.submit(fn, *args, **kwargs)
+
+    def run_shards(
+        self, shard_fn: ShardFn, shards: Sequence[Shard]
+    ) -> Iterator[ShardResult]:
+        futures = [
+            self.pool.submit(_timed_shard, shard_fn, shard) for shard in shards
+        ]
+        for future in as_completed(futures):
+            yield future.result()
+
+    def shutdown(self, wait: bool = True) -> None:
+        """Stop the pool (idempotent); a later use recreates it."""
+        if self._pool is not None:
+            self._pool.shutdown(wait=wait)
+            self._pool = None
 
 
 #: Worker-process slot for the inherited shard function; set by

@@ -1,0 +1,143 @@
+"""``repro serve`` — run the always-on streaming preprocessing server.
+
+Usage::
+
+    repro serve [--host H] [--port P] [--control-port C]
+                [--checkpoint-dir DIR] [--jobs N]
+                [--chaos-kill-rate R] [--chaos-seed S]
+                [--drain-timeout S]
+
+The server binds the ingest socket (newline-delimited JSON frame
+protocol; see docs/SERVING.md) and the HTTP control plane, prints both
+bound ports, and runs until SIGINT/SIGTERM — at which point it drains
+gracefully (every connection finishes its in-flight message, every
+durable session lands on a checkpointed chunk boundary) before exiting.
+``POST /drain`` on the control plane does the same without a signal.
+
+Port 0 asks the OS for a free port; the printed line is the contract
+scripts parse::
+
+    repro-serve listening ingest=127.0.0.1:41523 control=127.0.0.1:41817
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import signal
+import sys
+
+from repro.exceptions import ReproError
+from repro.serve.server import ReproServer, ServerConfig
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The ``repro serve`` argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="repro serve",
+        description="always-on multi-tenant streaming preprocessing service",
+    )
+    parser.add_argument("--host", default="127.0.0.1", help="bind address")
+    parser.add_argument(
+        "--port", type=int, default=7801, help="ingest TCP port (0 = any free)"
+    )
+    parser.add_argument(
+        "--control-port",
+        type=int,
+        default=7802,
+        help="HTTP control-plane port (0 = any free)",
+    )
+    parser.add_argument(
+        "--checkpoint-dir",
+        default=".repro-serve",
+        help="root for durable session state and the tenant registry",
+    )
+    parser.add_argument(
+        "--jobs", type=int, default=4, help="worker threads in the pipeline pool"
+    )
+    parser.add_argument(
+        "--chaos-kill-rate",
+        type=float,
+        default=0.0,
+        help="probability of abruptly killing a connection per strike "
+        "point (fault injection; 0 disables)",
+    )
+    parser.add_argument(
+        "--chaos-seed", type=int, default=0, help="chaos monkey RNG seed"
+    )
+    parser.add_argument(
+        "--drain-timeout",
+        type=float,
+        default=30.0,
+        help="seconds a graceful drain waits for connections",
+    )
+    return parser
+
+
+async def _serve(config: ServerConfig) -> int:
+    server = ReproServer(config)
+    await server.start()
+    print(
+        f"repro-serve listening "
+        f"ingest={config.host}:{server.ingest_port} "
+        f"control={config.host}:{server.control_port}",
+        flush=True,
+    )
+    loop = asyncio.get_running_loop()
+    shutdown = asyncio.Event()
+    for sig in (signal.SIGINT, signal.SIGTERM):
+        try:
+            loop.add_signal_handler(sig, shutdown.set)
+        except (NotImplementedError, RuntimeError):  # pragma: no cover
+            pass  # platform without signal handlers; Ctrl-C still raises
+    stopped = asyncio.ensure_future(server._stopped.wait())
+    waiter = asyncio.ensure_future(shutdown.wait())
+    # POST /drain on the control plane also ends the process: once the
+    # drain it started completes, there is nothing left to serve.
+    draining = asyncio.ensure_future(server.drainer.wait_signal())
+    done, pending = await asyncio.wait(
+        {stopped, waiter, draining}, return_when=asyncio.FIRST_COMPLETED
+    )
+    for task in pending:
+        task.cancel()
+    print("repro-serve draining", file=sys.stderr, flush=True)
+    if server.drainer.draining:
+        drained = await server.drainer.wait_drained(config.drain_timeout_s)
+    else:
+        drained = await server.drain()
+    await server.stop()
+    if not drained:
+        print(
+            "repro-serve: drain timed out with connections open",
+            file=sys.stderr,
+            flush=True,
+        )
+        return 1
+    print("repro-serve stopped", file=sys.stderr, flush=True)
+    return 0
+
+
+def main(argv: "list[str] | None" = None) -> int:
+    """Entry point for ``repro serve``; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    try:
+        config = ServerConfig(
+            host=args.host,
+            ingest_port=args.port,
+            control_port=args.control_port,
+            checkpoint_dir=args.checkpoint_dir,
+            jobs=args.jobs,
+            chaos_kill_rate=args.chaos_kill_rate,
+            chaos_seed=args.chaos_seed,
+            drain_timeout_s=args.drain_timeout,
+        )
+        return asyncio.run(_serve(config))
+    except ReproError as exc:
+        print(f"repro-serve: {exc}", file=sys.stderr)
+        return 2
+    except KeyboardInterrupt:  # pragma: no cover - direct Ctrl-C fallback
+        return 130
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

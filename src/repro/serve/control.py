@@ -1,0 +1,178 @@
+"""The HTTP/1.1 control plane: health, metrics, tenants, drain.
+
+A deliberately tiny hand-rolled HTTP server (the repo adds no
+dependencies): one request per connection, ``Connection: close``, JSON
+bodies.  Routes:
+
+========================  =====================================================
+``GET /healthz``          liveness + drain state + session/connection counts
+``GET /metrics``          Prometheus text exposition of :class:`ServeMetrics`
+``GET /metrics.json``     the same numbers as JSON
+``GET /tenants``          the tenant table
+``GET /tenants/<name>``   one tenant config
+``PUT /tenants/<name>``   create/replace a tenant (JSON body, validated)
+``DELETE /tenants/<name>``remove a tenant (``default`` is permanent)
+``POST /drain``           begin a graceful drain (returns immediately)
+========================  =====================================================
+
+Mutations are refused with 503 once a drain has begun — the server is
+committed to shutting down with the state it has.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+
+from repro.exceptions import ConfigurationError, ServeError
+from repro.serve.tenant import TenantConfig
+
+#: Largest accepted request body (tenant configs are tiny).
+MAX_BODY_BYTES = 1 << 20
+
+_REASONS = {
+    200: "OK",
+    202: "Accepted",
+    400: "Bad Request",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    503: "Service Unavailable",
+}
+
+
+class ControlPlane:
+    """Routes control requests against a live server.
+
+    Args:
+        server: the owning :class:`~repro.serve.server.ReproServer`
+            (duck-typed: needs ``registry``, ``metrics``, ``sessions``,
+            ``drainer``, and an async ``drain()``).
+    """
+
+    def __init__(self, server) -> None:
+        self.server = server
+
+    async def handle(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        """Serve one HTTP request and close the connection."""
+        try:
+            try:
+                method, path, body = await self._read_request(reader)
+            except (ValueError, asyncio.IncompleteReadError) as exc:
+                await self._respond(writer, 400, {"error": f"bad request: {exc}"})
+                return
+            status, payload, content_type = self._route(method, path, body)
+            await self._respond(writer, status, payload, content_type)
+        except (ConnectionResetError, BrokenPipeError):
+            pass
+        finally:
+            try:
+                writer.close()
+            except Exception:
+                pass
+
+    async def _read_request(self, reader) -> tuple[str, str, bytes]:
+        request_line = (await reader.readline()).decode("latin-1").strip()
+        parts = request_line.split()
+        if len(parts) != 3 or not parts[2].startswith("HTTP/"):
+            raise ValueError(f"malformed request line {request_line!r}")
+        method, path = parts[0].upper(), parts[1]
+        content_length = 0
+        while True:
+            header = (await reader.readline()).decode("latin-1")
+            if header in ("\r\n", "\n", ""):
+                break
+            name, _, value = header.partition(":")
+            if name.strip().lower() == "content-length":
+                content_length = int(value.strip())
+        if content_length > MAX_BODY_BYTES:
+            raise ValueError(f"body of {content_length} bytes is too large")
+        body = await reader.readexactly(content_length) if content_length else b""
+        return method, path, body
+
+    def _route(self, method: str, path: str, body: bytes):
+        """Dispatch; returns ``(status, payload, content_type)``."""
+        server = self.server
+        if path == "/healthz" and method == "GET":
+            return (
+                200,
+                {
+                    "status": "draining" if server.drainer.draining else "ok",
+                    "sessions": server.sessions.active_count,
+                    "parked_sessions": server.sessions.parked_count,
+                    "connections": server.drainer.active_connections,
+                },
+                "application/json",
+            )
+        if path == "/metrics" and method == "GET":
+            return 200, server.metrics.render_prometheus(), "text/plain; version=0.0.4"
+        if path == "/metrics.json" and method == "GET":
+            return 200, server.metrics.snapshot(), "application/json"
+        if path == "/tenants" and method == "GET":
+            return (
+                200,
+                {"tenants": [t.to_dict() for t in server.registry.list()]},
+                "application/json",
+            )
+        if path.startswith("/tenants/"):
+            name = path[len("/tenants/") :]
+            if method == "GET":
+                try:
+                    return 200, server.registry.get(name).to_dict(), "application/json"
+                except ServeError as exc:
+                    return 404, {"error": str(exc)}, "application/json"
+            if method == "PUT":
+                if server.drainer.draining:
+                    return 503, {"error": "server is draining"}, "application/json"
+                try:
+                    payload = json.loads(body.decode("utf-8")) if body else {}
+                    payload.setdefault("name", name)
+                    if payload["name"] != name:
+                        raise ConfigurationError(
+                            f"body name {payload['name']!r} != path name {name!r}"
+                        )
+                    config = TenantConfig.from_dict(payload)
+                except (json.JSONDecodeError, UnicodeDecodeError) as exc:
+                    return 400, {"error": f"bad JSON body: {exc}"}, "application/json"
+                except ConfigurationError as exc:
+                    return 400, {"error": str(exc)}, "application/json"
+                server.registry.put(config)
+                return 200, config.to_dict(), "application/json"
+            if method == "DELETE":
+                if server.drainer.draining:
+                    return 503, {"error": "server is draining"}, "application/json"
+                try:
+                    server.registry.delete(name)
+                except ServeError as exc:
+                    return 404, {"error": str(exc)}, "application/json"
+                return 200, {"deleted": name}, "application/json"
+            return 405, {"error": f"{method} not allowed here"}, "application/json"
+        if path == "/drain" and method == "POST":
+            already = server.drainer.draining
+            if not already:
+                asyncio.get_running_loop().create_task(server.drain())
+            return (
+                202,
+                {"draining": True, "already_draining": already},
+                "application/json",
+            )
+        if path in ("/healthz", "/metrics", "/metrics.json", "/tenants", "/drain"):
+            return 405, {"error": f"{method} not allowed on {path}"}, "application/json"
+        return 404, {"error": f"no route for {path}"}, "application/json"
+
+    async def _respond(
+        self, writer, status: int, payload, content_type: str = "application/json"
+    ) -> None:
+        if isinstance(payload, (dict, list)):
+            body = (json.dumps(payload, indent=2) + "\n").encode("utf-8")
+        else:
+            body = str(payload).encode("utf-8")
+        head = (
+            f"HTTP/1.1 {status} {_REASONS.get(status, 'Unknown')}\r\n"
+            f"Content-Type: {content_type}\r\n"
+            f"Content-Length: {len(body)}\r\n"
+            f"Connection: close\r\n\r\n"
+        )
+        writer.write(head.encode("latin-1") + body)
+        await writer.drain()

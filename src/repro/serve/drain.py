@@ -1,0 +1,66 @@
+"""Graceful-drain coordination for the ingest listener.
+
+One :class:`DrainController` per server: ingest handlers register on
+accept and unregister on close, and :meth:`DrainController.begin` flips
+the drain signal every handler waits on between messages.  A draining
+handler finishes the message in flight (its chunk boundary is then
+checkpointed), tells its client where to resume, and closes; when the
+last handler unregisters the controller's ``drained`` future resolves
+and the server can stop its listeners knowing every session's state is
+flushed to disk.
+
+Everything here runs on the event loop thread, so plain counters are
+safe; the only synchronisation primitives are ``asyncio.Event``s.
+"""
+
+from __future__ import annotations
+
+import asyncio
+
+
+class DrainController:
+    """Coordinates a graceful drain across the live ingest connections."""
+
+    def __init__(self) -> None:
+        self._draining = asyncio.Event()
+        self._idle = asyncio.Event()
+        self._idle.set()  # no connections yet
+        self._active = 0
+
+    @property
+    def draining(self) -> bool:
+        """Whether a drain has begun."""
+        return self._draining.is_set()
+
+    @property
+    def active_connections(self) -> int:
+        """Ingest connections currently registered."""
+        return self._active
+
+    def register(self) -> None:
+        """An ingest handler accepted a connection."""
+        self._active += 1
+        self._idle.clear()
+
+    def unregister(self) -> None:
+        """An ingest handler closed its connection."""
+        self._active -= 1
+        if self._active <= 0:
+            self._active = 0
+            self._idle.set()
+
+    def begin(self) -> None:
+        """Signal every handler to finish its in-flight message and close."""
+        self._draining.set()
+
+    async def wait_signal(self) -> None:
+        """Block until a drain begins (handlers race this against reads)."""
+        await self._draining.wait()
+
+    async def wait_drained(self, timeout: "float | None" = None) -> bool:
+        """Wait for every registered handler to close; False on timeout."""
+        try:
+            await asyncio.wait_for(self._idle.wait(), timeout)
+            return True
+        except asyncio.TimeoutError:
+            return False

@@ -43,10 +43,13 @@ from repro.stream.pipeline import (
     run_batch,
     run_stream,
 )
+from repro.stream.smoothers import SMOOTHERS, smoother_stage
 from repro.stream.source import (
     ArraySource,
     DownlinkSource,
     FrameSource,
+    LimitedSource,
+    PushFrameSource,
     SyntheticWalkSource,
     frame_rng,
     read_all,
@@ -68,7 +71,10 @@ __all__ = [
     "DownlinkSource",
     "FrameSource",
     "InjectStage",
+    "LimitedSource",
+    "PushFrameSource",
     "RingBuffer",
+    "SMOOTHERS",
     "Stage",
     "StageStats",
     "StreamCheckpoint",
@@ -87,4 +93,5 @@ __all__ = [
     "read_all",
     "run_batch",
     "run_stream",
+    "smoother_stage",
 ]

@@ -113,6 +113,35 @@ class StreamCheckpoint:
                     best = record
         return best
 
+    def fingerprints(self) -> set[str]:
+        """Every fingerprint with at least one well-formed record.
+
+        Strict resumers use this to tell "nothing to resume" (empty
+        set) apart from "records exist, but for a different stream
+        configuration" — the latter aborts instead of silently starting
+        over.
+        """
+        found: set[str] = set()
+        if not self.path.exists():
+            return found
+        with self.path.open() as fh:
+            for line in fh:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    record = json.loads(line)
+                except json.JSONDecodeError:
+                    continue
+                if not isinstance(record, dict):
+                    continue
+                fingerprint = record.get("fingerprint")
+                if isinstance(fingerprint, str) and isinstance(
+                    record.get("state"), dict
+                ):
+                    found.add(fingerprint)
+        return found
+
     def clear(self) -> None:
         """Delete the checkpoint file (start the stream from scratch)."""
         self.path.unlink(missing_ok=True)

@@ -14,6 +14,11 @@ transport knobs only — results are bit-identical for every setting (see
 docs/STREAMING.md).  ``--limit-chunks`` stops after N chunks with exit
 code 3 and, with ``--resume``, leaves a checkpoint a later invocation
 picks up — the mid-campaign kill/resume tests drive exactly this path.
+``--max-chunks`` / ``--max-seconds`` instead end the stream *cleanly*
+(stages flush, exit code 0), so unbounded demos terminate without a
+kill.  A ``--resume`` whose checkpoint holds records only for a
+different stream configuration exits with code 4
+(:data:`EXIT_FINGERPRINT_MISMATCH`) instead of silently starting over.
 """
 
 from __future__ import annotations
@@ -24,7 +29,7 @@ import sys
 from pathlib import Path
 
 from repro.config import NGSTConfig, NGSTDatasetConfig
-from repro.exceptions import ReproError
+from repro.exceptions import CheckpointMismatchError, ReproError
 from repro.faults import UncorrelatedFaultModel
 from repro.stream.buffer import BackpressurePolicy
 from repro.stream.checkpoint import StreamCheckpoint
@@ -34,16 +39,25 @@ from repro.stream.pipeline import (
     StreamPipeline,
     StreamResult,
     VoterStage,
-    WindowedStage,
 )
-from repro.stream.source import ArraySource, DownlinkSource, FrameSource, SyntheticWalkSource
+from repro.stream.smoothers import SMOOTHERS, smoother_stage
+from repro.stream.source import (
+    ArraySource,
+    DownlinkSource,
+    FrameSource,
+    LimitedSource,
+    SyntheticWalkSource,
+)
 from repro.stream.telemetry import StreamProgressPrinter, Telemetry
-
-#: Centred-window smoother kernels available behind --smoother.
-_SMOOTHERS = ("median", "majority", "mean", "negexp", "invsq", "bisquare")
 
 #: Exit code when --limit-chunks stopped the run before exhaustion.
 EXIT_INCOMPLETE = 3
+
+#: Exit code when --resume found checkpoint records, none matching this
+#: stream's configuration (see CheckpointMismatchError) — distinct from
+#: the generic failure code so schedulers can tell "operator changed the
+#: config" from "the stream broke".
+EXIT_FINGERPRINT_MISMATCH = 4
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -59,7 +73,8 @@ def build_parser() -> argparse.ArgumentParser:
         type=int,
         default=1024,
         metavar="N",
-        help="synthetic-walk frames to stream (default %(default)s)",
+        help="synthetic-walk frames to stream (default %(default)s; 0 "
+        "streams unbounded and requires --max-chunks or --max-seconds)",
     )
     src.add_argument(
         "--shape",
@@ -138,7 +153,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     stages.add_argument(
         "--smoother",
-        choices=_SMOOTHERS,
+        choices=sorted(SMOOTHERS),
         default=None,
         help="append a centred-window smoother stage after the voter",
     )
@@ -172,6 +187,25 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="N",
         help="stop after N chunks (exit code 3 if the stream was not "
         "exhausted); with --resume the run can be continued later",
+    )
+    run.add_argument(
+        "--max-chunks",
+        type=int,
+        default=None,
+        metavar="N",
+        help="end the stream cleanly after N full chunks: stages flush, "
+        "the result reports completed, and the exit code is 0 — unlike "
+        "--limit-chunks this is a stop condition of the stream itself, "
+        "so unbounded demos and load tests terminate deterministically",
+    )
+    run.add_argument(
+        "--max-seconds",
+        type=float,
+        default=None,
+        metavar="S",
+        help="end the stream cleanly once S wall-clock seconds have "
+        "elapsed (checked at chunk boundaries); like --max-chunks this "
+        "is a clean end of stream, not an interruption",
     )
     run.add_argument(
         "--resume",
@@ -215,10 +249,19 @@ def _build_source(args: argparse.Namespace) -> FrameSource:
             shape=tuple(args.shape),
             config=dataset,
             seed=args.seed,
-            n_frames=args.frames,
+            n_frames=args.frames if args.frames else None,
         )
     if args.downlink:
         source = DownlinkSource(source, seed=args.seed + 1)
+    if args.max_chunks is not None or args.max_seconds is not None:
+        max_frames = (
+            args.max_chunks * args.chunk_frames
+            if args.max_chunks is not None
+            else None
+        )
+        source = LimitedSource(
+            source, max_frames=max_frames, max_seconds=args.max_seconds
+        )
     return source
 
 
@@ -232,34 +275,8 @@ def _build_stages(args: argparse.Namespace) -> list[Stage]:
         config = NGSTConfig(upsilon=args.upsilon, sensitivity=args.sensitivity)
         stages.append(VoterStage(config, stack_frames=args.stack_frames))
     if args.smoother:
-        stages.append(_smoother_stage(args.smoother, args.window))
+        stages.append(smoother_stage(args.smoother, args.window))
     return stages
-
-
-def _smoother_stage(name: str, window: int) -> WindowedStage:
-    """A :class:`WindowedStage` over the named centred-window kernel."""
-    from functools import partial
-
-    from repro.baselines.majority import majority_vote_window
-    from repro.baselines.median import median_smooth_temporal
-    from repro.baselines.smoothing import (
-        bisquare_smooth,
-        inverse_square_smooth,
-        mean_smooth,
-        negative_exponential_smooth,
-    )
-
-    kernels = {
-        "median": median_smooth_temporal,
-        "majority": majority_vote_window,
-        "mean": mean_smooth,
-        "negexp": negative_exponential_smooth,
-        "invsq": inverse_square_smooth,
-        "bisquare": bisquare_smooth,
-    }
-    return WindowedStage(
-        partial(kernels[name], window=window), window, f"{name}{window}"
-    )
 
 
 def _result_lines(result: StreamResult) -> list[str]:
@@ -315,12 +332,26 @@ def _result_json(result: StreamResult) -> dict:
 def main(argv: list[str] | None = None) -> int:
     """Entry point for ``repro stream``; returns the exit code."""
     args = build_parser().parse_args(argv)
-    if args.frames < 1:
-        print(f"--frames must be >= 1, got {args.frames}", file=sys.stderr)
+    if args.frames < 0:
+        print(f"--frames must be >= 0, got {args.frames}", file=sys.stderr)
         return 2
+    if args.frames == 0 and not args.input:
+        if args.max_chunks is None and args.max_seconds is None:
+            print(
+                "--frames 0 (unbounded) requires --max-chunks or "
+                "--max-seconds to terminate",
+                file=sys.stderr,
+            )
+            return 2
     if args.limit_chunks is not None and args.limit_chunks < 1:
         print(
             f"--limit-chunks must be >= 1, got {args.limit_chunks}",
+            file=sys.stderr,
+        )
+        return 2
+    if args.max_chunks is not None and args.max_chunks < 1:
+        print(
+            f"--max-chunks must be >= 1, got {args.max_chunks}",
             file=sys.stderr,
         )
         return 2
@@ -348,8 +379,12 @@ def main(argv: list[str] | None = None) -> int:
             policy=args.policy,
             telemetry=telemetry,
             checkpoint=checkpoint,
+            strict_resume=True,
         )
         result = pipeline.run(limit_chunks=args.limit_chunks)
+    except CheckpointMismatchError as exc:
+        print(f"stream resume refused: {exc}", file=sys.stderr)
+        return EXIT_FINGERPRINT_MISMATCH
     except (ReproError, OSError) as exc:
         print(f"stream failed: {exc}", file=sys.stderr)
         return 2

@@ -42,7 +42,12 @@ import numpy as np
 from repro.config import NGSTConfig
 from repro.core import bitops
 from repro.core.algo_ngst import AlgoNGST
-from repro.exceptions import ConfigurationError, DataFormatError, StreamError
+from repro.exceptions import (
+    CheckpointMismatchError,
+    ConfigurationError,
+    DataFormatError,
+    StreamError,
+)
 from repro.stream.buffer import BackpressurePolicy, RingBuffer
 from repro.stream.checkpoint import StreamCheckpoint, decode_array, encode_array
 from repro.stream.source import FrameSource, frame_rng, read_all
@@ -623,6 +628,12 @@ class StreamPipeline:
         checkpoint: optional :class:`StreamCheckpoint`; when set, every
             chunk boundary records the exact pipeline state and
             :meth:`run` resumes from the latest matching record.
+        strict_resume: when True, a checkpoint store that holds records
+            but none matching this pipeline's fingerprint raises
+            :class:`~repro.exceptions.CheckpointMismatchError` instead
+            of silently restarting from frame zero (the stream's
+            configuration changed since the interrupted run).  Default
+            False preserves the permissive restart behaviour.
         measure: accumulate Ψ metrics (disable for pure throughput runs).
         sink: optional consumer called with every ``(k,) + coord_shape``
             chunk the final stage emits — the stream's output tap (the
@@ -638,6 +649,7 @@ class StreamPipeline:
         policy: "str | BackpressurePolicy" = BackpressurePolicy.BLOCK,
         telemetry: Telemetry | None = None,
         checkpoint: StreamCheckpoint | None = None,
+        strict_resume: bool = False,
         measure: bool = True,
         sink: Callable[[np.ndarray], None] | None = None,
     ) -> None:
@@ -661,6 +673,7 @@ class StreamPipeline:
         self.policy = BackpressurePolicy.parse(policy)
         self.telemetry = telemetry
         self.checkpoint = checkpoint
+        self.strict_resume = bool(strict_resume)
         self.measure = bool(measure)
         self.sink = sink
         self._runners = [_StageRunner(s) for s in self.stages]
@@ -671,10 +684,13 @@ class StreamPipeline:
         )
         self._psi_nopre = StreamingPsi()
         self._psi_algo = StreamingPsi()
+        self._has_injector = any(s.corrupts for s in self.stages)
         self._chunk_index = 0
         self._frames_in = 0
         self._frames_out = 0
         self._restored_frames = 0
+        self._resume_checked = False
+        self._processing_s = 0.0
 
     def fingerprint(self) -> str:
         """Stable identity of the stream's *semantics* for checkpoints.
@@ -720,11 +736,51 @@ class StreamPipeline:
     def _maybe_resume(self) -> None:
         if self.checkpoint is None:
             return
-        record = self.checkpoint.latest(self.fingerprint())
+        fingerprint = self.fingerprint()
+        record = self.checkpoint.latest(fingerprint)
         if record is not None:
             self._load_state(record["state"])
+            return
+        if self.strict_resume:
+            stored = self.checkpoint.fingerprints()
+            if stored:
+                raise CheckpointMismatchError(
+                    f"checkpoint {self.checkpoint.path} holds "
+                    f"{len(stored)} record fingerprint(s) but none match "
+                    f"this pipeline ({fingerprint!r}); the stream "
+                    f"configuration changed since the interrupted run — "
+                    f"restore the original configuration or clear the "
+                    f"checkpoint to start over"
+                )
+
+    def resume(self) -> int:
+        """Restore checkpointed state, once; returns frames restored.
+
+        Safe to call repeatedly — only the first call consults the
+        checkpoint store (:meth:`run` and the incremental drivers both
+        route through here, so a pipeline is never resumed twice).
+        """
+        if not self._resume_checked:
+            self._resume_checked = True
+            self._maybe_resume()
+        return self._restored_frames
 
     # -- the drive loop ---------------------------------------------------
+
+    @property
+    def frames_in(self) -> int:
+        """Frames pulled from the source so far (counting resumed ones)."""
+        return self._frames_in
+
+    @property
+    def frames_out(self) -> int:
+        """Frames emitted by the final stage so far."""
+        return self._frames_out
+
+    @property
+    def chunk_index(self) -> int:
+        """Transport chunks processed so far (counting resumed ones)."""
+        return self._chunk_index
 
     def _through_stages(self, frames: np.ndarray, first: int = 0) -> np.ndarray:
         """Push *frames* through ``runners[first:]``, with Ψ accounting."""
@@ -753,6 +809,139 @@ class StreamPipeline:
         if self.telemetry is not None:
             self.telemetry.emit(event)
 
+    def announce(self) -> None:
+        """Emit the :class:`StreamStarted` event for this run/session."""
+        self._emit(
+            StreamStarted(
+                source=self.source.describe(),
+                stages=tuple(s.name for s in self.stages),
+                chunk_frames=self.chunk_frames,
+                policy=self.policy.value,
+                resumed_frames=self._restored_frames,
+            )
+        )
+
+    def step(self) -> int:
+        """Pull and process at most one transport chunk.
+
+        Returns the frames consumed; 0 means the source had nothing to
+        give *right now* — end of stream for a pull source, "buffer
+        empty" for a :class:`~repro.stream.source.PushFrameSource`.
+        Each consumed chunk emits a :class:`ChunkCompleted` event and,
+        when a checkpoint store is attached, records the exact pipeline
+        state at the new chunk boundary.
+        """
+        room = (
+            self._inlet.free
+            if self.policy is BackpressurePolicy.BLOCK
+            else self.chunk_frames
+        )
+        pull = min(self.chunk_frames, room)
+        if pull == 0:  # pragma: no cover - inlet is drained every cycle
+            raise StreamError("inlet buffer wedged with zero room")
+        frames = self.source.read(pull)
+        if frames.shape[0] == 0:
+            return 0
+        t0 = time.perf_counter()
+        self._inlet.push(frames)
+        chunk = self._inlet.pop()
+        self._frames_in += chunk.shape[0]
+        if self.measure and not self._has_injector:
+            self._pending.push(chunk)
+        out = self._through_stages(chunk)
+        self._account_output(out)
+        elapsed = time.perf_counter() - t0
+        self._processing_s += elapsed
+        self._chunk_index += 1
+        self._emit(
+            ChunkCompleted(
+                chunk_index=self._chunk_index,
+                frames_in=chunk.shape[0],
+                frames_out=out.shape[0],
+                elapsed_s=elapsed,
+                frames_per_sec=(
+                    chunk.shape[0] / elapsed if elapsed > 0 else 0.0
+                ),
+                queue_depth=len(self._inlet),
+                high_water=self._inlet.stats.high_water,
+            )
+        )
+        if self.checkpoint is not None:
+            self.checkpoint.record(
+                self.fingerprint(),
+                self._chunk_index,
+                self._frames_in,
+                self._state_dict(),
+            )
+        return chunk.shape[0]
+
+    def pump(self) -> int:
+        """Process every full chunk the source can deliver right now.
+
+        The incremental (push-mode) drive: returns the total frames
+        consumed, stopping when the source comes up empty.  Call
+        :meth:`resume` once before the first pump and :meth:`finalize`
+        after the producer signals end of stream.
+        """
+        total = 0
+        while True:
+            consumed = self.step()
+            if consumed == 0:
+                return total
+            total += consumed
+
+    def _flush_stages(self) -> None:
+        for i, runner in enumerate(self._runners):
+            t0 = time.perf_counter()
+            tail = runner.run_flush()
+            out = self._through_stages(tail, first=i + 1)
+            self._account_output(out)
+            self._processing_s += time.perf_counter() - t0
+
+    def _build_result(self, elapsed_s: float, completed: bool) -> StreamResult:
+        stats = tuple(r.stats for r in self._runners)
+        result = StreamResult(
+            n_frames_in=self._frames_in,
+            n_frames_out=self._frames_out,
+            n_chunks=self._chunk_index,
+            psi_no_preprocessing=(
+                self._psi_nopre.value
+                if self.measure and self._has_injector
+                else None
+            ),
+            psi_algorithm=self._psi_algo.value if self.measure else None,
+            elapsed_s=elapsed_s,
+            frames_per_sec=(
+                self._frames_in / elapsed_s if elapsed_s > 0 else 0.0
+            ),
+            stages=stats,
+            high_water=self._inlet.stats.high_water,
+            completed=completed,
+        )
+        if completed:
+            self._emit(
+                StreamCompleted(
+                    n_frames_in=self._frames_in,
+                    n_frames_out=self._frames_out,
+                    n_chunks=self._chunk_index,
+                    elapsed_s=elapsed_s,
+                    frames_per_sec=result.frames_per_sec,
+                    stages=stats,
+                    high_water=self._inlet.stats.high_water,
+                )
+            )
+        return result
+
+    def finalize(self) -> StreamResult:
+        """End an incrementally driven stream: flush stages, build result.
+
+        The push-mode counterpart of :meth:`run`'s exhaustion path; the
+        result's ``elapsed_s`` is the cumulative in-pipeline processing
+        time (the incremental driver owns the wall clock).
+        """
+        self._flush_stages()
+        return self._build_result(self._processing_s, completed=True)
+
     def run(self, limit_chunks: int | None = None) -> StreamResult:
         """Drive the stream to exhaustion (or for *limit_chunks* chunks).
 
@@ -765,102 +954,22 @@ class StreamPipeline:
             raise ConfigurationError(
                 f"limit_chunks must be >= 1, got {limit_chunks}"
             )
-        self._maybe_resume()
-        has_injector = any(s.corrupts for s in self.stages)
+        self.resume()
         started_at = time.perf_counter()
-        self._emit(
-            StreamStarted(
-                source=self.source.describe(),
-                stages=tuple(s.name for s in self.stages),
-                chunk_frames=self.chunk_frames,
-                policy=self.policy.value,
-                resumed_frames=self._restored_frames,
-            )
-        )
+        self.announce()
         chunks_this_call = 0
         exhausted = False
         while True:
             if limit_chunks is not None and chunks_this_call >= limit_chunks:
                 break
-            room = (
-                self._inlet.free
-                if self.policy is BackpressurePolicy.BLOCK
-                else self.chunk_frames
-            )
-            pull = min(self.chunk_frames, room)
-            if pull == 0:  # pragma: no cover - inlet is drained every cycle
-                raise StreamError("inlet buffer wedged with zero room")
-            frames = self.source.read(pull)
-            if frames.shape[0] == 0:
+            if self.step() == 0:
                 exhausted = True
                 break
-            t0 = time.perf_counter()
-            self._inlet.push(frames)
-            chunk = self._inlet.pop()
-            self._frames_in += chunk.shape[0]
-            if self.measure and not has_injector:
-                self._pending.push(chunk)
-            out = self._through_stages(chunk)
-            self._account_output(out)
-            elapsed = time.perf_counter() - t0
-            self._chunk_index += 1
             chunks_this_call += 1
-            self._emit(
-                ChunkCompleted(
-                    chunk_index=self._chunk_index,
-                    frames_in=chunk.shape[0],
-                    frames_out=out.shape[0],
-                    elapsed_s=elapsed,
-                    frames_per_sec=(
-                        chunk.shape[0] / elapsed if elapsed > 0 else 0.0
-                    ),
-                    queue_depth=len(self._inlet),
-                    high_water=self._inlet.stats.high_water,
-                )
-            )
-            if self.checkpoint is not None:
-                self.checkpoint.record(
-                    self.fingerprint(),
-                    self._chunk_index,
-                    self._frames_in,
-                    self._state_dict(),
-                )
         if exhausted:
-            for i, runner in enumerate(self._runners):
-                tail = runner.run_flush()
-                out = self._through_stages(tail, first=i + 1)
-                self._account_output(out)
+            self._flush_stages()
         elapsed_total = time.perf_counter() - started_at
-        stats = tuple(r.stats for r in self._runners)
-        result = StreamResult(
-            n_frames_in=self._frames_in,
-            n_frames_out=self._frames_out,
-            n_chunks=self._chunk_index,
-            psi_no_preprocessing=(
-                self._psi_nopre.value if self.measure and has_injector else None
-            ),
-            psi_algorithm=self._psi_algo.value if self.measure else None,
-            elapsed_s=elapsed_total,
-            frames_per_sec=(
-                self._frames_in / elapsed_total if elapsed_total > 0 else 0.0
-            ),
-            stages=stats,
-            high_water=self._inlet.stats.high_water,
-            completed=exhausted,
-        )
-        if exhausted:
-            self._emit(
-                StreamCompleted(
-                    n_frames_in=self._frames_in,
-                    n_frames_out=self._frames_out,
-                    n_chunks=self._chunk_index,
-                    elapsed_s=elapsed_total,
-                    frames_per_sec=result.frames_per_sec,
-                    stages=stats,
-                    high_water=self._inlet.stats.high_water,
-                )
-            )
-        return result
+        return self._build_result(elapsed_total, completed=exhausted)
 
 
 def run_stream(

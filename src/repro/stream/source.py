@@ -29,7 +29,9 @@ Three sources cover the paper's workload shapes:
 
 from __future__ import annotations
 
+import time
 from pathlib import Path
+from typing import Callable
 
 import numpy as np
 
@@ -37,6 +39,7 @@ from repro.config import NGSTDatasetConfig
 from repro.data.ngst import U16_MAX
 from repro.exceptions import ConfigurationError, DataFormatError
 from repro.ngst.downlink import ARQDownlink, DownlinkConfig
+from repro.stream.buffer import BackpressurePolicy, RingBuffer
 from repro.stream.checkpoint import decode_array, encode_array
 
 
@@ -240,6 +243,192 @@ class ArraySource(FrameSource):
 
     def describe(self) -> str:
         return self._label
+
+
+class LimitedSource(FrameSource):
+    """Bound an inner source by frame count and/or wall-clock budget.
+
+    Both bounds end the stream *cleanly* — :meth:`read` returns an
+    empty chunk, so the pipeline flushes its stages and reports
+    ``completed=True`` — which is what demos and load tests over an
+    otherwise unbounded :class:`SyntheticWalkSource` need to terminate
+    deterministically without killing the process (contrast
+    ``limit_chunks``, which pauses mid-stream for a later resume).
+
+    The frame bound is part of the stream's semantics (it decides where
+    the stream *ends*) and therefore appears in :meth:`describe`; the
+    time bound is a wall-clock property of one process and deliberately
+    does not — a resumed run gets a fresh budget.
+
+    Args:
+        inner: the source being bounded.
+        max_frames: total frames to deliver, or ``None`` for no frame
+            bound.
+        max_seconds: wall-clock budget measured from the first read, or
+            ``None`` for no time bound.
+        clock: monotonic time function (injectable for tests).
+    """
+
+    def __init__(
+        self,
+        inner: FrameSource,
+        max_frames: int | None = None,
+        max_seconds: float | None = None,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        if max_frames is None and max_seconds is None:
+            raise ConfigurationError(
+                "LimitedSource needs max_frames and/or max_seconds"
+            )
+        if max_frames is not None and max_frames < 1:
+            raise ConfigurationError(f"max_frames must be >= 1, got {max_frames}")
+        if max_seconds is not None and max_seconds <= 0:
+            raise ConfigurationError(f"max_seconds must be > 0, got {max_seconds}")
+        self.inner = inner
+        self.max_frames = None if max_frames is None else int(max_frames)
+        self.max_seconds = None if max_seconds is None else float(max_seconds)
+        self.clock = clock
+        self.coord_shape = inner.coord_shape
+        self.dtype = inner.dtype
+        self._delivered = 0
+        self._started_at: float | None = None
+
+    def _read(self, k: int) -> np.ndarray:
+        if self._started_at is None:
+            self._started_at = self.clock()
+        if (
+            self.max_seconds is not None
+            and self.clock() - self._started_at >= self.max_seconds
+        ):
+            return self._empty()
+        if self.max_frames is not None:
+            k = min(k, self.max_frames - self._delivered)
+            if k <= 0:
+                return self._empty()
+        chunk = self.inner.read(k)
+        self._delivered += chunk.shape[0]
+        return chunk
+
+    def state_dict(self) -> dict:
+        return {"delivered": self._delivered, "inner": self.inner.state_dict()}
+
+    def load_state(self, state: dict) -> None:
+        self._delivered = int(state["delivered"])
+        self.inner.load_state(state["inner"])
+
+    def describe(self) -> str:
+        return f"limited({self.inner.describe()}, max_frames={self.max_frames})"
+
+
+class PushFrameSource(FrameSource):
+    """Frames arrive by push; :meth:`read` serves the buffer, never blocks.
+
+    The serve layer's ingest substrate: a network handler calls
+    :meth:`push` with whatever a client delivered, and the pipeline
+    drains full transport chunks via ``step()``/``pump()``.  An empty
+    :meth:`read` means "nothing buffered *right now*", not end of
+    stream, so a push source must be driven incrementally — never with
+    ``StreamPipeline.run()``, which treats empty as exhaustion.
+
+    Buffering is a bounded :class:`RingBuffer` under the tenant's
+    backpressure policy: ``block`` refuses the overflow (the push
+    reports how many frames were accepted, and the producer must resend
+    the rest), ``drop-oldest`` keeps only the freshest frames, and
+    ``error`` raises.  ``received`` counts the frames accepted into the
+    stream's history — exactly the index a resuming producer must
+    continue from.
+
+    Args:
+        coord_shape: per-frame coordinate shape.
+        dtype: frame dtype.
+        capacity: buffered-frame bound (the per-connection backpressure
+            window).
+        policy: overflow behaviour; see :class:`BackpressurePolicy`.
+        label: identity used in :meth:`describe` and therefore in
+            checkpoint fingerprints — give each tenant stream a unique,
+            stable label.
+    """
+
+    def __init__(
+        self,
+        coord_shape: tuple[int, ...],
+        dtype: "np.dtype | str",
+        capacity: int = 4096,
+        policy: "str | BackpressurePolicy" = BackpressurePolicy.BLOCK,
+        label: str = "push",
+    ) -> None:
+        self.coord_shape = tuple(int(s) for s in coord_shape)
+        self.dtype = np.dtype(dtype)
+        self.policy = BackpressurePolicy.parse(policy)
+        self._buffer = RingBuffer(capacity, self.policy)
+        self._label = str(label)
+        self._received = 0
+        self._delivered = 0
+
+    @property
+    def received(self) -> int:
+        """Frames accepted into the stream history so far."""
+        return self._received
+
+    @property
+    def delivered(self) -> int:
+        """Frames already handed to the pipeline."""
+        return self._delivered
+
+    @property
+    def buffered(self) -> int:
+        """Frames accepted but not yet read."""
+        return len(self._buffer)
+
+    @property
+    def free(self) -> int:
+        """Frames that can be pushed right now without overflow."""
+        return self._buffer.free
+
+    def push(self, frames: np.ndarray) -> int:
+        """Offer a ``(k,) + coord_shape`` chunk; returns frames accepted.
+
+        Under ``drop-oldest`` every offered frame counts as accepted
+        (the evicted ones entered the history and were then superseded);
+        under ``block`` the tail that does not fit is refused and must
+        be offered again after the pipeline drains the buffer.
+        """
+        frames = np.asarray(frames)
+        if frames.shape[1:] != self.coord_shape:
+            raise DataFormatError(
+                f"pushed frame shape {frames.shape[1:]} != {self.coord_shape}"
+            )
+        if frames.dtype != self.dtype:
+            raise DataFormatError(
+                f"pushed dtype {frames.dtype} != {self.dtype}"
+            )
+        accepted = self._buffer.push(frames)
+        self._received += accepted
+        return accepted
+
+    def _read(self, k: int) -> np.ndarray:
+        if len(self._buffer) == 0:
+            return self._empty()
+        chunk = self._buffer.pop(k)
+        self._delivered += chunk.shape[0]
+        return chunk
+
+    def state_dict(self) -> dict:
+        return {
+            "received": self._received,
+            "delivered": self._delivered,
+            "buffer": self._buffer.state_dict(),
+        }
+
+    def load_state(self, state: dict) -> None:
+        self._received = int(state["received"])
+        self._delivered = int(state["delivered"])
+        self._buffer.load_state(state["buffer"])
+
+    def describe(self) -> str:
+        return (
+            f"{self._label}(shape={self.coord_shape}, dtype={self.dtype.str})"
+        )
 
 
 class DownlinkSource(FrameSource):

@@ -10,6 +10,7 @@ from repro.exceptions import ConfigurationError
 from repro.runtime.backend import (
     ProcessPoolBackend,
     SerialBackend,
+    ThreadPoolBackend,
     default_start_method,
 )
 from repro.runtime.plan import TrialPlan
@@ -161,3 +162,56 @@ class TestStartMethods:
         plan = TrialPlan(2, seed=1, shard_size=2)
         backend = ProcessPoolBackend(1, start_method="spawn")
         assert _collect(backend, shard_fn, plan.shards) == [2.5, 2.5]
+
+
+class TestThreadPoolBackend:
+    def test_rejects_bad_jobs(self):
+        with pytest.raises(ConfigurationError):
+            ThreadPoolBackend(0)
+
+    def test_matches_serial_bitwise(self):
+        plan = TrialPlan(11, seed=42, shard_size=3)
+        serial = _collect(SerialBackend(), _shard_fn, plan.shards)
+        backend = ThreadPoolBackend(4)
+        try:
+            threaded = _collect(backend, _shard_fn, plan.shards)
+        finally:
+            backend.shutdown()
+        assert threaded == serial
+
+    def test_no_process_boundary(self):
+        # Shared-state callers (the serve layer's sessions, the artifact
+        # cache) rely on this flag: nothing is pickled or broadcast.
+        assert ThreadPoolBackend(2).crosses_process_boundary is False
+
+    def test_submit_runs_ad_hoc_jobs_on_named_threads(self):
+        import threading
+
+        backend = ThreadPoolBackend(2)
+        try:
+            future = backend.submit(
+                lambda a, b: (a + b, threading.current_thread().name), 2, 3
+            )
+            value, thread_name = future.result(timeout=10)
+        finally:
+            backend.shutdown()
+        assert value == 5
+        assert thread_name.startswith("repro-worker")
+
+    def test_shutdown_is_idempotent_and_pool_recreates(self):
+        backend = ThreadPoolBackend(2)
+        assert backend.submit(lambda: 1).result(timeout=10) == 1
+        backend.shutdown()
+        backend.shutdown()  # second call is a no-op
+        # A later use lazily builds a fresh pool.
+        assert backend.submit(lambda: 2).result(timeout=10) == 2
+        backend.shutdown()
+
+    def test_closures_need_no_pickling(self):
+        captured = []
+        backend = ThreadPoolBackend(2)
+        try:
+            backend.submit(lambda: captured.append("ran")).result(timeout=10)
+        finally:
+            backend.shutdown()
+        assert captured == ["ran"]

@@ -1,0 +1,272 @@
+"""End-to-end serve tests over real sockets: oracle identity, concurrent
+tenants, chaos-kill resume, and drain -> restart -> byte-identical resume."""
+
+import asyncio
+import json
+
+import numpy as np
+import pytest
+
+from repro.serve import (
+    ReproServer,
+    ServerConfig,
+    StreamClient,
+    TenantConfig,
+)
+from repro.stream import ArraySource, SyntheticWalkSource, read_all, run_batch
+
+TENANT = TenantConfig(
+    name="tt",
+    gamma=0.02,
+    inject_seed=3,
+    upsilon=4,
+    stack_frames=8,
+    chunk_frames=16,
+    durable=True,
+)
+
+
+def _walk(n_frames, seed, shape=(5, 5)):
+    return read_all(SyntheticWalkSource(shape, seed=seed, n_frames=n_frames))
+
+
+def _oracle(frames, tenant=TENANT):
+    return run_batch(ArraySource(frames), tenant.build_stages())
+
+
+async def _start_server(tmp_path, **overrides):
+    server = ReproServer(
+        ServerConfig(checkpoint_dir=tmp_path, jobs=2, **overrides)
+    )
+    server.registry.put(TENANT)
+    await server.start()
+    return server
+
+
+def _client(server, stream, frames, **kwargs):
+    kwargs.setdefault("batch_frames", 13)
+    kwargs.setdefault("retry_delay_s", 0.02)
+    return StreamClient(
+        "127.0.0.1", server.ingest_port, TENANT.name, stream, frames, **kwargs
+    )
+
+
+async def _raw_request(port, *messages):
+    """Open one ingest connection, send JSON lines, return the replies."""
+    reader, writer = await asyncio.open_connection("127.0.0.1", port)
+    replies = []
+    try:
+        for message in messages:
+            writer.write(json.dumps(message).encode() + b"\n")
+            await writer.drain()
+            replies.append(json.loads(await reader.readline()))
+    finally:
+        writer.close()
+    return replies
+
+
+class TestSingleStream:
+    def test_matches_batch_oracle(self, tmp_path):
+        async def scenario():
+            server = await _start_server(tmp_path)
+            frames = _walk(80, seed=11)
+            result = await _client(server, "s1", frames).run()
+            await server.drain()
+            await server.stop()
+            return frames, result
+
+        frames, result = asyncio.run(scenario())
+        oracle = _oracle(frames)
+        assert result.outputs.tobytes() == oracle.output.tobytes()
+        assert result.result["psi_algorithm"] == oracle.psi_algorithm
+        assert result.reconnects == 0
+
+    def test_metrics_observe_the_stream(self, tmp_path):
+        async def scenario():
+            server = await _start_server(tmp_path)
+            await _client(server, "s1", _walk(64, seed=12)).run()
+            counters = server.metrics.snapshot()["counters"]
+            await server.drain()
+            await server.stop()
+            return counters
+
+        counters = asyncio.run(scenario())
+        assert counters["sessions_opened"] == 1
+        assert counters["sessions_completed"] == 1
+        assert counters["frames_in"] == 64
+        assert counters["messages"] > 0
+        assert counters["connections_opened"] >= 1
+
+
+class TestConcurrentStreams:
+    def test_eight_streams_all_match(self, tmp_path):
+        async def scenario():
+            server = await _start_server(tmp_path)
+            stacks = [_walk(64, seed=100 + i) for i in range(8)]
+            results = await asyncio.gather(
+                *(
+                    _client(server, f"s{i}", stacks[i]).run()
+                    for i in range(8)
+                )
+            )
+            await server.drain()
+            await server.stop()
+            return stacks, results
+
+        stacks, results = asyncio.run(scenario())
+        for frames, result in zip(stacks, results):
+            oracle = _oracle(frames)
+            assert result.outputs.tobytes() == oracle.output.tobytes()
+            assert result.result["psi_algorithm"] == oracle.psi_algorithm
+
+
+class TestChaosResume:
+    def test_kills_do_not_change_a_single_byte(self, tmp_path):
+        async def scenario():
+            server = await _start_server(
+                tmp_path, chaos_kill_rate=0.25, chaos_seed=7
+            )
+            frames = _walk(120, seed=21)
+            result = await _client(
+                server, "s1", frames, batch_frames=11, max_attempts=200
+            ).run()
+            kills = server.chaos.kills
+            await server.drain()
+            await server.stop()
+            return frames, result, kills
+
+        frames, result, kills = asyncio.run(scenario())
+        assert kills > 0, "chaos never struck; the test proved nothing"
+        assert result.reconnects >= kills
+        oracle = _oracle(frames)
+        assert result.outputs.tobytes() == oracle.output.tobytes()
+        assert result.result["psi_algorithm"] == oracle.psi_algorithm
+
+
+class TestDrainRestart:
+    def test_mid_stream_drain_then_restart_resumes(self, tmp_path):
+        async def scenario():
+            server = await _start_server(tmp_path)
+            port = server.ingest_port
+            stacks = [_walk(96, seed=30 + i) for i in range(4)]
+            tasks = [
+                asyncio.ensure_future(
+                    _client(
+                        server, f"s{i}", stacks[i],
+                        batch_frames=8, max_attempts=200,
+                    ).run()
+                )
+                for i in range(4)
+            ]
+            while server.metrics.counter("messages") < 6:
+                await asyncio.sleep(0.005)
+            assert await server.drain()
+            await server.stop()
+
+            restarted = ReproServer(
+                ServerConfig(checkpoint_dir=tmp_path, ingest_port=port, jobs=2)
+            )
+            await restarted.start()
+            results = await asyncio.gather(*tasks)
+            resumed = restarted.metrics.counter("sessions_resumed")
+            await restarted.drain()
+            await restarted.stop()
+            return stacks, results, resumed
+
+        stacks, results, resumed = asyncio.run(scenario())
+        assert resumed > 0, "nothing resumed; the drain landed too late"
+        assert sum(r.drained for r in results) > 0
+        for frames, result in zip(stacks, results):
+            oracle = _oracle(frames)
+            assert result.outputs.tobytes() == oracle.output.tobytes()
+            assert result.result["psi_algorithm"] == oracle.psi_algorithm
+
+
+class TestProtocolRefusals:
+    def test_second_connection_to_active_stream_is_busy(self, tmp_path):
+        async def scenario():
+            server = await _start_server(tmp_path)
+            hello = {
+                "type": "hello", "tenant": TENANT.name, "stream": "s1",
+                "shape": [5, 5], "dtype": "<u2", "have_outputs": 0,
+            }
+            reader, writer = await asyncio.open_connection(
+                "127.0.0.1", server.ingest_port
+            )
+            writer.write(json.dumps(hello).encode() + b"\n")
+            await writer.drain()
+            welcome = json.loads(await reader.readline())
+            [rival] = await _raw_request(server.ingest_port, hello)
+            writer.close()
+            await server.drain()
+            await server.stop()
+            return welcome, rival
+
+        welcome, rival = asyncio.run(scenario())
+        assert welcome["type"] == "welcome"
+        assert rival == {
+            "type": "error",
+            "code": "busy",
+            "error": rival["error"],
+        }
+
+    def test_unknown_tenant_and_malformed_hello(self, tmp_path):
+        async def scenario():
+            server = await _start_server(tmp_path)
+            port = server.ingest_port
+            [unknown] = await _raw_request(
+                port,
+                {
+                    "type": "hello", "tenant": "ghost", "stream": "s",
+                    "shape": [2], "dtype": "<u2",
+                },
+            )
+            [bad_shape] = await _raw_request(
+                port,
+                {
+                    "type": "hello", "tenant": TENANT.name, "stream": "s",
+                    "shape": [0], "dtype": "<u2",
+                },
+            )
+            [orphan] = await _raw_request(port, {"type": "frames", "count": 0})
+            await server.drain()
+            await server.stop()
+            return unknown, bad_shape, orphan
+
+        unknown, bad_shape, orphan = asyncio.run(scenario())
+        assert unknown["code"] == "refused"
+        assert bad_shape["code"] == "refused"
+        assert orphan["code"] == "refused"
+
+    def test_detach_parks_and_reattach_continues(self, tmp_path):
+        async def scenario():
+            server = await _start_server(tmp_path)
+            frames = _walk(64, seed=41)
+            hello = {
+                "type": "hello", "tenant": TENANT.name, "stream": "s1",
+                "shape": [5, 5], "dtype": "<u2", "have_outputs": 0,
+            }
+            from repro.serve import encode_frames
+
+            first = await _raw_request(
+                server.ingest_port,
+                hello,
+                {
+                    "type": "frames",
+                    "count": 32,
+                    "data": encode_frames(frames[:32]),
+                },
+                {"type": "detach"},
+            )
+            parked = server.sessions.parked_count
+            second = await _raw_request(server.ingest_port, hello)
+            await server.drain()
+            await server.stop()
+            return first, parked, second
+
+        first, parked, second = asyncio.run(scenario())
+        assert first[1]["type"] == "ack" and first[1]["received"] == 32
+        assert first[2] == {"type": "detached", "resume_frame": 32}
+        assert parked == 1
+        assert second[0]["type"] == "welcome"
+        assert second[0]["resume_frame"] == 32

@@ -1,0 +1,108 @@
+"""Tenant configs and the persisted tenant registry."""
+
+import pytest
+
+from repro.exceptions import ConfigurationError, ServeError
+from repro.serve import DEFAULT_TENANT, TenantConfig, TenantRegistry
+
+
+class TestTenantConfig:
+    def test_defaults_build_voter_only(self):
+        stages = TenantConfig().build_stages()
+        assert [s.name for s in stages] == ["algo_ngst[N=16]"]
+
+    def test_full_chain_order(self):
+        config = TenantConfig(
+            name="full", gamma=0.01, smoother="median", window=3
+        )
+        assert [s.name for s in config.build_stages()] == [
+            "inject[UncorrelatedFaultModel]",
+            "algo_ngst[N=16]",
+            "median3",
+        ]
+
+    def test_passthrough_tenant(self):
+        config = TenantConfig(name="raw", gamma=0.0, upsilon=0)
+        assert config.build_stages() == []
+
+    def test_stage_identity_is_stable(self):
+        # Same config -> same stage names, so every stream of a tenant
+        # shares a checkpoint fingerprint family.
+        a = TenantConfig(name="x", gamma=0.02, smoother="mean")
+        b = TenantConfig(name="x", gamma=0.02, smoother="mean")
+        assert [s.describe() for s in a.build_stages()] == [
+            s.describe() for s in b.build_stages()
+        ]
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"name": ""},
+            {"name": "a/b"},
+            {"name": " padded "},
+            {"gamma": 1.5},
+            {"gamma": -0.1},
+            {"smoother": "nope"},
+            {"chunk_frames": 0},
+            {"chunk_frames": 64, "buffer_frames": 32},
+            {"policy": "bogus"},
+            {"upsilon": 8, "stack_frames": 3},
+        ],
+    )
+    def test_validation_rejects(self, kwargs):
+        with pytest.raises(ConfigurationError):
+            TenantConfig(**kwargs)
+
+    def test_dict_round_trip(self):
+        config = TenantConfig(
+            name="rt", gamma=0.03, upsilon=8, stack_frames=12, durable=False
+        )
+        assert TenantConfig.from_dict(config.to_dict()) == config
+
+    def test_from_dict_rejects_unknown_keys(self):
+        with pytest.raises(ConfigurationError, match="unknown tenant config key"):
+            TenantConfig.from_dict({"name": "x", "gammma": 0.1})
+
+    def test_from_dict_rejects_non_object(self):
+        with pytest.raises(ConfigurationError):
+            TenantConfig.from_dict(["not", "a", "dict"])
+
+    def test_describe_mentions_stages_and_envelope(self):
+        text = TenantConfig(name="d", gamma=0.01).describe()
+        assert "inject[UncorrelatedFaultModel]" in text
+        assert "chunk=64" in text
+
+
+class TestTenantRegistry:
+    def test_fresh_registry_has_default(self, tmp_path):
+        registry = TenantRegistry(tmp_path / "tenants.json")
+        assert DEFAULT_TENANT in registry
+        assert registry.get(DEFAULT_TENANT).name == DEFAULT_TENANT
+
+    def test_put_persists_across_instances(self, tmp_path):
+        path = tmp_path / "tenants.json"
+        TenantRegistry(path).put(TenantConfig(name="lab", gamma=0.02))
+        reloaded = TenantRegistry(path)
+        assert reloaded.get("lab").gamma == 0.02
+
+    def test_get_unknown_raises(self, tmp_path):
+        registry = TenantRegistry(tmp_path / "tenants.json")
+        with pytest.raises(ServeError, match="unknown tenant"):
+            registry.get("absent")
+
+    def test_delete_roundtrip_and_default_protection(self, tmp_path):
+        path = tmp_path / "tenants.json"
+        registry = TenantRegistry(path)
+        registry.put(TenantConfig(name="gone"))
+        registry.delete("gone")
+        assert "gone" not in registry
+        assert "gone" not in TenantRegistry(path)
+        with pytest.raises(ServeError, match="default"):
+            registry.delete(DEFAULT_TENANT)
+        with pytest.raises(ServeError, match="unknown"):
+            registry.delete("never-existed")
+
+    def test_memory_only_registry(self):
+        registry = TenantRegistry(None)
+        registry.put(TenantConfig(name="ephemeral"))
+        assert len(registry) == 2  # default + ephemeral

@@ -6,7 +6,11 @@ import numpy as np
 import pytest
 
 from repro.cli import main as repro_main
-from repro.stream.cli import EXIT_INCOMPLETE, main as stream_main
+from repro.stream.cli import (
+    EXIT_FINGERPRINT_MISMATCH,
+    EXIT_INCOMPLETE,
+    main as stream_main,
+)
 
 
 def run_json(tmp_path, args, name="out.json"):
@@ -162,3 +166,75 @@ class TestErrorPaths:
     def test_unknown_policy_rejected_by_argparse(self):
         with pytest.raises(SystemExit):
             stream_main(["--policy", "drop-newest"])
+
+
+class TestFingerprintMismatchExitCode:
+    def test_mismatched_resume_exits_4(self, tmp_path, capsys):
+        ckdir = str(tmp_path / "ck")
+        base = [
+            "--frames", "120", "--shape", "4", "--chunk-frames", "16",
+            "--stack-frames", "16", "--resume", "--checkpoint-dir", ckdir,
+        ]
+        rc, _ = run_json(tmp_path, base + ["--limit-chunks", "3"])
+        assert rc == EXIT_INCOMPLETE
+
+        # Same checkpoint, different pipeline (gamma changes the inject
+        # stage's fingerprint): refuse loudly instead of starting over.
+        rc = stream_main(base + ["--gamma", "0.05"])
+        assert rc == EXIT_FINGERPRINT_MISMATCH
+        captured = capsys.readouterr()
+        assert "stream resume refused" in captured.err
+        assert "Traceback" not in captured.err
+
+    def test_matching_resume_still_exits_0(self, tmp_path):
+        ckdir = str(tmp_path / "ck")
+        base = [
+            "--frames", "120", "--shape", "4", "--chunk-frames", "16",
+            "--stack-frames", "16", "--resume", "--checkpoint-dir", ckdir,
+        ]
+        rc, _ = run_json(tmp_path, base + ["--limit-chunks", "3"])
+        assert rc == EXIT_INCOMPLETE
+        rc, resumed = run_json(tmp_path, list(base), name="resumed.json")
+        assert rc == 0 and resumed["completed"] is True
+
+
+class TestBoundedUnboundedRuns:
+    def test_max_chunks_ends_an_unbounded_stream_cleanly(self, tmp_path):
+        rc, data = run_json(
+            tmp_path,
+            ["--frames", "0", "--shape", "4", "--chunk-frames", "16",
+             "--stack-frames", "16", "--max-chunks", "5"],
+        )
+        assert rc == 0
+        assert data["completed"] is True
+        assert data["n_frames_in"] == 5 * 16
+
+    def test_max_chunks_prefix_matches_bounded_run(self, tmp_path):
+        base = ["--shape", "4", "--chunk-frames", "16", "--stack-frames",
+                "16", "--seed", "6"]
+        rc, bounded = run_json(
+            tmp_path, ["--frames", "80"] + base, name="bounded.json"
+        )
+        rc2, capped = run_json(
+            tmp_path, ["--frames", "0", "--max-chunks", "5"] + base,
+            name="capped.json",
+        )
+        assert rc == rc2 == 0
+        assert capped["psi_algorithm"] == bounded["psi_algorithm"]
+
+    def test_max_seconds_ends_cleanly(self, tmp_path):
+        rc, data = run_json(
+            tmp_path,
+            ["--frames", "0", "--shape", "4", "--chunk-frames", "16",
+             "--stack-frames", "16", "--max-seconds", "0.2"],
+        )
+        assert rc == 0
+        assert data["completed"] is True
+        assert data["n_frames_in"] >= 16  # at least one chunk landed
+
+    def test_unbounded_without_a_bound_is_refused(self, capsys):
+        assert stream_main(["--frames", "0"]) == 2
+        assert "--max-chunks" in capsys.readouterr().err
+
+    def test_bad_max_chunks_refused(self):
+        assert stream_main(["--frames", "0", "--max-chunks", "0"]) == 2

@@ -194,3 +194,58 @@ def test_committed_cache_report_is_schema_valid():
     assert fused["speedup_warm"] >= 3.0
     assert fused["cache"]["hit_rate"] > 0
     assert fused["cache"]["bytes_saved"] > 0
+
+
+load_serve = pytest.importorskip("load_serve")
+
+
+@pytest.fixture(scope="module")
+def serve_report(tmp_path_factory):
+    out = tmp_path_factory.mktemp("serve") / "serve.json"
+    assert load_serve.main(["--quick", "--out", str(out)]) == 0
+    return json.loads(out.read_text())
+
+
+def test_serve_report_top_level_schema(serve_report):
+    assert serve_report["schema_version"] == load_serve.SERVE_SCHEMA_VERSION
+    assert serve_report["quick"] is True
+    assert set(load_serve.THROUGHPUT_KEYS) <= set(serve_report["throughput"])
+    assert set(load_serve.CHURN_KEYS) <= set(serve_report["churn"])
+
+
+def test_serve_report_throughput_entries(serve_report):
+    throughput = serve_report["throughput"]
+    assert throughput["frames_per_sec"] > 0
+    assert throughput["p99_ms"] >= throughput["p50_ms"] > 0
+    assert throughput["messages"] > 0
+    assert throughput["bit_identical"] is True
+
+
+def test_serve_report_witnesses_chaos_resume(serve_report):
+    """The churn phase proves the resume contract under fire: chaos
+    kills plus a mid-load drain/restart, every stream byte-identical."""
+    churn = serve_report["churn"]
+    assert churn["chaos_kills"] > 0
+    assert churn["restarts"] == 1
+    assert churn["bit_identical"] is True
+    assert churn["psi_exact"] is True
+
+
+def test_committed_serve_report_is_schema_valid():
+    """The checked-in BENCH_PR6.json must parse under the same schema
+    and show the headline result: >= 500 concurrent streams sustained,
+    and the churn phase byte-identical through kills and a restart."""
+    committed = json.loads((REPO_ROOT / "BENCH_PR6.json").read_text())
+    assert committed["schema_version"] == load_serve.SERVE_SCHEMA_VERSION
+    throughput = committed["throughput"]
+    assert set(load_serve.THROUGHPUT_KEYS) <= set(throughput)
+    assert throughput["streams"] >= 500
+    assert throughput["frames_per_sec"] > 0
+    assert throughput["p99_ms"] >= throughput["p50_ms"] > 0
+    assert throughput["bit_identical"] is True
+    churn = committed["churn"]
+    assert set(load_serve.CHURN_KEYS) <= set(churn)
+    assert churn["chaos_kills"] > 0
+    assert churn["drains"] > 0
+    assert churn["bit_identical"] is True
+    assert churn["psi_exact"] is True
