@@ -2,10 +2,17 @@
 
 PYTHON ?= python
 
-.PHONY: install test verify bench bench-report serve-bench figures quick-figures report claims clean
+.PHONY: install native test verify bench bench-report serve-bench figures quick-figures report claims clean
 
 install:
 	pip install -e . || $(PYTHON) setup.py develop
+
+# Build the compiled kernel tier in place (requires cffi + a C
+# compiler).  Not required: kernels also JIT-build into the user cache
+# on first use, and fall back to the NumPy tier without either.
+native:
+	$(PYTHON) src/repro/native/_build.py
+	PYTHONPATH=src $(PYTHON) -m repro.cli kernels --require native
 
 test:
 	$(PYTHON) -m pytest tests/

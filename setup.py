@@ -1,11 +1,46 @@
-"""Setup shim for environments without the ``wheel`` package.
+"""Setup shim: legacy installs plus the optional native kernel build.
 
 ``pip install -e . --no-build-isolation`` needs ``bdist_wheel`` for the
 PEP 660 editable path; this shim lets pip fall back to the legacy
 ``setup.py develop`` editable install (``--no-use-pep517``) in offline
 environments.  All metadata lives in ``pyproject.toml``.
+
+When cffi and a C compiler are present, the native kernel extension
+(``repro.native._repro_native``) is compiled as part of the install.
+When either is missing the install proceeds cleanly without it — the
+extension is optional by design (kernels fall back to the NumPy tier,
+or build on first use via ``repro.native.loader``).  Set
+``REPRO_BUILD_NATIVE=1`` to make a missing toolchain a hard error, or
+``REPRO_BUILD_NATIVE=0`` to skip the build even when possible.
 """
+
+import os
 
 from setuptools import setup
 
-setup()
+
+def _native_build_kwargs() -> dict:
+    requested = os.environ.get("REPRO_BUILD_NATIVE", "").strip().lower()
+    if requested in ("0", "no", "false", "off"):
+        return {}
+    kwargs = {
+        "cffi_modules": ["src/repro/native/_build.py:ffibuilder"],
+        "setup_requires": ["cffi>=1.15"],
+    }
+    if requested in ("1", "yes", "true", "on"):
+        return kwargs  # forced: let a missing compiler/cffi fail loudly
+    try:
+        import cffi  # noqa: F401
+    except ImportError:
+        return {}
+    try:
+        import sys
+
+        sys.path.insert(0, os.path.join(os.path.dirname(__file__), "src"))
+        from repro.native.loader import compiler_available
+    except Exception:
+        return {}
+    return kwargs if compiler_available() else {}
+
+
+setup(**_native_build_kwargs())

@@ -14,6 +14,8 @@ import numpy as np
 
 from repro.core import bitops
 from repro.exceptions import ConfigurationError, DataFormatError
+from repro.native import dispatch as _dispatch
+from repro.native import kernels as _native_kernels
 
 
 def _majority3(a: np.ndarray, b: np.ndarray, c: np.ndarray) -> np.ndarray:
@@ -84,7 +86,10 @@ def majority_vote_window(pixels: np.ndarray, window: int = 3) -> np.ndarray:
 
     For ``window == 3`` this matches :func:`majority_vote_temporal` except
     at the paper-specific edge padding (reflection is used here).  Wider
-    windows serve the ablation benches.
+    windows serve the ablation benches.  Validation happens here; the
+    vote itself runs on the selected kernel tier (the C tier holds the
+    per-bit window count in a bit-sliced 4-level counter, so windows
+    wider than 15 automatically demote to the NumPy tier).
     """
     if window < 3 or window % 2 == 0:
         raise ConfigurationError(f"window must be odd and >= 3, got {window}")
@@ -92,6 +97,12 @@ def majority_vote_window(pixels: np.ndarray, window: int = 3) -> np.ndarray:
     n = pixels.shape[0] if pixels.ndim else 0
     if n < window:
         raise DataFormatError(f"need N >= {window} variants, got {n}")
+    return _dispatch.call("majority_vote_window", pixels, window)
+
+
+def _numpy_majority_vote_window(pixels: np.ndarray, window: int = 3) -> np.ndarray:
+    """NumPy tier for :func:`majority_vote_window` (bit-plane counts)."""
+    n = pixels.shape[0]
     half = window // 2
     planes = bitops.to_bit_planes(pixels)
     # Clamped edges are an edge-pad of the temporal axis; the window sum
@@ -122,3 +133,12 @@ def _reference_majority_vote_window(pixels: np.ndarray, window: int = 3) -> np.n
         counts += planes[:, idx]
     majority_planes = (counts > half).astype(np.uint8)
     return bitops.from_bit_planes(majority_planes, pixels.dtype)
+
+
+_dispatch.register(
+    "majority_vote_window",
+    numpy_impl=_numpy_majority_vote_window,
+    reference_impl=_reference_majority_vote_window,
+    native_impl=_native_kernels.majority_vote_window,
+    accepts=_native_kernels.majority_window_ok,
+)

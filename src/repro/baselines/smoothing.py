@@ -12,6 +12,8 @@ from __future__ import annotations
 import numpy as np
 
 from repro.exceptions import ConfigurationError, DataFormatError
+from repro.native import dispatch as _dispatch
+from repro.native import kernels as _native_kernels
 
 
 def _validate(pixels: np.ndarray, window: int) -> np.ndarray:
@@ -24,15 +26,36 @@ def _validate(pixels: np.ndarray, window: int) -> np.ndarray:
     return pixels
 
 
+def _finish(out: np.ndarray, dtype: np.dtype) -> np.ndarray:
+    """Shared dtype finishing: round/clamp for integers, cast for floats.
+
+    Every tier returns the raw float64 ``acc / wsum`` result, so the
+    final rounding happens in exactly one place for all of them.
+    """
+    if np.issubdtype(dtype, np.integer):
+        info = np.iinfo(dtype)
+        return np.clip(np.rint(out), info.min, info.max).astype(dtype)
+    return out.astype(dtype)
+
+
 def _weighted_window_smooth(pixels: np.ndarray, weights: np.ndarray) -> np.ndarray:
     """Apply a centred weighted window along axis 0 with clamped edges.
 
-    Clamped edges are an edge-pad of the temporal axis, so each tap is a
-    shifted view of one padded copy instead of a fancy-indexed gather.
-    The taps are accumulated in the same order as the original per-offset
-    loop — float addition is not associative, so the order is part of the
-    bit-identical contract with :func:`_reference_weighted_window_smooth`.
+    The float64 accumulate-and-divide runs on the selected kernel tier;
+    the taps are accumulated in the same order in every tier — float
+    addition is not associative, so the order is part of the
+    bit-identical contract (the C tier is compiled with
+    ``-ffp-contract=off`` so its multiply/add roundings match NumPy's).
     """
+    weights = np.ascontiguousarray(weights, dtype=np.float64)
+    out = _dispatch.call("weighted_window_smooth", pixels, weights)
+    return _finish(out, pixels.dtype)
+
+
+def _numpy_weighted_accumulate(pixels: np.ndarray, weights: np.ndarray) -> np.ndarray:
+    """NumPy tier: clamped edges are an edge-pad of the temporal axis, so
+    each tap is a shifted view of one padded copy instead of a
+    fancy-indexed gather."""
     n = pixels.shape[0]
     window = len(weights)
     half = window // 2
@@ -42,15 +65,11 @@ def _weighted_window_smooth(pixels: np.ndarray, weights: np.ndarray) -> np.ndarr
     wsum = weights.sum()
     for k, w in enumerate(weights):
         acc += w * padded[k : k + n]
-    out = acc / wsum
-    if np.issubdtype(pixels.dtype, np.integer):
-        info = np.iinfo(pixels.dtype)
-        return np.clip(np.rint(out), info.min, info.max).astype(pixels.dtype)
-    return out.astype(pixels.dtype)
+    return acc / wsum
 
 
-def _reference_weighted_window_smooth(pixels: np.ndarray, weights: np.ndarray) -> np.ndarray:
-    """Pre-vectorization oracle for :func:`_weighted_window_smooth`."""
+def _reference_weighted_accumulate(pixels: np.ndarray, weights: np.ndarray) -> np.ndarray:
+    """Reference tier: per-offset fancy-indexed gather accumulation."""
     n = pixels.shape[0]
     window = len(weights)
     half = window // 2
@@ -60,11 +79,24 @@ def _reference_weighted_window_smooth(pixels: np.ndarray, weights: np.ndarray) -
         offset = k - half
         idx = np.clip(np.arange(n) + offset, 0, n - 1)
         acc += w * pixels[idx].astype(np.float64)
-    out = acc / wsum
-    if np.issubdtype(pixels.dtype, np.integer):
-        info = np.iinfo(pixels.dtype)
-        return np.clip(np.rint(out), info.min, info.max).astype(pixels.dtype)
-    return out.astype(pixels.dtype)
+    return acc / wsum
+
+
+def _reference_weighted_window_smooth(pixels: np.ndarray, weights: np.ndarray) -> np.ndarray:
+    """Pre-vectorization oracle for :func:`_weighted_window_smooth`."""
+    return _finish(
+        _reference_weighted_accumulate(pixels, np.asarray(weights, dtype=np.float64)),
+        pixels.dtype,
+    )
+
+
+_dispatch.register(
+    "weighted_window_smooth",
+    numpy_impl=_numpy_weighted_accumulate,
+    reference_impl=_reference_weighted_accumulate,
+    native_impl=_native_kernels.weighted_window_smooth,
+    accepts=_native_kernels.weighted_smooth_ok,
+)
 
 
 def mean_smooth(pixels: np.ndarray, window: int = 3) -> np.ndarray:

@@ -10,6 +10,8 @@ Usage::
     repro serve [--port P] [--control-port C] [--checkpoint-dir DIR]
     repro fig2 --cache-dir .repro-cache   # persist artifacts across runs
     repro cache stats|clear [--cache-dir DIR]
+    repro kernels [--json] [--require native]
+    repro fig2 --threads 4                # thread-pool shards (native tier)
 
 ``--quick`` shrinks repeats/grids so every experiment finishes in
 seconds; default parameters match the EXPERIMENTS.md record.
@@ -45,6 +47,7 @@ from repro.runtime import (
     ProgressPrinter,
     SerialBackend,
     Telemetry,
+    ThreadPoolBackend,
     TrialRuntime,
 )
 
@@ -125,6 +128,10 @@ def main(argv: list[str] | None = None) -> int:
         from repro.serve.cli import main as serve_main
 
         return serve_main(argv[1:])
+    if argv and argv[0] == "kernels":
+        from repro.native.cli import main as kernels_main
+
+        return kernels_main(argv[1:])
 
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -135,8 +142,9 @@ def main(argv: list[str] | None = None) -> int:
         "experiment",
         help="experiment id (see 'repro list'), 'list', 'all', 'report', "
         "'stream' (streaming pipeline; 'repro stream --help'), "
-        "'serve' (streaming service; 'repro serve --help'), or "
-        "'cache' (artifact cache maintenance; 'repro cache --help')",
+        "'serve' (streaming service; 'repro serve --help'), "
+        "'cache' (artifact cache maintenance; 'repro cache --help'), or "
+        "'kernels' (kernel-tier diagnostics; 'repro kernels --help')",
     )
     parser.add_argument(
         "--quick", action="store_true", help="reduced grids for a fast run"
@@ -154,6 +162,15 @@ def main(argv: list[str] | None = None) -> int:
         metavar="N",
         help="worker processes for trial loops (default 1 = serial; "
         "results are bit-identical at any N)",
+    )
+    parser.add_argument(
+        "--threads",
+        type=int,
+        default=0,
+        metavar="N",
+        help="worker threads for trial loops instead of processes "
+        "(best with the native kernel tier, whose C kernels release "
+        "the GIL; see 'repro kernels'; mutually exclusive with --jobs)",
     )
     parser.add_argument(
         "--resume",
@@ -185,6 +202,12 @@ def main(argv: list[str] | None = None) -> int:
 
     if args.jobs < 1:
         print(f"--jobs must be >= 1, got {args.jobs}", file=sys.stderr)
+        return 2
+    if args.threads < 0:
+        print(f"--threads must be >= 1, got {args.threads}", file=sys.stderr)
+        return 2
+    if args.threads and args.jobs > 1:
+        print("--threads and --jobs are mutually exclusive", file=sys.stderr)
         return 2
 
     if args.resume:
@@ -258,9 +281,12 @@ def _build_runtime(args: argparse.Namespace, experiment_id: str) -> TrialRuntime
     deterministic call sequence means a resumed run re-derives the same
     keys in the same order and the recorded shards line up.
     """
-    backend = (
-        ProcessPoolBackend(args.jobs) if args.jobs > 1 else SerialBackend()
-    )
+    if args.threads:
+        backend = ThreadPoolBackend(args.threads)
+    elif args.jobs > 1:
+        backend = ProcessPoolBackend(args.jobs)
+    else:
+        backend = SerialBackend()
     checkpoint = None
     if args.resume:
         checkpoint = CheckpointStore(

@@ -11,6 +11,8 @@ from __future__ import annotations
 import numpy as np
 
 from repro.exceptions import DataFormatError
+from repro.native import dispatch as _dispatch
+from repro.native import kernels as _native_kernels
 
 #: Number of bits per supported unsigned dtype.
 BITS_PER_DTYPE = {
@@ -163,6 +165,15 @@ def to_bit_planes(arr: np.ndarray) -> np.ndarray:
 
     Plane index 0 is the most significant bit, matching the paper's
     ``P(i, j)`` notation where ``j`` is the offset from the MSB.
+    Validation happens here; the transform itself runs on the selected
+    kernel tier.
+    """
+    require_unsigned(arr)
+    return _dispatch.call("to_bit_planes", arr)
+
+
+def _numpy_to_bit_planes(arr: np.ndarray) -> np.ndarray:
+    """NumPy tier for :func:`to_bit_planes`.
 
     Each word is split once into contiguous byte columns, so every
     plane extraction is a uint8 shift-and-mask over half (or less) of
@@ -171,7 +182,6 @@ def to_bit_planes(arr: np.ndarray) -> np.ndarray:
     transpose of the ``(..., nbits)`` bit stream outweighs the saved
     shift loop.)
     """
-    require_unsigned(arr)
     nbits = bit_width(arr.dtype)
     nbytes = nbits // 8
     little = np.ascontiguousarray(
@@ -201,12 +211,8 @@ def from_bit_planes(planes: np.ndarray, dtype: np.dtype) -> np.ndarray:
     """Inverse of :func:`to_bit_planes` for the given unsigned dtype.
 
     ``planes`` must hold 0/1 values (the contract of
-    :func:`to_bit_planes`); plane 0 is the MSB.
-
-    Per-plane multiply-accumulate into two pre-allocated word buffers;
-    this path is memory-bandwidth-bound, so the win over a naive
-    shift-or loop comes from eliminating the per-plane temporaries (a
-    ``packbits`` + transpose formulation was measured far slower).
+    :func:`to_bit_planes`); plane 0 is the MSB.  Validation happens
+    here; the transform itself runs on the selected kernel tier.
     """
     dtype = np.dtype(dtype)
     nbits = bit_width(dtype)
@@ -215,6 +221,19 @@ def from_bit_planes(planes: np.ndarray, dtype: np.dtype) -> np.ndarray:
         raise DataFormatError(
             f"expected {nbits} planes for {dtype}, got {planes.shape[0]}"
         )
+    return _dispatch.call("from_bit_planes", planes, dtype)
+
+
+def _numpy_from_bit_planes(planes: np.ndarray, dtype: np.dtype) -> np.ndarray:
+    """NumPy tier for :func:`from_bit_planes`.
+
+    Per-plane multiply-accumulate into two pre-allocated word buffers;
+    this path is memory-bandwidth-bound, so the win over a naive
+    shift-or loop comes from eliminating the per-plane temporaries (a
+    ``packbits`` + transpose formulation was measured far slower).
+    """
+    dtype = np.dtype(dtype)
+    nbits = bit_width(dtype)
     flat = np.ascontiguousarray(planes, dtype=np.uint8).reshape(nbits, -1)
     out = np.zeros(flat.shape[1], dtype=dtype)
     weighted = np.empty(flat.shape[1], dtype=dtype)
@@ -237,6 +256,22 @@ def _reference_from_bit_planes(planes: np.ndarray, dtype: np.dtype) -> np.ndarra
     for j in range(nbits):
         out |= (planes[j].astype(dtype)) << np.asarray(nbits - 1 - j, dtype=dtype)
     return out
+
+
+_dispatch.register(
+    "to_bit_planes",
+    numpy_impl=_numpy_to_bit_planes,
+    reference_impl=_reference_to_bit_planes,
+    native_impl=_native_kernels.to_bit_planes,
+    accepts=_native_kernels.words_native_ok,
+)
+_dispatch.register(
+    "from_bit_planes",
+    numpy_impl=_numpy_from_bit_planes,
+    reference_impl=_reference_from_bit_planes,
+    native_impl=_native_kernels.from_bit_planes,
+    accepts=_native_kernels.words_native_ok,
+)
 
 
 def flip_bits(arr: np.ndarray, flip_mask: np.ndarray) -> np.ndarray:

@@ -16,6 +16,8 @@ import numpy as np
 from repro.core import bitops
 from repro.core.sensitivity import phi_rank
 from repro.exceptions import ConfigurationError, DataFormatError
+from repro.native import dispatch as _dispatch
+from repro.native import kernels as _native_kernels
 
 
 def reflect_index(index: int, length: int) -> int:
@@ -191,7 +193,7 @@ class VoterMatrix:
     @staticmethod
     def unanimous(voters: np.ndarray) -> np.ndarray:
         """Bits asserted by *all* Υ voters (the Ξ combiner of Algorithm 1)."""
-        return np.bitwise_and.reduce(voters, axis=0)
+        return _dispatch.call("unanimous", voters)
 
     @staticmethod
     def grt(voters: np.ndarray) -> np.ndarray:
@@ -199,8 +201,8 @@ class VoterMatrix:
 
         The union over k of the AND of all voters except k, exactly the
         ``Max / Ξ`` construction in Algorithm 1, computed in O(Υ) bit ops
-        from prefix/suffix AND arrays: the leave-one-out AND of way k is
-        ``AND(voters[:k]) & AND(voters[k+1:])``.  For Υ = 2 the
+        (see :func:`_leave_one_out_union`; the C tier uses the same
+        two-level zero-counter blocked for L1).  For Υ = 2 the
         leave-one-out AND degenerates to a single voter — any lone
         disagreement would trigger a window-A correction — so the
         combiner falls back to unanimity, the only meaningful consensus
@@ -209,4 +211,24 @@ class VoterMatrix:
         upsilon = voters.shape[0]
         if upsilon == 2:
             return VoterMatrix.unanimous(voters)
-        return _leave_one_out_union(voters)
+        return _dispatch.call("grt", voters)
+
+
+# ndim >= 2: reducing a single (Υ,) vector returns a NumPy scalar, a
+# shape the bytewise C combiners do not reproduce.
+_dispatch.register(
+    "unanimous",
+    numpy_impl=lambda voters: np.bitwise_and.reduce(voters, axis=0),
+    reference_impl=_reference_unanimous,
+    native_impl=_native_kernels.unanimous,
+    accepts=lambda voters: voters.ndim >= 2,
+)
+# The Υ = 2 degeneration to unanimity happens before dispatch, so every
+# tier's grt implementation only ever sees Υ >= 3.
+_dispatch.register(
+    "grt",
+    numpy_impl=_leave_one_out_union,
+    reference_impl=_reference_grt,
+    native_impl=_native_kernels.grt,
+    accepts=lambda voters: voters.ndim >= 2,
+)

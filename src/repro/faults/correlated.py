@@ -21,6 +21,8 @@ from repro.config import CorrelatedFaultConfig
 from repro.core import bitops
 from repro.exceptions import ConfigurationError
 from repro.faults.layout import MemoryLayout, RowMajorLayout
+from repro.native import dispatch as _dispatch
+from repro.native import kernels as _native_kernels
 
 
 def run_probability_table(gamma_ini: float, max_terms: int) -> np.ndarray:
@@ -183,18 +185,11 @@ def correlated_flip_grid(
     vertical_run)]`` where the runs count the flipped bits immediately to
     the left and immediately above — the "higher of the two directions"
     rule of the paper.  Defined by a raster-order scan (see
-    :func:`_reference_correlated_flip_grid`), but computed here as an
-    iterative frontier fixpoint: seed with the run-0 flips (``draw <
-    Γcorr(0)``), then alternate horizontal and vertical relaxation
-    sweeps (:func:`_extend_runs`) until no new flips appear.
-
-    The two are bit-identical: the raster result is the unique fixpoint
-    of the flip condition (each cell's runs depend only on strictly
-    earlier raster cells, so membership is determined by induction along
-    the scan order), the condition is monotone (more flips ⇒ longer runs
-    ⇒ higher Γcorr ⇒ more flips, since the Eq. 2 table is increasing),
-    and the seed set never shrinks under a sweep — so the iteration
-    climbs exactly to that unique fixpoint.
+    :func:`_reference_scan`); the uniform draws are taken from *rng*
+    exactly once (one ``rng.random(shape)``, identical across tiers) and
+    the scan itself runs on the selected kernel tier: the C raster scan,
+    the NumPy frontier fixpoint (:func:`_numpy_scan`), or the in-tree
+    raster oracle.
     """
     rows, cols = shape
     if rows < 1 or cols < 1:
@@ -203,6 +198,24 @@ def correlated_flip_grid(
         return np.zeros(shape, dtype=bool)
     table = run_probability_table(gamma_ini, max_terms)
     draws = rng.random(shape)
+    return _dispatch.call("correlated_flip_grid", draws, table)
+
+
+def _numpy_scan(draws: np.ndarray, table: np.ndarray) -> np.ndarray:
+    """NumPy tier: iterative frontier fixpoint over pre-drawn uniforms.
+
+    Seed with the run-0 flips (``draw < Γcorr(0)``), then alternate
+    horizontal and vertical relaxation sweeps (:func:`_extend_runs`)
+    until no new flips appear.
+
+    This is bit-identical to the raster scan: the raster result is the
+    unique fixpoint of the flip condition (each cell's runs depend only
+    on strictly earlier raster cells, so membership is determined by
+    induction along the scan order), the condition is monotone (more
+    flips ⇒ longer runs ⇒ higher Γcorr ⇒ more flips, since the Eq. 2
+    table is increasing), and the seed set never shrinks under a sweep —
+    so the iteration climbs exactly to that unique fixpoint.
+    """
     req, req_max = _required_runs(draws, table)
     flips = req == 0
     if req_max == 0 or not flips.any():
@@ -288,16 +301,19 @@ def _reference_correlated_flip_grid(
     if gamma_ini == 0.0:
         return np.zeros(shape, dtype=bool)
     table = run_probability_table(gamma_ini, max_terms)
+    return _reference_scan(rng.random(shape), table)
+
+
+def _reference_scan(draws: np.ndarray, table: np.ndarray) -> np.ndarray:
+    """Reference tier: raster-order scan over pre-drawn uniforms."""
     max_run = len(table) - 1
-    thresholds = rng.random(shape)
-    flips = np.zeros(shape, dtype=bool)
-    # Γcorr(R) increases strictly towards (but never reaches) the series
-    # limit Γini/(1−Γini), so a cell whose uniform draw is at or above the
-    # limit can never flip regardless of run history.  Visiting only the
-    # cells below the limit, in raster order, is exactly equivalent to the
-    # dense scan and typically orders of magnitude faster.
-    limit = gamma_ini / (1.0 - gamma_ini)
-    candidate_rows, candidate_cols = np.nonzero(thresholds < limit)
+    thresholds = draws
+    flips = np.zeros(draws.shape, dtype=bool)
+    # Γcorr(R) caps out at the last table entry, so a cell whose uniform
+    # draw is at or above it can never flip regardless of run history.
+    # Visiting only the cells below that cap, in raster order, is exactly
+    # equivalent to the dense scan and typically much faster.
+    candidate_rows, candidate_cols = np.nonzero(thresholds < table[-1])
     table_list = table.tolist()  # plain-float access is faster in the loop
     gamma0 = table_list[0]
     for r, c in zip(candidate_rows.tolist(), candidate_cols.tolist()):
@@ -323,6 +339,14 @@ def _reference_correlated_flip_grid(
                 continue
         flips[r, c] = True
     return flips
+
+
+_dispatch.register(
+    "correlated_flip_grid",
+    numpy_impl=_numpy_scan,
+    reference_impl=_reference_scan,
+    native_impl=_native_kernels.correlated_scan,
+)
 
 
 class CorrelatedFaultModel:

@@ -1,0 +1,50 @@
+"""Optional compiled kernel tier (cffi/C) with graceful NumPy fallback.
+
+The top kernels by campaign time — the Eq. (2) correlated flip scan,
+the GRT combiner vote, the bit-plane transforms and the window
+smoothers — have C implementations compiled via cffi in API mode.  A
+dispatch layer selects, per kernel and per call, between three
+bit-identical tiers::
+
+    native  →  numpy  →  reference
+
+controlled by the ``REPRO_KERNEL_TIER`` environment variable
+(``auto``/``native``/``numpy``/``reference``) or programmatically via
+:func:`set_kernel_tier`.  When no compiler or extension is present the
+whole package degrades to the NumPy tier without errors, so
+``repro.native`` is safe to import everywhere.
+
+Because cffi releases the GIL around C calls, native kernels overlap
+across :class:`~repro.runtime.ThreadPoolBackend` threads — threaded
+shard execution escapes both the interpreter lock and the
+process-pool pickle tax.
+
+See ``docs/PERFORMANCE.md`` ("Native kernel tier") and the ``repro
+kernels`` CLI subcommand for build requirements and diagnostics.
+"""
+
+from __future__ import annotations
+
+from repro.native.dispatch import (
+    ENV_VAR,
+    TIERS,
+    get_kernel_tier,
+    kernel_tier,
+    set_kernel_tier,
+)
+from repro.native.loader import (
+    available as native_available,
+    origin as native_origin,
+    unavailable_reason as native_unavailable_reason,
+)
+
+__all__ = [
+    "ENV_VAR",
+    "TIERS",
+    "get_kernel_tier",
+    "kernel_tier",
+    "native_available",
+    "native_origin",
+    "native_unavailable_reason",
+    "set_kernel_tier",
+]

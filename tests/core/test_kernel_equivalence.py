@@ -23,9 +23,24 @@ from repro.faults.correlated import (
     _reference_correlated_flip_grid,
     correlated_flip_grid,
 )
+from repro.native import kernel_tier, native_available
 from repro.otis import scan
 
 UNSIGNED_DTYPES = [np.uint8, np.uint16, np.uint32, np.uint64]
+
+#: Tier parametrization for the dispatched kernels: the native column
+#: skips cleanly when no extension can be built (no compiler / no cffi).
+TIER_PARAMS = [
+    pytest.param("numpy", id="numpy"),
+    pytest.param("reference", id="reference"),
+    pytest.param(
+        "native",
+        id="native",
+        marks=pytest.mark.skipif(
+            not native_available(), reason="native extension unavailable"
+        ),
+    ),
+]
 
 
 def _random_unsigned(rng, shape, dtype):
@@ -289,3 +304,123 @@ def test_observation_stacks_unobserved_row_error():
     for fn in (scan._observation_stacks, scan._reference_observation_stacks):
         with pytest.raises(Exception, match="ground row 0 never observed"):
             fn(frames, config, 10)
+
+
+# ---------------------------------------------------------------------------
+# kernel tiers (PR 7): every dispatched kernel is byte-identical across
+# native / numpy / reference, on every dtype, odd shape and edge value
+# ---------------------------------------------------------------------------
+
+
+def _on_tier(tier, fn, *args, **kwargs):
+    with kernel_tier(tier):
+        return fn(*args, **kwargs)
+
+
+@pytest.mark.parametrize("tier", TIER_PARAMS)
+@pytest.mark.parametrize("gamma", [0.02, 0.3, 0.45, 0.49])
+@pytest.mark.parametrize("max_terms", [1, 2, 8, 64])
+def test_correlated_tier_identity(tier, gamma, max_terms):
+    for seed, shape in enumerate([(1, 1), (1, 17), (9, 1), (5, 7), (48, 64)]):
+        got = _on_tier(
+            tier,
+            correlated_flip_grid,
+            shape,
+            gamma,
+            np.random.default_rng(seed),
+            max_terms,
+        )
+        want = _on_tier(
+            "reference",
+            correlated_flip_grid,
+            shape,
+            gamma,
+            np.random.default_rng(seed),
+            max_terms,
+        )
+        assert got.dtype == want.dtype == np.bool_
+        assert np.array_equal(got, want), (tier, shape, gamma, max_terms)
+
+
+@pytest.mark.parametrize("tier", TIER_PARAMS)
+@pytest.mark.parametrize("dtype", UNSIGNED_DTYPES)
+@pytest.mark.parametrize("shape", [(), (1,), (13,), (5, 9), (3, 4, 7), (0, 3)])
+def test_bit_planes_tier_identity(rng, tier, dtype, shape):
+    arr = _random_unsigned(rng, shape, dtype)
+    planes = _on_tier(tier, bitops.to_bit_planes, arr)
+    want = _on_tier("reference", bitops.to_bit_planes, arr)
+    assert planes.dtype == want.dtype
+    assert np.array_equal(planes, want)
+    back = _on_tier(tier, bitops.from_bit_planes, planes, dtype)
+    assert back.dtype == np.dtype(dtype)
+    assert np.array_equal(back, arr)
+
+
+@pytest.mark.parametrize("tier", TIER_PARAMS)
+@pytest.mark.parametrize("dtype", UNSIGNED_DTYPES)
+@pytest.mark.parametrize("upsilon", [2, 3, 4, 7])
+def test_voter_combiner_tier_identity(rng, tier, dtype, upsilon):
+    for shape in [(upsilon, 9, 5), (upsilon, 4, 0, 3)]:
+        voters = _random_unsigned(rng, shape, dtype)
+        voters[rng.random(voters.shape) < 0.5] = 0
+        for combiner in (voter.VoterMatrix.unanimous, voter.VoterMatrix.grt):
+            got = _on_tier(tier, combiner, voters)
+            want = _on_tier("reference", combiner, voters)
+            assert got.dtype == want.dtype
+            assert np.array_equal(got, want), (tier, combiner.__name__, shape)
+
+
+@pytest.mark.parametrize("tier", TIER_PARAMS)
+@pytest.mark.parametrize("dtype", UNSIGNED_DTYPES)
+@pytest.mark.parametrize("window", [3, 5, 15, 17])
+def test_majority_window_tier_identity(rng, tier, dtype, window):
+    # window 17 exceeds the C bit-sliced counter's capacity, so the
+    # native tier must demote that call to NumPy and still match.
+    for shape in [(window,), (window + 4, 6), (19, 3, 4)]:
+        if shape[0] < window:
+            continue
+        pixels = _random_unsigned(rng, shape, dtype)
+        got = _on_tier(tier, majority.majority_vote_window, pixels, window)
+        want = _on_tier("reference", majority.majority_vote_window, pixels, window)
+        assert got.dtype == want.dtype
+        assert np.array_equal(got, want), (tier, shape, window)
+
+
+@pytest.mark.parametrize("tier", TIER_PARAMS)
+@pytest.mark.parametrize(
+    "dtype", [np.uint8, np.uint16, np.uint64, np.float32, np.float64]
+)
+def test_weighted_smooth_tier_identity(rng, tier, dtype):
+    # Bit-identical floats, not merely close ones: accumulation order
+    # and the absence of FMA contraction are part of the contract.
+    # uint64 exercises the accepts-predicate demotion path.
+    for shape in [(5,), (8, 6), (16, 3, 5)]:
+        pixels = (rng.random(shape) * 1000).astype(dtype)
+        for weights in (
+            np.ones(3),
+            np.exp(-np.abs(np.arange(-2, 3)) / 1.0),
+            1.0 / (1.0 + np.arange(-2, 3, dtype=np.float64) ** 2),
+        ):
+            if shape[0] < len(weights):
+                continue
+            got = _on_tier(tier, smoothing._weighted_window_smooth, pixels, weights)
+            want = _on_tier(
+                "reference", smoothing._weighted_window_smooth, pixels, weights
+            )
+            assert got.dtype == want.dtype
+            assert np.array_equal(got, want), (tier, shape, len(weights))
+
+
+@pytest.mark.parametrize("tier", TIER_PARAMS)
+def test_smoother_catalogue_tier_identity(rng, tier):
+    pixels = _random_unsigned(rng, (12, 7, 5), np.uint16)
+    for smooth in (
+        lambda p: smoothing.mean_smooth(p, 5),
+        lambda p: smoothing.negative_exponential_smooth(p, 5),
+        lambda p: smoothing.inverse_square_smooth(p, 5),
+        lambda p: smoothing.bisquare_smooth(p, 5),
+        lambda p: majority.majority_vote_window(p, 5),
+    ):
+        got = _on_tier(tier, smooth, pixels)
+        want = _on_tier("reference", smooth, pixels)
+        assert np.array_equal(got, want)

@@ -24,16 +24,21 @@ def reports(tmp_path_factory):
     out = bench_dir / "report.json"
     stream_out = bench_dir / "stream.json"
     cache_out = bench_dir / "cache.json"
+    native_out = bench_dir / "native.json"
     assert (
         bench_report.main(
             [
                 "--quick",
+                "--warmup",
+                "1",
                 "--out",
                 str(out),
                 "--stream-out",
                 str(stream_out),
                 "--cache-out",
                 str(cache_out),
+                "--native-out",
+                str(native_out),
             ]
         )
         == 0
@@ -42,6 +47,7 @@ def reports(tmp_path_factory):
         json.loads(out.read_text()),
         json.loads(stream_out.read_text()),
         json.loads(cache_out.read_text()),
+        json.loads(native_out.read_text()),
     )
 
 
@@ -58,6 +64,11 @@ def stream_report(reports):
 @pytest.fixture(scope="module")
 def cache_report(reports):
     return reports[2]
+
+
+@pytest.fixture(scope="module")
+def native_report(reports):
+    return reports[3]
 
 
 def test_report_top_level_schema(report):
@@ -194,6 +205,89 @@ def test_committed_cache_report_is_schema_valid():
     assert fused["speedup_warm"] >= 3.0
     assert fused["cache"]["hit_rate"] > 0
     assert fused["cache"]["bytes_saved"] > 0
+
+
+def test_native_report_top_level_schema(native_report):
+    assert native_report["schema_version"] == bench_report.NATIVE_SCHEMA_VERSION
+    assert native_report["quick"] is True
+    assert isinstance(native_report["native_available"], bool)
+    assert isinstance(native_report["kernels"], list) and native_report["kernels"]
+    assert isinstance(native_report["headline"], dict)
+    assert isinstance(native_report["campaign"], dict)
+    assert isinstance(native_report["stream"], dict)
+    assert isinstance(native_report["threaded"], dict)
+
+
+def test_native_kernel_entries(native_report):
+    for entry in native_report["kernels"]:
+        assert set(bench_report.NATIVE_KERNEL_KEYS) <= set(entry), entry
+        assert entry["numpy_ms"] > 0
+        assert entry["native_ms"] > 0
+        assert entry["speedup"] == pytest.approx(
+            entry["numpy_ms"] / entry["native_ms"], rel=1e-2
+        )
+        assert isinstance(entry["config"], dict)
+
+
+def test_native_report_covers_dispatched_kernels(native_report):
+    names = {entry["name"] for entry in native_report["kernels"]}
+    assert {
+        "correlated_flip_grid",
+        "voter_grt",
+        "to_bit_planes",
+        "from_bit_planes",
+        "majority_vote_window",
+        "weighted_window_smooth",
+    } <= names
+
+
+def test_native_headline_summary_is_consistent(native_report):
+    headline = native_report["headline"]
+    assert set(headline["best_speedup"]) == set(bench_report.HEADLINE_KERNELS)
+    assert set(headline["kernels_at_2x"]) <= set(bench_report.HEADLINE_KERNELS)
+    for name in headline["kernels_at_2x"]:
+        assert headline["best_speedup"][name] >= 2.0
+    assert headline["gate_met"] is (len(headline["kernels_at_2x"]) >= 2)
+
+
+def test_native_e2e_sections_are_bit_identical(native_report):
+    """Tier flips must not change results — with or without the
+    extension (absent, the native tier falls back to NumPy)."""
+    assert native_report["campaign"]["bit_identical"] is True
+    assert native_report["stream"]["bit_identical"] is True
+
+
+def test_native_threaded_entry(native_report):
+    threaded = native_report["threaded"]
+    assert set(bench_report.THREADED_KEYS) <= set(threaded)
+    assert threaded["threads"] >= 2
+    assert threaded["n_trials"] >= 1
+    for key in ("numpy_serial_s", "native_serial_s",
+                "numpy_threads_s", "native_threads_s"):
+        assert threaded[key] > 0
+    assert threaded["native_thread_scaling"] > 0
+
+
+def test_committed_native_report_is_schema_valid():
+    """The checked-in BENCH_PR7.json must parse under the same schema
+    and — having been generated with the extension loaded — show the
+    headline result: >= 2x over the NumPy tier on >= 2 of the 3
+    headline kernels, every end-to-end section bit-identical."""
+    committed = json.loads((REPO_ROOT / "BENCH_PR7.json").read_text())
+    assert committed["schema_version"] == bench_report.NATIVE_SCHEMA_VERSION
+    for entry in committed["kernels"]:
+        assert set(bench_report.NATIVE_KERNEL_KEYS) <= set(entry)
+    assert set(bench_report.THREADED_KEYS) <= set(committed["threaded"])
+    assert committed["native_available"] is True
+    assert committed["campaign"]["bit_identical"] is True
+    assert committed["stream"]["bit_identical"] is True
+    # CI regenerates the repo-root reports in quick mode before this
+    # test runs; the perf gate is only meaningful at full size, where
+    # the headline kernels clear 2x with a wide margin.
+    if not committed["quick"]:
+        headline = committed["headline"]
+        assert len(headline["kernels_at_2x"]) >= 2
+        assert headline["gate_met"] is True
 
 
 load_serve = pytest.importorskip("load_serve")

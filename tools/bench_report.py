@@ -16,7 +16,13 @@ multi-arm Λ-sweep unfused vs fused (cold and warm cache, serial and
 across a worker pool), the cache hit/miss/bytes-saved counters, and
 the IPC cost of shipping warm artifacts to workers as a shared-memory
 handle versus pickling the arrays — with the fused results asserted
-bit-identical to the unfused ones inside the benchmark itself.
+bit-identical to the unfused ones inside the benchmark itself.  A
+fourth report, ``BENCH_PR7.json``, covers the compiled kernel tier:
+NumPy-vs-native wall-clock per dispatched kernel (timed by flipping
+``repro.native.kernel_tier`` around the same public entry point), the
+≥2x headline-kernel regression gate, end-to-end campaign and stream
+deltas per tier, and a ThreadPoolBackend shard run demonstrating that
+the GIL-releasing native calls scale across threads.
 
 Usage::
 
@@ -25,6 +31,8 @@ Usage::
 
 ``--quick`` shrinks problem sizes and repeat counts so the reports run
 in seconds; the committed JSON files are generated at full size.
+``--repeats N`` / ``--warmup N`` override the best-of-N loop count and
+add untimed warmup iterations for noisy hosts.
 """
 
 from __future__ import annotations
@@ -78,12 +86,15 @@ from repro.faults.correlated import (  # noqa: E402
 from repro.faults.injector import FaultInjector  # noqa: E402
 from repro.faults.uncorrelated import UncorrelatedFaultModel  # noqa: E402
 from repro.metrics.relative_error import psi  # noqa: E402
+from repro.native import kernel_tier, native_available  # noqa: E402
+from repro.native import loader as native_loader  # noqa: E402
 from repro.runtime import (  # noqa: E402
     Arm,
     ArmRequest,
     ArtifactPipeline,
     FaultSpec,
     ProcessPoolBackend,
+    ThreadPoolBackend,
     TrialRuntime,
     fuse,
 )
@@ -143,6 +154,26 @@ IPC_KEYS = (
     "bytes_ratio",
 )
 
+#: BENCH_PR7.json schema version (native kernel tier report).
+NATIVE_SCHEMA_VERSION = 1
+
+#: Keys every NumPy-vs-native kernel entry must carry.
+NATIVE_KERNEL_KEYS = ("name", "config", "numpy_ms", "native_ms", "speedup")
+
+#: Keys the threaded-shard end-to-end section must carry.
+THREADED_KEYS = (
+    "threads",
+    "n_trials",
+    "numpy_serial_s",
+    "native_serial_s",
+    "numpy_threads_s",
+    "native_threads_s",
+    "native_thread_scaling",
+)
+
+#: The three headline kernels of the ≥2x regression gate.
+HEADLINE_KERNELS = ("correlated_flip_grid", "voter_grt", "bit_planes")
+
 
 def _time_once(fn) -> float:
     t0 = time.perf_counter()
@@ -150,9 +181,12 @@ def _time_once(fn) -> float:
     return time.perf_counter() - t0
 
 
-def _entry(name, config, before_fn, after_fn, repeats):
+def _entry(name, config, before_fn, after_fn, repeats, warmup=0):
     # Interleave the two sides so load drift on a shared machine hits
     # both equally; best-of-N discards the contended runs.
+    for _ in range(warmup):
+        before_fn()
+        after_fn()
     before = float("inf")
     after = float("inf")
     for _ in range(repeats):
@@ -169,8 +203,9 @@ def _entry(name, config, before_fn, after_fn, repeats):
     }
 
 
-def _bench_kernels(quick: bool) -> list[dict]:
-    repeats = 3 if quick else 15
+def _bench_kernels(quick: bool, repeats: int | None = None, warmup: int = 0) -> list[dict]:
+    if repeats is None:
+        repeats = 3 if quick else 15
     entries = []
 
     # --- correlated fault grid -------------------------------------------
@@ -187,6 +222,7 @@ def _bench_kernels(quick: bool) -> list[dict]:
                     (side, side), g, np.random.default_rng(0)
                 ),
                 repeats,
+                warmup,
             )
         )
 
@@ -204,6 +240,7 @@ def _bench_kernels(quick: bool) -> list[dict]:
                 lambda v=voters: _reference_grt(v),
                 lambda v=voters: VoterMatrix.grt(v),
                 repeats,
+                warmup,
             )
         )
 
@@ -216,6 +253,7 @@ def _bench_kernels(quick: bool) -> list[dict]:
             lambda: bitops._reference_to_bit_planes(words),
             lambda: bitops.to_bit_planes(words),
             repeats,
+            warmup,
         )
     )
     planes = bitops.to_bit_planes(words)
@@ -226,6 +264,7 @@ def _bench_kernels(quick: bool) -> list[dict]:
             lambda: bitops._reference_from_bit_planes(planes, np.uint16),
             lambda: bitops.from_bit_planes(planes, np.uint16),
             repeats,
+            warmup,
         )
     )
     values = rng.integers(0, 2**16, size=hw * hw, dtype=np.uint64)
@@ -236,6 +275,7 @@ def _bench_kernels(quick: bool) -> list[dict]:
             lambda: bitops._reference_ceil_pow2(values),
             lambda: bitops.ceil_pow2(values),
             repeats,
+            warmup,
         )
     )
 
@@ -248,6 +288,7 @@ def _bench_kernels(quick: bool) -> list[dict]:
             lambda: _reference_median_smooth_temporal(stack),
             lambda: median_smooth_temporal(stack),
             repeats,
+            warmup,
         )
     )
     field = rng.integers(0, 2**16, size=(hw * 2, hw * 2), dtype=np.uint16)
@@ -258,6 +299,7 @@ def _bench_kernels(quick: bool) -> list[dict]:
             lambda: _reference_median_smooth_spatial(field),
             lambda: median_smooth_spatial(field),
             repeats,
+            warmup,
         )
     )
     entries.append(
@@ -267,6 +309,7 @@ def _bench_kernels(quick: bool) -> list[dict]:
             lambda: _reference_majority_vote_window(stack, 5),
             lambda: majority_vote_window(stack, 5),
             repeats,
+            warmup,
         )
     )
     weights = np.exp(-np.abs(np.arange(-2, 3)) / 1.0)
@@ -277,6 +320,7 @@ def _bench_kernels(quick: bool) -> list[dict]:
             lambda: _reference_weighted_window_smooth(stack, weights),
             lambda: _weighted_window_smooth(stack, weights),
             repeats,
+            warmup,
         )
     )
 
@@ -292,6 +336,7 @@ def _bench_kernels(quick: bool) -> list[dict]:
             lambda: _reference_cross_frame_preprocess(frames, scan_cfg),
             lambda: cross_frame_preprocess(frames, scan_cfg),
             max(2, repeats // 3),
+            warmup,
         )
     )
     entries.append(
@@ -301,6 +346,7 @@ def _bench_kernels(quick: bool) -> list[dict]:
             lambda: _reference_mosaic(frames, scan_cfg),
             lambda: mosaic(frames, scan_cfg),
             max(2, repeats // 3),
+            warmup,
         )
     )
     return entries
@@ -615,6 +661,249 @@ def _bench_ipc(quick: bool) -> dict:
     }
 
 
+def _tier_entry(name, config, fn, repeats, warmup=0):
+    """Time *fn* under the NumPy tier vs the native tier.
+
+    Both sides call the same public entry point; only the dispatch tier
+    differs, so the delta is exactly the compiled kernel's contribution.
+    Without the extension the native side falls back to NumPy and the
+    speedup reads ~1.0 — the report stays truthful on pure-NumPy hosts.
+    """
+
+    def numpy_side():
+        with kernel_tier("numpy"):
+            fn()
+
+    def native_side():
+        with kernel_tier("native"):
+            fn()
+
+    timed = _entry(name, config, numpy_side, native_side, repeats, warmup)
+    return {
+        "name": name,
+        "config": config,
+        "numpy_ms": timed["before_ms"],
+        "native_ms": timed["after_ms"],
+        "speedup": timed["speedup"],
+    }
+
+
+def _bench_native_kernels(
+    quick: bool, repeats: int | None = None, warmup: int = 0
+) -> list[dict]:
+    if repeats is None:
+        repeats = 3 if quick else 15
+    entries = []
+
+    side = 128 if quick else 512
+    for gamma in (0.3,) if quick else (0.1, 0.3, 0.45):
+        entries.append(
+            _tier_entry(
+                "correlated_flip_grid",
+                {"shape": [side, side], "gamma_ini": gamma},
+                lambda g=gamma: correlated_flip_grid(
+                    (side, side), g, np.random.default_rng(0)
+                ),
+                repeats,
+                warmup,
+            )
+        )
+
+    n, hw = (16, 64) if quick else (32, 256)
+    rng = np.random.default_rng(1)
+    pixels = rng.integers(0, 2**16, size=(n, hw, hw), dtype=np.uint16)
+    for upsilon in (4, 8):
+        matrix = VoterMatrix(pixels, upsilon)
+        voters = matrix.pruned(matrix.thresholds(0.75))
+        entries.append(
+            _tier_entry(
+                "voter_grt",
+                {"upsilon": upsilon, "stack": [n, hw, hw]},
+                lambda v=voters: VoterMatrix.grt(v),
+                repeats,
+                warmup,
+            )
+        )
+
+    words = rng.integers(0, 2**16, size=(32, hw, hw), dtype=np.uint16)
+    entries.append(
+        _tier_entry(
+            "to_bit_planes",
+            {"shape": list(words.shape), "dtype": "uint16"},
+            lambda: bitops.to_bit_planes(words),
+            repeats,
+            warmup,
+        )
+    )
+    planes = bitops.to_bit_planes(words)
+    entries.append(
+        _tier_entry(
+            "from_bit_planes",
+            {"shape": list(words.shape), "dtype": "uint16"},
+            lambda: bitops.from_bit_planes(planes, np.uint16),
+            repeats,
+            warmup,
+        )
+    )
+
+    stack = rng.integers(0, 2**16, size=(n, hw, hw), dtype=np.uint16)
+    entries.append(
+        _tier_entry(
+            "majority_vote_window",
+            {"stack": [n, hw, hw], "window": 5},
+            lambda: majority_vote_window(stack, 5),
+            repeats,
+            warmup,
+        )
+    )
+    weights = np.exp(-np.abs(np.arange(-2, 3)) / 1.0)
+    entries.append(
+        _tier_entry(
+            "weighted_window_smooth",
+            {"stack": [n, hw, hw], "window": 5},
+            lambda: _weighted_window_smooth(stack, weights),
+            repeats,
+            warmup,
+        )
+    )
+    return entries
+
+
+def _headline_summary(entries: list[dict]) -> dict:
+    """The ≥2x-on-≥2-of-3 regression gate over the headline kernels."""
+    groups = {
+        "correlated_flip_grid": ("correlated_flip_grid",),
+        "voter_grt": ("voter_grt",),
+        "bit_planes": ("to_bit_planes", "from_bit_planes"),
+    }
+    best = {}
+    for headline, names in groups.items():
+        speedups = [e["speedup"] for e in entries if e["name"] in names]
+        best[headline] = round(max(speedups), 3) if speedups else 0.0
+    at_2x = sorted(name for name, speedup in best.items() if speedup >= 2.0)
+    return {
+        "best_speedup": best,
+        "kernels_at_2x": at_2x,
+        "gate_met": len(at_2x) >= 2,
+    }
+
+
+def _bench_native_campaign(quick: bool) -> dict:
+    """End-to-end campaign delta: correlated injection + majority vote."""
+    n_trials = 4 if quick else 16
+    side = 32 if quick else 64
+    campaign = Campaign(
+        generate=lambda rng: generate_walk(
+            NGSTDatasetConfig(n_variants=16, sigma=25.0), rng, (side, side)
+        ),
+        fault_model=CorrelatedFaultModel(CorrelatedFaultConfig(gamma_ini=0.05)),
+        metric=psi,
+        preprocess=lambda stack: majority_vote_window(stack, 5),
+    )
+    out = {"n_trials": n_trials, "dataset": [16, side, side]}
+    means = {}
+    for tier in ("numpy", "native"):
+        with kernel_tier(tier):
+            t0 = time.perf_counter()
+            summary = campaign.run(n_trials, seed=7)
+            out[f"{tier}_s"] = round(time.perf_counter() - t0, 4)
+        means[tier] = summary.mean
+    out["speedup"] = (
+        round(out["numpy_s"] / out["native_s"], 3) if out["native_s"] else 0.0
+    )
+    out["bit_identical"] = means["numpy"] == means["native"]
+    out["mean_psi"] = means["numpy"]
+    return out
+
+
+def _bench_native_stream(quick: bool) -> dict:
+    """Streaming-pipeline delta per tier (inject + voter stages)."""
+    n_frames = 1024 if quick else 8192
+    chunk = 64
+    out = {"n_frames": n_frames, "chunk_frames": chunk}
+    psis = {}
+    for tier in ("numpy", "native"):
+        _, _, pipeline = _stream_pipeline(n_frames, (64,), chunk)
+        with kernel_tier(tier):
+            t0 = time.perf_counter()
+            result = pipeline.run()
+            out[f"{tier}_s"] = round(time.perf_counter() - t0, 4)
+        psis[tier] = result.psi_algorithm
+    out["speedup"] = (
+        round(out["numpy_s"] / out["native_s"], 3) if out["native_s"] else 0.0
+    )
+    out["bit_identical"] = psis["numpy"] == psis["native"]
+    return out
+
+
+def _bench_threaded(quick: bool) -> dict:
+    """ThreadPoolBackend shards over the correlated-grid trial per tier.
+
+    The tier override is a module-level global, so worker threads
+    inherit whatever ``kernel_tier`` the caller holds.  The native C
+    scan runs with the GIL released (cffi drops it around every call),
+    so native threads_s should drop below native serial_s while the
+    NumPy tier stays GIL-bound — on a multi-core host.  ``cpu_count``
+    is recorded so a ~1.0x scaling figure on a single-core box reads
+    as a host limit, not a GIL artifact.
+    """
+    import os
+
+    threads = 2 if quick else 4
+    n_trials = 8 if quick else 32
+    side = 128 if quick else 384
+
+    def trial(rng):
+        flips = correlated_flip_grid((side, side), 0.3, rng)
+        return float(flips.mean())
+
+    out = {
+        "threads": threads,
+        "n_trials": n_trials,
+        "grid": [side, side],
+        "cpu_count": len(os.sched_getaffinity(0))
+        if hasattr(os, "sched_getaffinity")
+        else os.cpu_count(),
+    }
+    for tier in ("numpy", "native"):
+        with kernel_tier(tier):
+            t0 = time.perf_counter()
+            serial = TrialRuntime().run(trial, n_trials, 11)
+            out[f"{tier}_serial_s"] = round(time.perf_counter() - t0, 4)
+            t0 = time.perf_counter()
+            threaded = TrialRuntime(backend=ThreadPoolBackend(threads)).run(
+                trial, n_trials, 11
+            )
+            out[f"{tier}_threads_s"] = round(time.perf_counter() - t0, 4)
+        assert np.asarray(serial).tobytes() == np.asarray(threaded).tobytes()
+    out["native_thread_scaling"] = (
+        round(out["native_serial_s"] / out["native_threads_s"], 3)
+        if out["native_threads_s"]
+        else 0.0
+    )
+    return out
+
+
+def build_native_report(
+    quick: bool, repeats: int | None = None, warmup: int = 0
+) -> dict:
+    kernels = _bench_native_kernels(quick, repeats, warmup)
+    return {
+        "schema_version": NATIVE_SCHEMA_VERSION,
+        "generated_by": "tools/bench_report.py" + (" --quick" if quick else ""),
+        "quick": quick,
+        "python": platform.python_version(),
+        "numpy": np.__version__,
+        "native_available": native_available(),
+        "native_origin": native_loader.origin(),
+        "kernels": kernels,
+        "headline": _headline_summary(kernels),
+        "campaign": _bench_native_campaign(quick),
+        "stream": _bench_native_stream(quick),
+        "threaded": _bench_threaded(quick),
+    }
+
+
 def build_cache_report(quick: bool) -> dict:
     return {
         "schema_version": CACHE_SCHEMA_VERSION,
@@ -640,14 +929,14 @@ def build_stream_report(quick: bool) -> dict:
     }
 
 
-def build_report(quick: bool) -> dict:
+def build_report(quick: bool, repeats: int | None = None, warmup: int = 0) -> dict:
     return {
         "schema_version": SCHEMA_VERSION,
         "generated_by": "tools/bench_report.py" + (" --quick" if quick else ""),
         "quick": quick,
         "python": platform.python_version(),
         "numpy": np.__version__,
-        "kernels": _bench_kernels(quick),
+        "kernels": _bench_kernels(quick, repeats, warmup),
         "campaign": _bench_campaign(quick),
     }
 
@@ -677,8 +966,26 @@ def main(argv: list[str] | None = None) -> int:
         default=REPO_ROOT / "BENCH_PR4.json",
         help="cache/fusion report path (default: repo-root BENCH_PR4.json)",
     )
+    parser.add_argument(
+        "--native-out",
+        type=Path,
+        default=REPO_ROOT / "BENCH_PR7.json",
+        help="native-tier report path (default: repo-root BENCH_PR7.json)",
+    )
+    parser.add_argument(
+        "--repeats",
+        type=int,
+        default=None,
+        help="best-of-N loop count per kernel (default: 15, or 3 with --quick)",
+    )
+    parser.add_argument(
+        "--warmup",
+        type=int,
+        default=0,
+        help="untimed warmup iterations per kernel side before timing",
+    )
     args = parser.parse_args(argv)
-    report = build_report(args.quick)
+    report = build_report(args.quick, args.repeats, args.warmup)
     args.out.write_text(json.dumps(report, indent=2) + "\n")
     width = max(len(k["name"]) for k in report["kernels"])
     for k in report["kernels"]:
@@ -730,6 +1037,39 @@ def main(argv: list[str] | None = None) -> int:
         f"{i['handle_bytes']} B / {i['handle_ms']}ms ({i['bytes_ratio']}x smaller)"
     )
     print(f"wrote {args.cache_out}")
+
+    native_report = build_native_report(args.quick, args.repeats, args.warmup)
+    args.native_out.write_text(json.dumps(native_report, indent=2) + "\n")
+    width = max(len(k["name"]) for k in native_report["kernels"])
+    for k in native_report["kernels"]:
+        print(
+            f"native: {k['name']:<{width}}  {k['numpy_ms']:>10.2f}ms -> "
+            f"{k['native_ms']:>10.2f}ms  ({k['speedup']:>6.2f}x)  {k['config']}"
+        )
+    h = native_report["headline"]
+    print(
+        f"native headline gate: {len(h['kernels_at_2x'])}/{len(HEADLINE_KERNELS)} "
+        f"kernels at >=2x {h['kernels_at_2x']}  gate_met={h['gate_met']}  "
+        f"(extension: {'loaded' if native_report['native_available'] else 'absent'})"
+    )
+    nc = native_report["campaign"]
+    print(
+        f"native campaign: numpy {nc['numpy_s']}s -> native {nc['native_s']}s "
+        f"({nc['speedup']}x)  bit_identical={nc['bit_identical']}"
+    )
+    ns = native_report["stream"]
+    print(
+        f"native stream:   numpy {ns['numpy_s']}s -> native {ns['native_s']}s "
+        f"({ns['speedup']}x)  bit_identical={ns['bit_identical']}"
+    )
+    nt = native_report["threaded"]
+    print(
+        f"native threads:  serial {nt['native_serial_s']}s -> "
+        f"{nt['threads']} threads {nt['native_threads_s']}s "
+        f"({nt['native_thread_scaling']}x scaling; numpy tier "
+        f"{nt['numpy_serial_s']}s -> {nt['numpy_threads_s']}s)"
+    )
+    print(f"wrote {args.native_out}")
     return 0
 
 
