@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install native test verify bench bench-report serve-bench figures quick-figures report claims clean
+.PHONY: install native test verify bench bench-report serve-bench figures quick-figures report report-render claims clean
 
 install:
 	pip install -e . || $(PYTHON) setup.py develop
@@ -46,8 +46,15 @@ figures:
 quick-figures:
 	$(PYTHON) -m repro.cli all --quick
 
-report: results_full.json
-	$(PYTHON) -m repro.cli report --json results_full.json --out RESULTS.md
+# One resumable DAG run over every experiment (docs/ORCHESTRATION.md);
+# kill it anywhere and rerun with the same flags to pick up the frontier.
+report:
+	PYTHONPATH=src $(PYTHON) -m repro.cli report --resume --progress \
+		--json results_full.json --out RESULTS.md
+
+# Render an existing panels dump without recomputing anything.
+report-render: results_full.json
+	$(PYTHON) -m repro.cli report --from-json results_full.json --out RESULTS.md
 
 claims: results_full.json
 	$(PYTHON) -m repro.cli claims --json results_full.json

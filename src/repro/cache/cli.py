@@ -7,9 +7,11 @@ Usage (via the main entry point)::
 
 ``stats`` reports the disk tier's entry count and byte usage (the
 in-memory LRU tier is per-process and therefore always empty from a
-fresh CLI invocation); ``clear`` deletes every cached payload/sidecar
-pair plus any stale temp files.  Both default to the same directory
-the experiment commands use for ``--cache-dir``.
+fresh CLI invocation) plus a per-DAG-node-kind breakdown
+(dataset/fault/score/aggregate/...) read from the ``node_kind`` stamp
+each artifact's sidecar carries; ``clear`` deletes every cached
+payload/sidecar pair plus any stale temp files.  Both default to the
+same directory the experiment commands use for ``--cache-dir``.
 """
 
 from __future__ import annotations
@@ -61,15 +63,26 @@ def main(argv: list[str] | None = None) -> int:
               f"({before_bytes} bytes) from {directory}")
         return 0
     stats = cache.stats()
+    kinds = cache.disk_kind_breakdown()
     if args.json:
         snapshot = {
             "directory": str(directory),
             "n_disk_entries": stats.n_disk_entries,
             "disk_bytes": stats.disk_bytes,
+            "kinds": kinds,
         }
         print(json.dumps(snapshot, indent=2, sort_keys=True))
         return 0
     print(f"cache directory: {directory}")
     print(f"disk entries:    {stats.n_disk_entries}")
     print(f"disk bytes:      {stats.disk_bytes}")
+    if kinds:
+        print("by node kind:")
+        width = max(len(kind) for kind in kinds)
+        for kind, usage in kinds.items():
+            print(
+                f"  {kind:<{width}}  "
+                f"{usage['entries']:>6} entr{'y' if usage['entries'] == 1 else 'ies'}  "
+                f"{usage['bytes']:>12} bytes"
+            )
     return 0

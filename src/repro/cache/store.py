@@ -133,6 +133,23 @@ class CacheStats:
         return out
 
 
+def infer_node_kind(names: list[str], meta: Mapping) -> str:
+    """The DAG node kind of an artifact, from its sidecar fields.
+
+    Prefers the explicit ``node_kind`` stamp; falls back to the array
+    names that the pre-DAG fused pipeline used for its two artifact
+    shapes, and ``"other"`` for anything unrecognised.
+    """
+    kind = meta.get("node_kind")
+    if isinstance(kind, str) and kind:
+        return kind
+    if names == ["pristine"]:
+        return "dataset"
+    if names == ["corrupted"]:
+        return "fault"
+    return "other"
+
+
 class ArtifactCache:
     """Content-addressed artifact cache with LRU memory + disk tiers.
 
@@ -214,6 +231,26 @@ class ArtifactCache:
         self._counts["misses"] += 1
         return None
 
+    def contains(self, key: str) -> bool:
+        """Whether *key* is present and verifiably intact, without loading.
+
+        The DAG scheduler's recovery survey calls this once per node at
+        startup: overlay and memory entries count as present, and a disk
+        entry counts only when its sidecar parses, matches this key, and
+        the payload's SHA-256 verifies — a torn payload/sidecar pair or
+        a crash-corrupted payload reads as absent (and is deleted), so a
+        node whose publication was interrupted simply re-runs.  No hit
+        or miss counters are touched and nothing is admitted to the
+        memory tier, so surveying a thousand-node graph does not distort
+        campaign telemetry or churn the LRU order.
+        """
+        with self._lock:
+            if self._overlay is not None and key in self._overlay:
+                return True
+            if key in self._memory:
+                return True
+            return self._disk_verify(key)
+
     def peek(self, key: str) -> CachedArtifact | None:
         """Memory-tier lookup with no counter updates or LRU promotion.
 
@@ -258,6 +295,40 @@ class ArtifactCache:
                 n_disk_entries=n_disk,
                 disk_bytes=disk_bytes,
             )
+
+    def disk_kind_breakdown(self) -> dict[str, dict[str, int]]:
+        """Disk-tier occupancy grouped by DAG node kind.
+
+        Returns ``{kind: {"entries": n, "bytes": payload+sidecar bytes}}``
+        sorted by descending byte count.  The kind comes from the
+        ``node_kind`` the DAG scheduler stamps into each artifact's
+        sidecar metadata at publication; entries written by the fused
+        (pre-DAG) path carry no stamp and are inferred from their array
+        names (``pristine`` → dataset, ``corrupted`` → fault), with
+        everything else grouped under ``"other"``.  Unreadable sidecars
+        are skipped, not deleted — this is a reporting pass, not a
+        verification pass.
+        """
+        breakdown: dict[str, dict[str, int]] = {}
+        with self._lock:
+            if self.directory is None or not self.directory.is_dir():
+                return breakdown
+            for sidecar_path in self.directory.glob("*.json"):
+                try:
+                    sidecar = json.loads(sidecar_path.read_text())
+                    size = sidecar_path.stat().st_size
+                    size += self._payload_path(sidecar_path.stem).stat().st_size
+                except (OSError, json.JSONDecodeError):
+                    continue
+                kind = infer_node_kind(
+                    sidecar.get("names") or [], sidecar.get("meta") or {}
+                )
+                slot = breakdown.setdefault(kind, {"entries": 0, "bytes": 0})
+                slot["entries"] += 1
+                slot["bytes"] += size
+        return dict(
+            sorted(breakdown.items(), key=lambda kv: -kv[1]["bytes"])
+        )
 
     def counters(self) -> dict[str, int]:
         """A snapshot of the raw event counters (no occupancy fields)."""
@@ -390,6 +461,26 @@ class ArtifactCache:
             self._drop_disk_entry(key)
             return None
         return CachedArtifact.build(arrays, sidecar.get("meta") or {})
+
+    def _disk_verify(self, key: str) -> bool:
+        """True when the disk pair for *key* exists and the payload hash
+        matches its sidecar; corrupt or torn pairs are deleted."""
+        if self.directory is None:
+            return False
+        try:
+            sidecar = json.loads(self._sidecar_path(key).read_text())
+            payload = self._payload_path(key).read_bytes()
+        except (OSError, json.JSONDecodeError):
+            return False
+        if (
+            sidecar.get("version") != _SIDECAR_VERSION
+            or sidecar.get("key") != key
+            or sidecar.get("payload_sha256")
+            != hashlib.sha256(payload).hexdigest()
+        ):
+            self._drop_disk_entry(key)
+            return False
+        return True
 
     def _drop_disk_entry(self, key: str) -> None:
         self._payload_path(key).unlink(missing_ok=True)

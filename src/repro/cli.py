@@ -5,6 +5,8 @@ Usage::
     repro list
     repro fig2 [--quick] [--jobs N] [--progress]
     repro all [--quick] [--json OUT.json]
+    repro report [--quick] [--resume] [--plan] [--out REPORT.md]
+    repro dag show [report|fig2] [--dot]
     repro fig5 --resume [--checkpoint-dir DIR]
     repro stream [--frames N] [--chunk-frames K] [--policy P] [--progress]
     repro serve [--port P] [--control-port C] [--checkpoint-dir DIR]
@@ -29,6 +31,9 @@ trials/sec) to stderr.  See docs/RUNTIME.md.
 a batch experiment; its flags live in :mod:`repro.stream.cli` and its
 semantics in docs/STREAMING.md.  ``repro serve`` starts the always-on
 multi-tenant streaming service (:mod:`repro.serve.cli`, docs/SERVING.md).
+``repro report`` materializes every experiment as one resumable DAG run
+and ``repro dag show`` inspects the graph without running it; both live
+in :mod:`repro.dag.cli` (docs/ORCHESTRATION.md).
 """
 
 from __future__ import annotations
@@ -132,6 +137,14 @@ def main(argv: list[str] | None = None) -> int:
         from repro.native.cli import main as kernels_main
 
         return kernels_main(argv[1:])
+    if argv and argv[0] == "report":
+        from repro.dag.cli import report_main
+
+        return report_main(argv[1:])
+    if argv and argv[0] == "dag":
+        from repro.dag.cli import dag_main
+
+        return dag_main(argv[1:])
 
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -140,7 +153,9 @@ def main(argv: list[str] | None = None) -> int:
     )
     parser.add_argument(
         "experiment",
-        help="experiment id (see 'repro list'), 'list', 'all', 'report', "
+        help="experiment id (see 'repro list'), 'list', 'all', "
+        "'report' (resumable DAG report run; 'repro report --help'), "
+        "'dag' (task-graph inspection; 'repro dag --help'), "
         "'stream' (streaming pipeline; 'repro stream --help'), "
         "'serve' (streaming service; 'repro serve --help'), "
         "'cache' (artifact cache maintenance; 'repro cache --help'), or "
@@ -151,9 +166,6 @@ def main(argv: list[str] | None = None) -> int:
     )
     parser.add_argument(
         "--json", metavar="PATH", help="also dump results as JSON to PATH"
-    )
-    parser.add_argument(
-        "--out", metavar="PATH", help="('report' only) Markdown output path"
     )
     parser.add_argument(
         "--jobs",
@@ -225,16 +237,6 @@ def main(argv: list[str] | None = None) -> int:
     if args.experiment == "list":
         for experiment_id in sorted(REGISTRY):
             print(experiment_id)
-        return 0
-
-    if args.experiment == "report":
-        from repro.experiments.report import write_report
-
-        if not args.json or not args.out:
-            print("report requires --json IN.json --out REPORT.md", file=sys.stderr)
-            return 2
-        count = write_report(args.json, args.out)
-        print(f"rendered {count} panel(s) to {args.out}")
         return 0
 
     if args.experiment == "claims":

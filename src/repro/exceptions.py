@@ -70,6 +70,19 @@ class CheckpointMismatchError(StreamError):
     """
 
 
+class DagError(ReproError):
+    """A task graph run failed or the graph itself is unrunnable.
+
+    Raised by :mod:`repro.dag` when a node's run function fails, when a
+    published artifact cannot be read back for a downstream node, or
+    when a run is asked for a target node the graph does not contain.
+    Structural problems detected at build time (duplicate node names,
+    unknown dependencies, cycles) raise
+    :class:`ConfigurationError` instead, like every other bad-parameter
+    path in the library.
+    """
+
+
 class ServeError(ReproError):
     """The streaming service refused or could not complete a request.
 

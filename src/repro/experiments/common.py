@@ -1,5 +1,5 @@
 """Shared experiment machinery: result containers, averaging sweeps,
-fused multi-arm sweeps, optimal-sensitivity search, and ASCII
+DAG-scheduled multi-arm sweeps, optimal-sensitivity search, and ASCII
 rendering."""
 
 from __future__ import annotations
@@ -12,18 +12,18 @@ import numpy as np
 from repro.cache import ArtifactCache
 from repro.config import NGSTConfig, NGSTDatasetConfig
 from repro.core.algo_ngst import AlgoNGST
+from repro.dag import (
+    DagScheduler,
+    TaskGraph,
+    TaskNode,
+    add_arm_sweep,
+    aggregate_means,
+    json_artifact,
+)
 from repro.data.ngst import generate_walk
 from repro.exceptions import ConfigurationError
 from repro.metrics.relative_error import psi
-from repro.runtime import (
-    Arm,
-    ArmRequest,
-    ArtifactPipeline,
-    DatasetSpec,
-    FaultSpec,
-    TrialRuntime,
-    fuse,
-)
+from repro.runtime import Arm, DatasetSpec, TrialRuntime
 
 
 @dataclass
@@ -89,6 +89,25 @@ class ExperimentResult:
             ],
             "notes": list(self.notes),
         }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "ExperimentResult":
+        """Rebuild a result from its :meth:`to_dict` form.
+
+        The inverse used by the DAG report path (panels travel between
+        nodes as canonical JSON artifacts) and by the report renderer's
+        ``--from-json`` mode.
+        """
+        result = cls(
+            experiment_id=payload["experiment_id"],
+            title=payload["title"],
+            x_label=payload["x_label"],
+            y_label=payload["y_label"],
+            notes=list(payload.get("notes", [])),
+        )
+        for entry in payload.get("series", []):
+            result.add(entry["label"], entry["x"], entry["y"])
+        return result
 
     def series_by_label(self, label: str) -> Series:
         for s in self.series:
@@ -157,14 +176,18 @@ def averaged_arms(
     seed: int,
     runtime: TrialRuntime | None = None,
 ) -> dict[str, float]:
-    """Mean of every arm over ``n_repeats`` fused trials.
+    """Mean of every arm over ``n_repeats`` shared-artifact trials.
 
-    The fused counterpart of calling :func:`averaged` once per arm:
-    dataset generation and fault injection run **once per trial**
-    through the runtime's artifact cache, and every arm evaluates the
-    same read-only arrays.  Values — and therefore the means — are
-    bit-identical to the per-arm :func:`averaged` calls, because fused
-    production replays the canonical trial protocol exactly.
+    The DAG counterpart of calling :func:`averaged` once per arm: the
+    sweep becomes a dataset → fault → per-arm score → aggregate task
+    graph (:func:`repro.dag.add_arm_sweep`) scheduled on the runtime's
+    backend, so generation and injection run **once per trial** and
+    every arm evaluates the same read-only arrays.  Values — and
+    therefore the means — are bit-identical to the per-arm
+    :func:`averaged` calls, because the dataset/fault nodes replay the
+    canonical trial protocol exactly (same ``SeedSequence`` children,
+    same captured-RNG-state handoff, same artifact content keys as the
+    fused pipeline).
 
     Args:
         arms: the arms to evaluate; names key the returned dict.
@@ -179,15 +202,97 @@ def averaged_arms(
     """
     if n_repeats < 1:
         raise ConfigurationError(f"n_repeats must be >= 1, got {n_repeats}")
-    if fault is not None and not isinstance(fault, FaultSpec):
-        fault = FaultSpec.of(fault)
     runtime = experiment_runtime(runtime)
-    pipeline = ArtifactPipeline(dataset=dataset, fault=fault)
-    (group,) = fuse(
-        [ArmRequest(arm, pipeline, n_repeats, seed) for arm in arms]
+    graph = TaskGraph("arm-sweep")
+    aggregate = add_arm_sweep(
+        graph, "sweep", arms, dataset, fault, n_repeats, seed
     )
-    values = runtime.run_fused(group)
-    return {name: float(np.mean(values[name])) for name in values}
+    scheduler = DagScheduler.for_runtime(runtime)
+    outputs = scheduler.run(graph, targets=(aggregate,))
+    return aggregate_means(outputs[aggregate])
+
+
+def add_result_table(
+    graph: TaskGraph,
+    name: str,
+    aggregates: Sequence[str],
+    *,
+    experiment_id: str,
+    title: str,
+    x_label: str,
+    y_label: str,
+    x: Sequence[float],
+    notes: Sequence[str] = (),
+) -> str:
+    """Add the figure-table node closing an experiment's sweep subgraph.
+
+    *aggregates* are arm-sweep aggregate nodes, one per x-grid point in
+    order.  The node assembles the classic :class:`ExperimentResult`
+    (one series per arm, arm order preserved) and stores it as a
+    canonical-JSON panel artifact, so the rendered table is itself
+    content-verified and byte-comparable across resumed runs.
+    """
+    aggregates = tuple(aggregates)
+    x = [float(value) for value in x]
+    notes = tuple(notes)
+    if len(aggregates) != len(x):
+        raise ConfigurationError(
+            f"table {name!r}: {len(aggregates)} aggregate node(s) for "
+            f"{len(x)} x value(s)"
+        )
+
+    def run(ctx):
+        labels = list(ctx.input(aggregates[0]).meta["arms"])
+        curves: dict[str, list[float]] = {label: [] for label in labels}
+        for aggregate in aggregates:
+            means = aggregate_means(ctx.input(aggregate))
+            for label in labels:
+                curves[label].append(means[label])
+        result = ExperimentResult(
+            experiment_id=experiment_id,
+            title=title,
+            x_label=x_label,
+            y_label=y_label,
+        )
+        for label in labels:
+            result.add(label, x, curves[label])
+        for note_text in notes:
+            result.note(note_text)
+        return json_artifact([result.to_dict()])
+
+    graph.add(
+        TaskNode(
+            name=name,
+            kind="figure",
+            run=run,
+            inputs=aggregates,
+            key_parts=(
+                "figure-table",
+                experiment_id,
+                title,
+                x_label,
+                y_label,
+                tuple(x),
+                notes,
+            ),
+        )
+    )
+    return name
+
+
+def run_figure_graph(
+    graph: TaskGraph,
+    table: str,
+    runtime: TrialRuntime | None = None,
+) -> ExperimentResult:
+    """Execute a figure graph and decode its table node's panel."""
+    from repro.dag.build import json_payload
+
+    runtime = experiment_runtime(runtime)
+    scheduler = DagScheduler.for_runtime(runtime)
+    outputs = scheduler.run(graph, targets=(table,))
+    (panel,) = json_payload(outputs[table])
+    return ExperimentResult.from_dict(panel)
 
 
 def best_sensitivity(

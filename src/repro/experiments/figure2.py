@@ -6,12 +6,13 @@ orders of magnitude for Γ₀ in the practical range; pushing Λ beyond the
 per-Γ₀ optimum *degrades* accuracy again (false alarms), so the curves
 for different Λ cross.
 
-Every Γ₀ point runs as one fused multi-arm group (see
-:func:`repro.experiments.common.averaged_arms`): the pristine walk and
-the fault realization are produced once per trial through the artifact
-cache, and the no-preprocessing control, every Λ arm, and the median
-baseline all score the same arrays — bit-identical to the historical
-per-arm loops, several times faster.
+The whole figure is one task graph (:func:`graph`): per trial, the
+pristine walk and each Γ₀ point's fault realization are nodes whose
+output artifacts every arm's score node shares, aggregates reduce each
+grid point, and a figure node assembles the final table.  Values are
+bit-identical to the historical per-arm loops, the artifacts carry the
+same content keys as the fused pipeline, and a killed run resumes from
+the artifact store (see :mod:`repro.dag`).
 """
 
 from __future__ import annotations
@@ -21,46 +22,23 @@ from collections.abc import Sequence
 from repro.baselines.median import median_smooth_temporal
 from repro.config import NGSTConfig, NGSTDatasetConfig
 from repro.core.algo_ngst import AlgoNGST
+from repro.dag import TaskGraph, add_arm_sweep
 from repro.experiments.common import (
     DEFAULT_GAMMA0_GRID,
     ExperimentResult,
-    averaged_arms,
-    experiment_runtime,
+    add_result_table,
+    run_figure_graph,
     walk_dataset,
 )
 from repro.faults.uncorrelated import UncorrelatedFaultModel
 from repro.metrics.relative_error import psi
 from repro.runtime import Arm, TrialRuntime
 
+#: The table node every fig2 graph ends in.
+TABLE_NODE = "fig2/table"
 
-def run(
-    gamma0_grid: Sequence[float] = DEFAULT_GAMMA0_GRID,
-    lambdas: Sequence[float] = (20.0, 50.0, 80.0, 95.0),
-    upsilon: int = 4,
-    sigma: float = 25.0,
-    n_variants: int = 64,
-    shape: tuple[int, ...] = (16, 16),
-    n_repeats: int = 3,
-    seed: int = 2003,
-    runtime: TrialRuntime | None = None,
-) -> ExperimentResult:
-    """Regenerate the Figure 2 curves.
 
-    One pristine walk per repeat; each Γ₀ point corrupts it afresh and
-    measures Ψ with no preprocessing, with Algo_NGST at each Λ, and with
-    window-3 median smoothing — all arms fused onto one artifact stream
-    per point.
-    """
-    result = ExperimentResult(
-        experiment_id="fig2",
-        title="Psi vs Gamma0, Algo_NGST at several sensitivities vs median",
-        x_label="Gamma0",
-        y_label="avg relative error Psi",
-    )
-    runtime = experiment_runtime(runtime)
-    dataset_cfg = NGSTDatasetConfig(n_variants=n_variants, sigma=sigma)
-    dataset = walk_dataset(dataset_cfg, shape)
-
+def _arms(lambdas: Sequence[float], upsilon: int) -> list[Arm]:
     arms = [Arm("no-preprocessing", lambda corrupted, pristine: psi(corrupted, pristine))]
     for lam in lambdas:
         algo = AlgoNGST(NGSTConfig(upsilon=upsilon, sensitivity=lam))
@@ -80,25 +58,80 @@ def run(
             ),
         )
     )
-    labels = [arm.name for arm in arms]
-    curves: dict[str, list[float]] = {label: [] for label in labels}
+    return arms
 
-    for gamma0 in gamma0_grid:
-        means = averaged_arms(
+
+def graph(
+    gamma0_grid: Sequence[float] = DEFAULT_GAMMA0_GRID,
+    lambdas: Sequence[float] = (20.0, 50.0, 80.0, 95.0),
+    upsilon: int = 4,
+    sigma: float = 25.0,
+    n_variants: int = 64,
+    shape: tuple[int, ...] = (16, 16),
+    n_repeats: int = 3,
+    seed: int = 2003,
+) -> TaskGraph:
+    """The Figure 2 campaign as a task graph ending in :data:`TABLE_NODE`.
+
+    One arm sweep per Γ₀ point; the pristine-walk dataset nodes are
+    shared across points (the walk does not depend on Γ₀), turning the
+    artifact reuse the cache used to discover at runtime into explicit
+    graph structure.
+    """
+    result_graph = TaskGraph("fig2")
+    dataset = walk_dataset(
+        NGSTDatasetConfig(n_variants=n_variants, sigma=sigma), shape
+    )
+    arms = _arms(lambdas, upsilon)
+    aggregates = [
+        add_arm_sweep(
+            result_graph,
+            f"fig2/g{index:02d}",
             arms,
             dataset,
             UncorrelatedFaultModel(gamma0),
             n_repeats,
             seed,
-            runtime,
         )
-        for label in labels:
-            curves[label].append(means[label])
-
-    for label in labels:
-        result.add(label, list(gamma0_grid), curves[label])
-    result.note(
-        f"sigma={sigma}, N={n_variants}, upsilon={upsilon}, coords={shape}, "
-        f"{n_repeats} repeats"
+        for index, gamma0 in enumerate(gamma0_grid)
+    ]
+    add_result_table(
+        result_graph,
+        TABLE_NODE,
+        aggregates,
+        experiment_id="fig2",
+        title="Psi vs Gamma0, Algo_NGST at several sensitivities vs median",
+        x_label="Gamma0",
+        y_label="avg relative error Psi",
+        x=list(gamma0_grid),
+        notes=[
+            f"sigma={sigma}, N={n_variants}, upsilon={upsilon}, "
+            f"coords={shape}, {n_repeats} repeats"
+        ],
     )
-    return result
+    return result_graph
+
+
+def run(
+    gamma0_grid: Sequence[float] = DEFAULT_GAMMA0_GRID,
+    lambdas: Sequence[float] = (20.0, 50.0, 80.0, 95.0),
+    upsilon: int = 4,
+    sigma: float = 25.0,
+    n_variants: int = 64,
+    shape: tuple[int, ...] = (16, 16),
+    n_repeats: int = 3,
+    seed: int = 2003,
+    runtime: TrialRuntime | None = None,
+) -> ExperimentResult:
+    """Regenerate the Figure 2 curves by running :func:`graph`."""
+    figure_graph = graph(
+        gamma0_grid=gamma0_grid,
+        lambdas=lambdas,
+        upsilon=upsilon,
+        sigma=sigma,
+        n_variants=n_variants,
+        shape=shape,
+        n_repeats=n_repeats,
+        seed=seed,
+    )
+    return run_figure_graph(figure_graph, TABLE_NODE, runtime)

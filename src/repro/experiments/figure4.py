@@ -4,12 +4,12 @@ Paper shape: Algo_NGST "does much better in combating the correlated
 failures in a bit-locality than the two smoothing algorithms, both of
 which show quite similar performance".
 
-Each Γ_ini point runs as one fused multi-arm group (see
-:func:`repro.experiments.common.averaged_arms`): the walk and its
-correlated fault realization are produced once per trial, and all four
-arms — no-preprocessing, Algo_NGST at the per-dataset optimal Λ, and
-the two smoothing baselines — score the same cached arrays,
-bit-identical to the historical per-arm loops.
+The figure is one task graph (:func:`graph`): per trial, the walk and
+each Γ_ini point's correlated fault realization are shared artifact
+nodes scored by all four arms — no-preprocessing, Algo_NGST at the
+per-dataset optimal Λ, and the two smoothing baselines — with
+aggregates and a figure-table node on top.  Bit-identical to the
+historical per-arm loops, resumable from the artifact store.
 """
 
 from __future__ import annotations
@@ -19,12 +19,13 @@ from collections.abc import Sequence
 from repro.baselines.majority import majority_vote_temporal
 from repro.baselines.median import median_smooth_temporal
 from repro.config import CorrelatedFaultConfig, NGSTDatasetConfig
+from repro.dag import TaskGraph, add_arm_sweep
 from repro.experiments.common import (
     DEFAULT_LAMBDA_GRID,
     ExperimentResult,
-    averaged_arms,
+    add_result_table,
     best_sensitivity,
-    experiment_runtime,
+    run_figure_graph,
     walk_dataset,
 )
 from repro.faults.correlated import CorrelatedFaultModel
@@ -33,29 +34,13 @@ from repro.runtime import Arm, TrialRuntime
 
 DEFAULT_GAMMA_INI_GRID = (0.005, 0.01, 0.025, 0.05, 0.1, 0.15, 0.2)
 
+#: The table node every fig4 graph ends in.
+TABLE_NODE = "fig4/table"
 
-def run(
-    gamma_ini_grid: Sequence[float] = DEFAULT_GAMMA_INI_GRID,
-    lambdas: Sequence[float] = DEFAULT_LAMBDA_GRID,
-    sigma: float = 25.0,
-    n_variants: int = 64,
-    shape: tuple[int, ...] = (16, 16),
-    n_repeats: int = 3,
-    seed: int = 2003,
-    runtime: TrialRuntime | None = None,
-) -> ExperimentResult:
-    """Regenerate the Figure 4 comparison (optimal Λ per point)."""
-    result = ExperimentResult(
-        experiment_id="fig4",
-        title="Correlated fault model: Algo_NGST vs median vs majority",
-        x_label="Gamma_ini",
-        y_label="avg relative error Psi",
-    )
-    runtime = experiment_runtime(runtime)
-    dataset_cfg = NGSTDatasetConfig(n_variants=n_variants, sigma=sigma)
-    dataset = walk_dataset(dataset_cfg, shape)
 
-    arms = [
+def _arms(lambdas: Sequence[float]) -> list[Arm]:
+    lambdas = tuple(lambdas)
+    return [
         Arm("no-preprocessing", lambda corrupted, pristine: psi(corrupted, pristine)),
         Arm(
             "Algo_NGST (opt L)",
@@ -76,16 +61,70 @@ def run(
             ),
         ),
     ]
-    labels = [arm.name for arm in arms]
-    curves: dict[str, list[float]] = {label: [] for label in labels}
 
-    for gamma_ini in gamma_ini_grid:
-        model = CorrelatedFaultModel(CorrelatedFaultConfig(gamma_ini=gamma_ini))
-        means = averaged_arms(arms, dataset, model, n_repeats, seed, runtime)
-        for label in labels:
-            curves[label].append(means[label])
 
-    for label in labels:
-        result.add(label, list(gamma_ini_grid), curves[label])
-    result.note(f"sigma={sigma}, N={n_variants}, coords={shape}, {n_repeats} repeats")
-    return result
+def graph(
+    gamma_ini_grid: Sequence[float] = DEFAULT_GAMMA_INI_GRID,
+    lambdas: Sequence[float] = DEFAULT_LAMBDA_GRID,
+    sigma: float = 25.0,
+    n_variants: int = 64,
+    shape: tuple[int, ...] = (16, 16),
+    n_repeats: int = 3,
+    seed: int = 2003,
+) -> TaskGraph:
+    """The Figure 4 campaign as a task graph ending in :data:`TABLE_NODE`."""
+    result_graph = TaskGraph("fig4")
+    dataset = walk_dataset(
+        NGSTDatasetConfig(n_variants=n_variants, sigma=sigma), shape
+    )
+    arms = _arms(lambdas)
+    aggregates = [
+        add_arm_sweep(
+            result_graph,
+            f"fig4/g{index:02d}",
+            arms,
+            dataset,
+            CorrelatedFaultModel(CorrelatedFaultConfig(gamma_ini=gamma_ini)),
+            n_repeats,
+            seed,
+        )
+        for index, gamma_ini in enumerate(gamma_ini_grid)
+    ]
+    add_result_table(
+        result_graph,
+        TABLE_NODE,
+        aggregates,
+        experiment_id="fig4",
+        title="Correlated fault model: Algo_NGST vs median vs majority",
+        x_label="Gamma_ini",
+        y_label="avg relative error Psi",
+        x=list(gamma_ini_grid),
+        notes=[
+            f"sigma={sigma}, N={n_variants}, coords={shape}, "
+            f"{n_repeats} repeats"
+        ],
+    )
+    return result_graph
+
+
+def run(
+    gamma_ini_grid: Sequence[float] = DEFAULT_GAMMA_INI_GRID,
+    lambdas: Sequence[float] = DEFAULT_LAMBDA_GRID,
+    sigma: float = 25.0,
+    n_variants: int = 64,
+    shape: tuple[int, ...] = (16, 16),
+    n_repeats: int = 3,
+    seed: int = 2003,
+    runtime: TrialRuntime | None = None,
+) -> ExperimentResult:
+    """Regenerate the Figure 4 comparison by running :func:`graph`."""
+    figure_graph = graph(
+        gamma_ini_grid=gamma_ini_grid,
+        lambdas=lambdas,
+        sigma=sigma,
+        n_variants=n_variants,
+        shape=shape,
+        n_repeats=n_repeats,
+        seed=seed,
+    )
+    return run_figure_graph(figure_graph, TABLE_NODE, runtime)

@@ -12,7 +12,11 @@ The trial loop itself is delegated to
 ``SeedSequence.spawn`` children of the campaign seed regardless of
 backend or sharding, so a campaign run across a process pool — or
 killed and resumed from a checkpoint — produces bit-identical values
-to a serial run.
+to a serial run.  Multi-arm comparisons (:meth:`Campaign.run_arms`)
+additionally emit a dataset → fault → score → aggregate task graph
+(:meth:`Campaign.graph`) scheduled by :class:`repro.dag.DagScheduler`,
+whose completed-work state lives in the artifact store rather than a
+checkpoint file.
 """
 
 from __future__ import annotations
@@ -26,15 +30,7 @@ import numpy as np
 
 from repro.exceptions import ConfigurationError
 from repro.faults.injector import FaultInjector
-from repro.runtime import (
-    Arm,
-    ArmRequest,
-    ArtifactPipeline,
-    DatasetSpec,
-    FaultSpec,
-    TrialRuntime,
-    fuse,
-)
+from repro.runtime import Arm, DatasetSpec, FaultSpec, TrialRuntime
 
 #: z-scores for the supported confidence levels.
 _Z_SCORES = {0.90: 1.6449, 0.95: 1.9600, 0.99: 2.5758}
@@ -159,40 +155,29 @@ class Campaign:
         values = runtime.run(self._trial, n_trials, seed, key=key)
         return CampaignSummary.from_values(values, self.confidence)
 
-    def run_arms(
+    def graph(
         self,
         arms: Mapping[str, Callable[[np.ndarray], np.ndarray] | None],
         n_trials: int,
         seed: int = 0,
-        runtime: TrialRuntime | None = None,
-        key: str | None = None,
         dataset_key: tuple | None = None,
-    ) -> dict[str, CampaignSummary]:
-        """Run several preprocessing arms fused over one artifact stream.
+    ):
+        """This campaign's multi-arm sweep as a task graph.
 
-        The fused counterpart of calling :meth:`run` once per
-        preprocessing choice: generation and injection run **once per
-        trial** and every arm scores the same corrupted/pristine pair,
-        so each summary is bit-identical to the corresponding unfused
-        :meth:`run` — at roughly ``1/len(arms)`` the production cost,
-        less again when the runtime carries an artifact cache.
-
-        Args:
-            arms: name → preprocessing callable (None for the
-                no-preprocessing arm); names key the returned dict.
-            n_trials: number of trials (>= 1).
-            seed: root seed, as in :meth:`run`.
-            runtime: execution runtime, as in :meth:`run`.
-            key: checkpoint identity for the fused run.
-            dataset_key: canonical cache identity of the generator
-                configuration; when omitted, a process-unique key keeps
-                the artifact cache correct but defeats cross-call reuse.
+        Returns ``(graph, aggregate_node)``: a
+        :class:`~repro.dag.TaskGraph` with one dataset + fault node
+        pair per trial, one pure score node per (trial, arm), and an
+        aggregate node stacking each arm's per-trial metric values.
+        :meth:`run_arms` schedules this graph; callers wanting to merge
+        several campaigns into one run (or render it with
+        ``repro dag show``) can build it directly.
         """
+        from repro.dag import TaskGraph, add_arm_sweep
+
         if n_trials < 1:
             raise ConfigurationError(f"n_trials must be >= 1, got {n_trials}")
         if not arms:
             raise ConfigurationError("need at least one arm")
-        runtime = runtime if runtime is not None else TrialRuntime()
         if dataset_key is None:
             dataset_key = ("campaign-unkeyed", next(_UNKEYED_DATASETS))
         if hasattr(self.fault_model, "cache_key_parts"):
@@ -202,10 +187,6 @@ class Campaign:
                 model=self.fault_model,
                 key_parts=(type(self.fault_model).__name__, dataset_key),
             )
-        pipeline = ArtifactPipeline(
-            dataset=DatasetSpec(build=self.generate, key_parts=dataset_key),
-            fault=fault,
-        )
 
         def make_evaluate(preprocess):
             def evaluate(corrupted, pristine):
@@ -214,15 +195,65 @@ class Campaign:
 
             return evaluate
 
-        requests = [
-            ArmRequest(Arm(name, make_evaluate(fn)), pipeline, n_trials, seed)
-            for name, fn in arms.items()
-        ]
-        (group,) = fuse(requests)
-        values = runtime.run_fused(group, key=key)
+        task_graph = TaskGraph("campaign")
+        aggregate = add_arm_sweep(
+            task_graph,
+            "campaign",
+            [Arm(name, make_evaluate(fn)) for name, fn in arms.items()],
+            DatasetSpec(build=self.generate, key_parts=dataset_key),
+            fault,
+            n_trials,
+            seed,
+        )
+        return task_graph, aggregate
+
+    def run_arms(
+        self,
+        arms: Mapping[str, Callable[[np.ndarray], np.ndarray] | None],
+        n_trials: int,
+        seed: int = 0,
+        runtime: TrialRuntime | None = None,
+        key: str | None = None,
+        dataset_key: tuple | None = None,
+    ) -> dict[str, CampaignSummary]:
+        """Run several preprocessing arms over one shared artifact stream.
+
+        Emits the campaign's task graph (:meth:`graph`) and schedules
+        it on the runtime's backend: generation and injection run
+        **once per trial** and every arm scores the same
+        corrupted/pristine pair, so each summary is bit-identical to
+        the corresponding unfused :meth:`run` — at roughly
+        ``1/len(arms)`` the production cost, less again when the
+        runtime carries a warm artifact cache.
+
+        Args:
+            arms: name → preprocessing callable (None for the
+                no-preprocessing arm); names key the returned dict.
+            n_trials: number of trials (>= 1).
+            seed: root seed, as in :meth:`run`.
+            runtime: execution runtime, as in :meth:`run`.
+            key: accepted for signature compatibility with :meth:`run`;
+                the DAG path needs no checkpoint identity because
+                completed nodes are recovered from the artifact store.
+            dataset_key: canonical cache identity of the generator
+                configuration; when omitted, a process-unique key keeps
+                the artifact cache correct but defeats cross-call reuse
+                (and cross-run recovery).
+        """
+        from repro.dag import DagScheduler, aggregate_values
+
+        del key  # recovery is filesystem-based; see the docstring
+        runtime = runtime if runtime is not None else TrialRuntime()
+        task_graph, aggregate = self.graph(
+            arms, n_trials, seed, dataset_key=dataset_key
+        )
+        scheduler = DagScheduler.for_runtime(runtime)
+        outputs = scheduler.run(task_graph, targets=(aggregate,))
         return {
-            name: CampaignSummary.from_values(values[name], self.confidence)
-            for name in values
+            name: CampaignSummary.from_values(
+                [float(v) for v in values], self.confidence
+            )
+            for name, values in aggregate_values(outputs[aggregate]).items()
         }
 
     def compare(

@@ -44,6 +44,9 @@ from repro.runtime.fusion import (
 from repro.runtime.plan import Shard, TrialPlan, default_shard_size
 from repro.runtime.telemetry import (
     CacheSnapshot,
+    DagCompleted,
+    DagStarted,
+    NodeCompleted,
     ProgressPrinter,
     RunCompleted,
     RunStarted,
@@ -57,10 +60,13 @@ __all__ = [
     "ArtifactPipeline",
     "CacheSnapshot",
     "CheckpointStore",
+    "DagCompleted",
+    "DagStarted",
     "DatasetSpec",
     "Executor",
     "FaultSpec",
     "FusedGroup",
+    "NodeCompleted",
     "ProcessPoolBackend",
     "ProgressPrinter",
     "RunCompleted",

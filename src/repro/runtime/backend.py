@@ -16,8 +16,11 @@ parallel.  Where fork is unavailable (macOS with threads, Windows) the
 backend falls back to the platform's spawn context, which pickles the
 initializer arguments — shard functions must then be picklable
 (module-level functions, or closures rebuilt worker-side from
-picklable specs); an unpicklable one fails fast with a clear
-configuration error instead of a pool deadlock.
+picklable specs).  A pre-flight pickle check catches unpicklable shard
+functions before any worker starts: the backend warns once per process
+with the underlying pickle failure reason and degrades to in-process
+serial execution, so the run still completes (values are backend-
+independent) instead of deadlocking the pool or dying mid-campaign.
 """
 
 from __future__ import annotations
@@ -25,6 +28,7 @@ from __future__ import annotations
 import multiprocessing
 import pickle
 import time
+import warnings
 from abc import ABC, abstractmethod
 from collections.abc import Callable, Iterator, Sequence
 from concurrent.futures import Future, ThreadPoolExecutor, as_completed
@@ -188,6 +192,11 @@ def _run_worker_shard(shard: Shard) -> ShardResult:
     return _timed_shard(_WORKER_SHARD_FN, shard)
 
 
+#: Once-per-process latch for the spawn pre-flight fallback warning, so
+#: a sweep with hundreds of runs reports the degradation exactly once.
+_SPAWN_FALLBACK_WARNED = False
+
+
 def default_start_method() -> str:
     """The platform's best start method: ``fork`` when available.
 
@@ -208,9 +217,11 @@ class ProcessPoolBackend(Executor):
             :func:`default_start_method` (``fork`` where available,
             else ``spawn``).  Only ``fork`` supports non-picklable
             shard functions; under ``spawn``/``forkserver`` the shard
-            function crosses a pickle boundary and an unpicklable one
-            raises :class:`~repro.exceptions.ConfigurationError` before
-            any worker starts.
+            function crosses a pickle boundary, so a pre-flight pickle
+            check runs before any worker starts and an unpicklable
+            shard function degrades to in-process serial execution
+            with a once-per-process :class:`RuntimeWarning` naming the
+            pickle failure reason.
     """
 
     crosses_process_boundary = True
@@ -243,12 +254,21 @@ class ProcessPoolBackend(Executor):
             try:
                 pickle.dumps(shard_fn)
             except Exception as exc:
-                raise ConfigurationError(
-                    f"shard function is not picklable under the "
-                    f"{self.start_method!r} start method ({exc}); use the "
-                    f"fork start method or a picklable (module-level) "
-                    f"trial function"
-                ) from None
+                global _SPAWN_FALLBACK_WARNED
+                if not _SPAWN_FALLBACK_WARNED:
+                    _SPAWN_FALLBACK_WARNED = True
+                    warnings.warn(
+                        f"shard function is not picklable under the "
+                        f"{self.start_method!r} start method "
+                        f"({type(exc).__name__}: {exc}); falling back to "
+                        f"in-process serial execution — use the fork start "
+                        f"method or a picklable (module-level) trial "
+                        f"function for parallel speedup",
+                        RuntimeWarning,
+                        stacklevel=2,
+                    )
+                yield from SerialBackend().run_shards(shard_fn, shards)
+                return
         ctx = multiprocessing.get_context(self.start_method)
         with ctx.Pool(
             processes=n_workers, initializer=_init_worker, initargs=(shard_fn,)

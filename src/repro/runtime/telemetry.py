@@ -3,10 +3,14 @@
 The runtime emits one :class:`RunStarted` per ``TrialRuntime.run``
 call, one :class:`ShardCompleted` per shard (including shards restored
 from a checkpoint, flagged ``from_checkpoint``), and one
-:class:`RunCompleted` at the end.  Experiments, the CLI, tests and
-benchmarks subscribe callbacks on a :class:`Telemetry` hub;
-:class:`ProgressPrinter` is the stock subscriber that renders events
-as one-line progress messages.
+:class:`RunCompleted` at the end.  The DAG scheduler
+(:mod:`repro.dag`) emits the parallel family :class:`DagStarted` /
+:class:`NodeCompleted` / :class:`DagCompleted`, where restoration is
+flagged per node (``from_store``) because completed work is detected
+from the artifact store rather than a checkpoint file.  Experiments,
+the CLI, tests and benchmarks subscribe callbacks on a
+:class:`Telemetry` hub; :class:`ProgressPrinter` is the stock
+subscriber that renders events as one-line progress messages.
 """
 
 from __future__ import annotations
@@ -113,7 +117,77 @@ class CacheSnapshot:
     broadcast_bytes: int
 
 
-TelemetryEvent = Union[RunStarted, ShardCompleted, RunCompleted, CacheSnapshot]
+@dataclass(frozen=True)
+class DagStarted:
+    """Emitted when a DAG run begins, after the recovery survey.
+
+    Attributes:
+        dag: the graph's name.
+        n_nodes: nodes in the (target-restricted) run.
+        n_restored: nodes whose output artifacts were found intact in
+            the store during the survey — they will not execute.
+        backend: human-readable backend description.
+    """
+
+    dag: str
+    n_nodes: int
+    n_restored: int
+    backend: str
+
+
+@dataclass(frozen=True)
+class NodeCompleted:
+    """Emitted as each DAG node finishes (or is restored from the store).
+
+    Attributes:
+        dag: the graph's name.
+        name: the node's name.
+        kind: the node's declared kind (dataset/fault/score/...).
+        index: 1-based completion position within this run.
+        n_nodes: nodes in the run, for ``index/n_nodes`` progress.
+        elapsed_s: wall-clock seconds for the node's run function
+            (0 when restored).
+        from_store: True when the node's output artifact was found in
+            the store and the run function was skipped.
+    """
+
+    dag: str
+    name: str
+    kind: str
+    index: int
+    n_nodes: int
+    elapsed_s: float
+    from_store: bool
+
+
+@dataclass(frozen=True)
+class DagCompleted:
+    """Emitted once per DAG run after every target artifact is loaded.
+
+    Attributes:
+        dag: the graph's name.
+        n_nodes: nodes in the run.
+        n_run: nodes executed in this process.
+        n_restored: nodes restored from the artifact store.
+        elapsed_s: end-to-end wall-clock seconds for the run call.
+    """
+
+    dag: str
+    n_nodes: int
+    n_run: int
+    n_restored: int
+    elapsed_s: float
+
+
+TelemetryEvent = Union[
+    RunStarted,
+    ShardCompleted,
+    RunCompleted,
+    CacheSnapshot,
+    DagStarted,
+    NodeCompleted,
+    DagCompleted,
+]
 
 
 class Telemetry:
@@ -186,9 +260,37 @@ class ProgressPrinter:
                 f"{event.misses} miss(es) ({event.hit_rate:.0%} hit rate), "
                 f"{event.bytes_saved / 1e6:.1f} MB saved{broadcast}"
             )
-        return (
-            f"[{event.key}] done: {event.n_trials} trial(s) in "
-            f"{event.elapsed_s:.3f}s ({event.trials_per_sec:.1f} trials/s; "
-            f"{event.n_shards_run} shard(s) run, "
-            f"{event.n_shards_restored} restored)"
-        )
+        if isinstance(event, DagStarted):
+            suffix = (
+                f", {event.n_restored} node(s) restored from store"
+                if event.n_restored
+                else ""
+            )
+            return (
+                f"[{event.dag}] start: {event.n_nodes} node(s) on "
+                f"{event.backend}{suffix}"
+            )
+        if isinstance(event, NodeCompleted):
+            if event.from_store:
+                return (
+                    f"[{event.dag}] node {event.index}/{event.n_nodes} "
+                    f"{event.name} ({event.kind}) restored from store"
+                )
+            return (
+                f"[{event.dag}] node {event.index}/{event.n_nodes} "
+                f"{event.name} ({event.kind}) in {event.elapsed_s:.3f}s"
+            )
+        if isinstance(event, DagCompleted):
+            return (
+                f"[{event.dag}] done: {event.n_nodes} node(s) in "
+                f"{event.elapsed_s:.3f}s ({event.n_run} run, "
+                f"{event.n_restored} restored)"
+            )
+        if isinstance(event, RunCompleted):
+            return (
+                f"[{event.key}] done: {event.n_trials} trial(s) in "
+                f"{event.elapsed_s:.3f}s ({event.trials_per_sec:.1f} trials/s; "
+                f"{event.n_shards_run} shard(s) run, "
+                f"{event.n_shards_restored} restored)"
+            )
+        return repr(event)

@@ -37,7 +37,9 @@ class TestStats:
             "directory": str(tmp_path),
             "n_disk_entries": 3,
             "disk_bytes": disk_bytes,
+            "kinds": {"other": {"entries": 3, "bytes": doc["kinds"]["other"]["bytes"]}},
         }
+        assert doc["kinds"]["other"]["bytes"] > 0
 
     def test_missing_directory_reads_as_empty(self, tmp_path, capsys):
         target = tmp_path / "never-created"
@@ -80,3 +82,37 @@ class TestDispatch:
         with pytest.raises(SystemExit) as excinfo:
             cache_main(["defrag", "--cache-dir", str(tmp_path)])
         assert excinfo.value.code == 2
+
+
+class TestKindBreakdown:
+    def test_dag_store_breaks_down_by_node_kind(self, tmp_path, capsys):
+        cache = ArtifactCache(directory=tmp_path)
+        cache.put(
+            "d1",
+            CachedArtifact.build(
+                {"x": np.zeros(32)}, {"node_kind": "dataset"}
+            ),
+        )
+        cache.put(
+            "s1",
+            CachedArtifact.build({"x": np.zeros(4)}, {"node_kind": "score"}),
+        )
+        assert cache_main(["stats", "--cache-dir", str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert "by node kind:" in out
+        assert "dataset" in out and "score" in out
+
+    def test_json_kinds_after_dag_run(self, tmp_path, capsys):
+        from repro.dag import DagScheduler, TaskGraph, TaskNode
+
+        graph = TaskGraph("g")
+        graph.add(
+            TaskNode(
+                name="d", kind="dataset",
+                run=lambda ctx: {"x": np.zeros(8)}, key_parts=("d",),
+            )
+        )
+        DagScheduler(cache=ArtifactCache(directory=tmp_path)).run(graph)
+        assert cache_main(["stats", "--cache-dir", str(tmp_path), "--json"]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["kinds"]["dataset"]["entries"] == 1

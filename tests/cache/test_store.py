@@ -257,3 +257,69 @@ class TestConcurrentWriters:
         final = ArtifactCache(directory=tmp_path).get("shared")
         assert final is not None
         assert int(final.arrays["data"][0]) == 7
+
+
+class TestContains:
+    def test_memory_hit_without_counter_churn(self):
+        cache = ArtifactCache()
+        cache.put("k", _artifact())
+        before = cache.counters()
+        assert cache.contains("k")
+        assert not cache.contains("missing")
+        assert cache.counters() == before
+
+    def test_disk_hit_verifies_without_promotion(self, tmp_path):
+        ArtifactCache(directory=tmp_path).put("k", _artifact())
+        cache = ArtifactCache(directory=tmp_path)
+        assert cache.contains("k")
+        assert cache.stats().n_memory_entries == 0
+
+    def test_corrupt_payload_reads_as_absent(self, tmp_path):
+        cache = ArtifactCache(directory=tmp_path)
+        cache.put("k", _artifact())
+        (tmp_path / "k.npz").write_bytes(b"\x00" * 16)
+        fresh = ArtifactCache(directory=tmp_path)
+        assert not fresh.contains("k")
+
+    def test_torn_pair_reads_as_absent(self, tmp_path):
+        cache = ArtifactCache(directory=tmp_path)
+        cache.put("k", _artifact())
+        (tmp_path / "k.json").unlink()
+        fresh = ArtifactCache(directory=tmp_path)
+        assert not fresh.contains("k")
+
+
+class TestKindBreakdown:
+    def test_groups_by_stamped_node_kind(self, tmp_path):
+        cache = ArtifactCache(directory=tmp_path)
+        cache.put("k1", _artifact(meta={"node_kind": "score"}))
+        cache.put("k2", _artifact(meta={"node_kind": "score"}))
+        cache.put("k3", _artifact(nbytes=4096, meta={"node_kind": "dataset"}))
+        breakdown = cache.disk_kind_breakdown()
+        assert breakdown["score"]["entries"] == 2
+        assert breakdown["dataset"]["entries"] == 1
+        assert breakdown["dataset"]["bytes"] > 0
+
+    def test_sorted_by_descending_bytes(self, tmp_path):
+        cache = ArtifactCache(directory=tmp_path)
+        cache.put("small", _artifact(nbytes=256, meta={"node_kind": "score"}))
+        cache.put("big", _artifact(nbytes=8192, meta={"node_kind": "dataset"}))
+        assert list(cache.disk_kind_breakdown()) == ["dataset", "score"]
+
+    def test_legacy_entries_fall_back_to_array_names(self, tmp_path):
+        from repro.cache.store import infer_node_kind
+
+        assert infer_node_kind(["pristine"], {}) == "dataset"
+        assert infer_node_kind(["corrupted"], {}) == "fault"
+        assert infer_node_kind(["values"], {}) == "other"
+        cache = ArtifactCache(directory=tmp_path)
+        cache.put(
+            "legacy",
+            CachedArtifact.build({"pristine": np.zeros(8)}),
+        )
+        assert "dataset" in cache.disk_kind_breakdown()
+
+    def test_memory_only_cache_has_empty_breakdown(self):
+        cache = ArtifactCache()
+        cache.put("k", _artifact())
+        assert cache.disk_kind_breakdown() == {}

@@ -1,0 +1,160 @@
+"""Tests for TaskNode/TaskGraph: validation, topology, content keys."""
+
+import numpy as np
+import pytest
+
+from repro.dag import NODE_KINDS, TaskGraph, TaskNode
+from repro.dag.node import TaskContext, normalize_output
+from repro.exceptions import ConfigurationError, DagError
+
+
+def _run(ctx):
+    return {"x": np.zeros(1)}
+
+
+def make_node(name, deps=(), kind="score", key_parts=None):
+    return TaskNode(
+        name=name,
+        kind=kind,
+        run=_run,
+        inputs=tuple(deps),
+        key_parts=key_parts if key_parts is not None else ("t", name),
+    )
+
+
+class TestTaskNode:
+    def test_rejects_empty_name_and_kind(self):
+        with pytest.raises(ConfigurationError, match="name"):
+            make_node("")
+        with pytest.raises(ConfigurationError, match="kind"):
+            make_node("a", kind="")
+
+    def test_rejects_duplicate_inputs_and_self_dependency(self):
+        with pytest.raises(ConfigurationError, match="duplicate"):
+            make_node("a", deps=("b", "b"))
+        with pytest.raises(ConfigurationError, match="itself"):
+            make_node("a", deps=("a",))
+
+    def test_identity_ignores_run_function(self):
+        one = make_node("a", key_parts=("p",))
+        two = TaskNode(
+            name="a", kind="score", run=lambda ctx: {"x": np.ones(1)},
+            key_parts=("p",),
+        )
+        assert one.identity() == two.identity()
+
+    def test_identity_tracks_structure(self):
+        base = make_node("a", key_parts=("p",))
+        assert base.identity() != make_node("a", key_parts=("q",)).identity()
+        assert base.identity() != make_node("a", deps=("d",), key_parts=("p",)).identity()
+
+    def test_kind_vocabulary_is_stable(self):
+        assert NODE_KINDS == (
+            "dataset", "fault", "score", "aggregate", "figure", "experiment"
+        )
+
+    def test_context_is_loud_on_typos(self):
+        node = make_node("a", deps=("b",))
+        ctx = TaskContext(
+            node=node, inputs={}, output_key="0" * 64,
+            rng=np.random.default_rng(0),
+        )
+        with pytest.raises(DagError, match="declared inputs"):
+            ctx.input("b")
+
+    def test_normalize_output_rejects_scalars(self):
+        with pytest.raises(DagError, match="must return"):
+            normalize_output(make_node("a"), 1.0)
+
+
+class TestTaskGraph:
+    def test_duplicate_name_is_error_but_ensure_dedupes(self):
+        graph = TaskGraph("g")
+        graph.add(make_node("a"))
+        with pytest.raises(ConfigurationError, match="already has"):
+            graph.add(make_node("a"))
+        assert graph.ensure(make_node("a")) is graph.node("a")
+        assert len(graph) == 1
+
+    def test_ensure_rejects_structural_collision(self):
+        graph = TaskGraph("g")
+        graph.add(make_node("a", key_parts=("p",)))
+        with pytest.raises(ConfigurationError, match="structurally different"):
+            graph.ensure(make_node("a", key_parts=("q",)))
+
+    def test_merge_shares_upstream_nodes(self):
+        left, right = TaskGraph("l"), TaskGraph("r")
+        for graph in (left, right):
+            graph.add(make_node("shared", kind="dataset"))
+        left.add(make_node("x", deps=("shared",)))
+        right.add(make_node("y", deps=("shared",)))
+        left.merge(right)
+        assert sorted(left) == ["shared", "x", "y"]
+
+    def test_unknown_dependency_is_loud(self):
+        graph = TaskGraph("g")
+        graph.add(make_node("a", deps=("ghost",)))
+        with pytest.raises(ConfigurationError, match="unknown node 'ghost'"):
+            graph.validate()
+
+    def test_cycle_detection_names_the_path(self):
+        graph = TaskGraph("cyc")
+        graph.add(make_node("p", deps=("q",)))
+        graph.add(make_node("q", deps=("p",)))
+        with pytest.raises(ConfigurationError, match="cycle.*(p -> q -> p|q -> p -> q)"):
+            graph.topo_order()
+
+    def test_topo_order_respects_edges(self):
+        graph = TaskGraph("g")
+        graph.add(make_node("c", deps=("a", "b")))
+        graph.add(make_node("a"))
+        graph.add(make_node("b", deps=("a",)))
+        order = graph.topo_order()
+        assert order.index("a") < order.index("b") < order.index("c")
+
+    def test_sinks_and_dependents(self):
+        graph = TaskGraph("g")
+        graph.add(make_node("a"))
+        graph.add(make_node("b", deps=("a",)))
+        assert graph.sinks() == ("b",)
+        assert graph.dependents()["a"] == ("b",)
+
+
+class TestOutputKeys:
+    def test_explicit_key_wins(self):
+        graph = TaskGraph("g")
+        graph.add(
+            TaskNode(name="d", kind="dataset", run=_run, explicit_key="k" * 64)
+        )
+        assert graph.output_key("d") == "k" * 64
+
+    def test_upstream_change_re_addresses_subtree(self):
+        def keys(seed_parts):
+            graph = TaskGraph("g")
+            graph.add(make_node("root", key_parts=seed_parts))
+            graph.add(make_node("mid", deps=("root",)))
+            graph.add(make_node("leaf", deps=("mid",)))
+            return {n: graph.output_key(n) for n in graph}
+
+        before, after = keys(("v1",)), keys(("v2",))
+        assert before["root"] != after["root"]
+        assert before["mid"] != after["mid"]
+        assert before["leaf"] != after["leaf"]
+
+    def test_sibling_keys_unaffected_by_each_other(self):
+        graph = TaskGraph("g")
+        graph.add(make_node("root"))
+        graph.add(make_node("l", deps=("root",), key_parts=("l",)))
+        graph.add(make_node("r", deps=("root",), key_parts=("r",)))
+        assert graph.output_key("l") != graph.output_key("r")
+
+
+class TestDot:
+    def test_dot_lists_nodes_edges_and_done_state(self):
+        graph = TaskGraph("g")
+        graph.add(make_node("a", kind="dataset"))
+        graph.add(make_node("b", deps=("a",)))
+        dot = graph.to_dot(done={"a"})
+        assert dot.startswith('digraph "g" {')
+        assert '"a" -> "b";' in dot
+        assert dot.count("peripheries=2") == 1

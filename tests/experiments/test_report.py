@@ -86,16 +86,35 @@ class TestJsonRoundtrip:
 
 
 class TestCLIIntegration:
-    def test_report_command(self, tmp_path, capsys):
+    def test_report_from_json(self, tmp_path, capsys):
         from repro.cli import main
 
         json_path = tmp_path / "results.json"
         json_path.write_text(json.dumps([sample_result().to_dict()]))
         out_path = tmp_path / "report.md"
-        assert main(["report", "--json", str(json_path), "--out", str(out_path)]) == 0
-        assert out_path.exists()
+        code = main(
+            ["report", "--from-json", str(json_path), "--out", str(out_path)]
+        )
+        assert code == 0
+        assert "### `figX`" in out_path.read_text()
 
-    def test_report_requires_paths(self, capsys):
+    def test_report_from_json_requires_out(self, tmp_path, capsys):
         from repro.cli import main
 
-        assert main(["report"]) == 2
+        json_path = tmp_path / "results.json"
+        json_path.write_text(json.dumps([sample_result().to_dict()]))
+        assert main(["report", "--from-json", str(json_path)]) == 2
+
+    def test_report_from_json_missing_file(self, tmp_path, capsys):
+        from repro.cli import main
+
+        out_path = tmp_path / "report.md"
+        code = main(
+            ["report", "--from-json", str(tmp_path / "nope.json"), "--out", str(out_path)]
+        )
+        assert code == 2
+
+    def test_report_rejects_unknown_experiment(self, capsys):
+        from repro.cli import main
+
+        assert main(["report", "--only", "not-an-experiment", "--plan"]) == 2

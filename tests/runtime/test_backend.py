@@ -144,15 +144,39 @@ class TestStartMethods:
         )
 
     @needs_spawn
-    def test_spawn_rejects_unpicklable_shard_fn_before_pool_start(self):
-        """An unpicklable closure must fail fast with a clear error, not
-        deadlock a half-started pool."""
+    def test_spawn_unpicklable_falls_back_to_serial_with_warning(self, monkeypatch):
+        """An unpicklable closure must not deadlock a half-started pool:
+        the pre-flight pickle check degrades to in-process serial
+        execution and says why, once."""
+        from repro.runtime import backend as backend_mod
+
+        monkeypatch.setattr(backend_mod, "_SPAWN_FALLBACK_WARNED", False)
         offset = 1.0
         shard_fn = lambda shard: [offset] * shard.n_trials  # noqa: E731
         plan = TrialPlan(4, seed=1, shard_size=1)
         backend = ProcessPoolBackend(2, start_method="spawn")
-        with pytest.raises(ConfigurationError, match="not picklable"):
-            list(backend.run_shards(shard_fn, plan.shards))
+        with pytest.warns(RuntimeWarning, match="not picklable"):
+            values = _collect(backend, shard_fn, plan.shards)
+        assert values == [1.0] * 4
+
+    @needs_spawn
+    def test_spawn_fallback_warns_only_once(self, monkeypatch):
+        """The degradation reason is logged on the first fallback only;
+        later calls stay quiet instead of spamming every shard run."""
+        import warnings
+
+        from repro.runtime import backend as backend_mod
+
+        monkeypatch.setattr(backend_mod, "_SPAWN_FALLBACK_WARNED", False)
+        offset = 3.0
+        shard_fn = lambda shard: [offset] * shard.n_trials  # noqa: E731
+        plan = TrialPlan(2, seed=1, shard_size=1)
+        backend = ProcessPoolBackend(2, start_method="spawn")
+        with pytest.warns(RuntimeWarning, match="falling back"):
+            _collect(backend, shard_fn, plan.shards)
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            assert _collect(backend, shard_fn, plan.shards) == [3.0, 3.0]
 
     @needs_spawn
     def test_spawn_single_worker_still_serial(self):

@@ -25,6 +25,7 @@ def reports(tmp_path_factory):
     stream_out = bench_dir / "stream.json"
     cache_out = bench_dir / "cache.json"
     native_out = bench_dir / "native.json"
+    dag_out = bench_dir / "dag.json"
     assert (
         bench_report.main(
             [
@@ -39,6 +40,8 @@ def reports(tmp_path_factory):
                 str(cache_out),
                 "--native-out",
                 str(native_out),
+                "--dag-out",
+                str(dag_out),
             ]
         )
         == 0
@@ -48,6 +51,7 @@ def reports(tmp_path_factory):
         json.loads(stream_out.read_text()),
         json.loads(cache_out.read_text()),
         json.loads(native_out.read_text()),
+        json.loads(dag_out.read_text()),
     )
 
 
@@ -69,6 +73,11 @@ def cache_report(reports):
 @pytest.fixture(scope="module")
 def native_report(reports):
     return reports[3]
+
+
+@pytest.fixture(scope="module")
+def dag_report(reports):
+    return reports[4]
 
 
 def test_report_top_level_schema(report):
@@ -288,6 +297,44 @@ def test_committed_native_report_is_schema_valid():
         headline = committed["headline"]
         assert len(headline["kernels_at_2x"]) >= 2
         assert headline["gate_met"] is True
+
+
+def test_dag_report_top_level_schema(dag_report):
+    assert dag_report["schema_version"] == bench_report.DAG_SCHEMA_VERSION
+    assert dag_report["quick"] is True
+    assert set(bench_report.DAG_RUN_KEYS) <= set(dag_report["report_run"])
+
+
+def test_dag_report_run_entry(dag_report):
+    run = dag_report["report_run"]
+    assert run["n_nodes"] >= len(run["experiments"]) > 0
+    assert run["sequential_s"] > 0
+    assert run["dag_cold_s"] > 0
+    assert run["dag_warm_s"] > 0
+    assert run["n_run_cold"] == run["n_nodes"]
+
+
+def test_dag_report_witnesses_recovery_contract(dag_report):
+    """The warm replay is the resume path: every node restored from
+    the store, no recomputation, panels bit-identical to sequential."""
+    run = dag_report["report_run"]
+    assert run["n_restored_warm"] == run["n_nodes"]
+    assert run["dag_warm_s"] < run["dag_cold_s"]
+    assert run["bit_identical"] is True
+
+
+def test_committed_dag_report_is_schema_valid():
+    """The checked-in BENCH_PR8.json must parse under the same schema
+    and witness the orchestrator's headline: the single-DAG report run
+    is bit-identical to the sequential loop, and a warm store replays
+    the whole run as no-ops."""
+    committed = json.loads((REPO_ROOT / "BENCH_PR8.json").read_text())
+    assert committed["schema_version"] == bench_report.DAG_SCHEMA_VERSION
+    run = committed["report_run"]
+    assert set(bench_report.DAG_RUN_KEYS) <= set(run)
+    assert run["bit_identical"] is True
+    assert run["n_restored_warm"] == run["n_nodes"]
+    assert run["dag_warm_s"] < run["dag_cold_s"]
 
 
 load_serve = pytest.importorskip("load_serve")

@@ -157,6 +157,22 @@ IPC_KEYS = (
 #: BENCH_PR7.json schema version (native kernel tier report).
 NATIVE_SCHEMA_VERSION = 1
 
+#: BENCH_PR8.json schema version (DAG orchestrator report).
+DAG_SCHEMA_VERSION = 1
+
+#: Keys the DAG-vs-sequential section must carry.
+DAG_RUN_KEYS = (
+    "experiments",
+    "n_nodes",
+    "sequential_s",
+    "dag_cold_s",
+    "dag_warm_s",
+    "n_run_cold",
+    "n_restored_warm",
+    "warm_replay_speedup",
+    "bit_identical",
+)
+
 #: Keys every NumPy-vs-native kernel entry must carry.
 NATIVE_KERNEL_KEYS = ("name", "config", "numpy_ms", "native_ms", "speedup")
 
@@ -904,6 +920,86 @@ def build_native_report(
     }
 
 
+def _bench_dag_report(quick: bool) -> dict:
+    """One 3-experiment `repro report` DAG run vs the sequential loop.
+
+    Times the same subset three ways: the historical per-experiment
+    sequential loop, a cold single-DAG run into a fresh on-disk store,
+    and a warm no-op replay against that store (the resume path a
+    killed run takes) — asserting the DAG panels are bit-identical to
+    the sequential results inside the benchmark itself.
+    """
+    import tempfile
+
+    from repro.dag.report import (
+        PANELS_NODE,
+        build_report_graph,
+        quick_overrides,
+    )
+    from repro.dag.build import json_payload
+    from repro.dag.scheduler import DagScheduler
+    from repro.experiments.registry import run_experiment
+    from repro.runtime import Telemetry
+    from repro.runtime.telemetry import DagCompleted
+
+    experiments = ["fig2", "fig4", "motivation"]
+
+    start = time.perf_counter()
+    sequential_panels = []
+    for experiment_id in experiments:
+        overrides = quick_overrides(experiment_id) if quick else {}
+        for result in run_experiment(experiment_id, **overrides):
+            sequential_panels.append(result.to_dict())
+    sequential_s = time.perf_counter() - start
+
+    completions: list = []
+    telemetry = Telemetry()
+    telemetry.subscribe(
+        lambda e: completions.append(e) if isinstance(e, DagCompleted) else None
+    )
+    with tempfile.TemporaryDirectory() as store:
+        graph = build_report_graph(experiments, quick=quick)
+        scheduler = DagScheduler(
+            cache=ArtifactCache(directory=store), telemetry=telemetry
+        )
+        start = time.perf_counter()
+        outputs = scheduler.run(graph, targets=(PANELS_NODE,))
+        dag_cold_s = time.perf_counter() - start
+        panels = json_payload(outputs[PANELS_NODE])
+
+        warm_graph = build_report_graph(experiments, quick=quick)
+        warm_scheduler = DagScheduler(
+            cache=ArtifactCache(directory=store), telemetry=telemetry
+        )
+        start = time.perf_counter()
+        warm_scheduler.run(warm_graph, targets=(PANELS_NODE,))
+        dag_warm_s = time.perf_counter() - start
+
+    cold, warm = completions[0], completions[1]
+    return {
+        "experiments": experiments,
+        "n_nodes": cold.n_nodes,
+        "sequential_s": round(sequential_s, 4),
+        "dag_cold_s": round(dag_cold_s, 4),
+        "dag_warm_s": round(dag_warm_s, 4),
+        "n_run_cold": cold.n_run,
+        "n_restored_warm": warm.n_restored,
+        "warm_replay_speedup": round(dag_cold_s / max(dag_warm_s, 1e-9), 2),
+        "bit_identical": panels == sequential_panels,
+    }
+
+
+def build_dag_report(quick: bool) -> dict:
+    return {
+        "schema_version": DAG_SCHEMA_VERSION,
+        "generated_by": "tools/bench_report.py" + (" --quick" if quick else ""),
+        "quick": quick,
+        "python": platform.python_version(),
+        "numpy": np.__version__,
+        "report_run": _bench_dag_report(quick),
+    }
+
+
 def build_cache_report(quick: bool) -> dict:
     return {
         "schema_version": CACHE_SCHEMA_VERSION,
@@ -971,6 +1067,12 @@ def main(argv: list[str] | None = None) -> int:
         type=Path,
         default=REPO_ROOT / "BENCH_PR7.json",
         help="native-tier report path (default: repo-root BENCH_PR7.json)",
+    )
+    parser.add_argument(
+        "--dag-out",
+        type=Path,
+        default=REPO_ROOT / "BENCH_PR8.json",
+        help="DAG orchestrator report path (default: repo-root BENCH_PR8.json)",
     )
     parser.add_argument(
         "--repeats",
@@ -1070,6 +1172,17 @@ def main(argv: list[str] | None = None) -> int:
         f"{nt['numpy_serial_s']}s -> {nt['numpy_threads_s']}s)"
     )
     print(f"wrote {args.native_out}")
+
+    dag_report = build_dag_report(args.quick)
+    args.dag_out.write_text(json.dumps(dag_report, indent=2) + "\n")
+    d = dag_report["report_run"]
+    print(
+        f"dag report: {len(d['experiments'])} experiments as {d['n_nodes']} "
+        f"nodes  sequential {d['sequential_s']}s -> dag cold {d['dag_cold_s']}s "
+        f"-> warm replay {d['dag_warm_s']}s ({d['warm_replay_speedup']}x)  "
+        f"bit_identical={d['bit_identical']}"
+    )
+    print(f"wrote {args.dag_out}")
     return 0
 
 
