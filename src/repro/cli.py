@@ -14,6 +14,8 @@ Usage::
     repro cache stats|clear [--cache-dir DIR]
     repro kernels [--json] [--require native]
     repro fig2 --threads 4                # thread-pool shards (native tier)
+    repro worker [--port P] [--cache-dir DIR]      # cluster worker
+    repro fig2 --backend cluster --workers host:port,host:port
 
 ``--quick`` shrinks repeats/grids so every experiment finishes in
 seconds; default parameters match the EXPERIMENTS.md record.
@@ -47,13 +49,12 @@ from repro.cache import ArtifactCache
 from repro.exceptions import ReproError
 from repro.experiments.registry import REGISTRY, run_experiment
 from repro.runtime import (
+    BACKEND_CHOICES,
     CheckpointStore,
-    ProcessPoolBackend,
     ProgressPrinter,
-    SerialBackend,
     Telemetry,
-    ThreadPoolBackend,
     TrialRuntime,
+    resolve_backend,
 )
 
 #: Parameter overrides applied by --quick, per experiment.
@@ -137,6 +138,10 @@ def main(argv: list[str] | None = None) -> int:
         from repro.native.cli import main as kernels_main
 
         return kernels_main(argv[1:])
+    if argv and argv[0] == "worker":
+        from repro.cluster.cli import worker_main
+
+        return worker_main(argv[1:])
     if argv and argv[0] == "report":
         from repro.dag.cli import report_main
 
@@ -158,8 +163,9 @@ def main(argv: list[str] | None = None) -> int:
         "'dag' (task-graph inspection; 'repro dag --help'), "
         "'stream' (streaming pipeline; 'repro stream --help'), "
         "'serve' (streaming service; 'repro serve --help'), "
-        "'cache' (artifact cache maintenance; 'repro cache --help'), or "
-        "'kernels' (kernel-tier diagnostics; 'repro kernels --help')",
+        "'cache' (artifact cache maintenance; 'repro cache --help'), "
+        "'kernels' (kernel-tier diagnostics; 'repro kernels --help'), or "
+        "'worker' (cluster worker; 'repro worker --help')",
     )
     parser.add_argument(
         "--quick", action="store_true", help="reduced grids for a fast run"
@@ -183,6 +189,20 @@ def main(argv: list[str] | None = None) -> int:
         help="worker threads for trial loops instead of processes "
         "(best with the native kernel tier, whose C kernels release "
         "the GIL; see 'repro kernels'; mutually exclusive with --jobs)",
+    )
+    parser.add_argument(
+        "--backend",
+        choices=BACKEND_CHOICES,
+        default=None,
+        help="execution backend (default: inferred from --jobs/--threads/"
+        "--workers; results are bit-identical for every choice)",
+    )
+    parser.add_argument(
+        "--workers",
+        metavar="ADDRS",
+        default=None,
+        help="cluster worker addresses as host:port[,host:port…] "
+        "(start workers with 'repro worker'; implies --backend cluster)",
     )
     parser.add_argument(
         "--resume",
@@ -256,19 +276,33 @@ def main(argv: list[str] | None = None) -> int:
         print(f"unknown experiment(s): {bad}; try 'repro list'", file=sys.stderr)
         return 2
 
+    try:
+        backend = resolve_backend(
+            args.backend, jobs=args.jobs, threads=args.threads,
+            workers=args.workers,
+        )
+    except ReproError as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+
     collected = []
-    for experiment_id in experiment_ids:
-        kwargs = _QUICK_OVERRIDES.get(experiment_id, {}) if args.quick else {}
-        runtime = _build_runtime(args, experiment_id)
-        try:
-            results = run_experiment(experiment_id, runtime=runtime, **kwargs)
-        except ReproError as exc:
-            print(f"{experiment_id} failed: {exc}", file=sys.stderr)
-            return 2
-        for result in results:
-            print(result.to_table())
-            print()
-            collected.append(result.to_dict())
+    try:
+        for experiment_id in experiment_ids:
+            kwargs = _QUICK_OVERRIDES.get(experiment_id, {}) if args.quick else {}
+            runtime = _build_runtime(args, experiment_id, backend)
+            try:
+                results = run_experiment(experiment_id, runtime=runtime, **kwargs)
+            except ReproError as exc:
+                print(f"{experiment_id} failed: {exc}", file=sys.stderr)
+                return 2
+            for result in results:
+                print(result.to_table())
+                print()
+                collected.append(result.to_dict())
+    finally:
+        close = getattr(backend, "close", None)
+        if callable(close):
+            close()
     if args.json:
         with open(args.json, "w") as fh:
             json.dump(collected, fh, indent=2)
@@ -276,19 +310,18 @@ def main(argv: list[str] | None = None) -> int:
     return 0
 
 
-def _build_runtime(args: argparse.Namespace, experiment_id: str) -> TrialRuntime:
+def _build_runtime(
+    args: argparse.Namespace, experiment_id: str, backend
+) -> TrialRuntime:
     """One runtime per experiment: fresh auto-key sequence, own checkpoint.
 
     A per-experiment checkpoint file keyed by the runtime's
     deterministic call sequence means a resumed run re-derives the same
-    keys in the same order and the recorded shards line up.
+    keys in the same order and the recorded shards line up.  The
+    *backend* is shared across experiments — a cluster backend keeps
+    its worker connections (and the workers their warm caches) for the
+    whole invocation.
     """
-    if args.threads:
-        backend = ThreadPoolBackend(args.threads)
-    elif args.jobs > 1:
-        backend = ProcessPoolBackend(args.jobs)
-    else:
-        backend = SerialBackend()
     checkpoint = None
     if args.resume:
         checkpoint = CheckpointStore(

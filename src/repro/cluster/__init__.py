@@ -1,0 +1,37 @@
+"""Multi-host execution: a coordinator/worker runtime behind the
+:class:`~repro.runtime.Executor` seam.
+
+:class:`ClusterBackend` dispatches a campaign's shards to remote
+workers over a length-prefixed JSON/binary TCP protocol
+(:mod:`repro.cluster.protocol`), shipping shard functions by value
+(:mod:`repro.cluster.shipping`) and artifacts by content address
+(:mod:`repro.cluster.store`): a worker that already holds an input
+artifact receives only its ~100-byte key and pulls the payload from
+the coordinator's :class:`~repro.cache.ArtifactCache` exactly once.
+Workers are supervised by heartbeat; a worker that dies mid-shard has
+its shard re-dispatched to a surviving peer, and because every shard
+is a deterministic function of its plan seeds, the retried run is
+bit-identical to the first attempt.
+
+:class:`Worker` is the remote side (the ``repro worker`` CLI);
+:class:`LocalCluster` forks N workers on loopback for tests and
+benchmarks.  See docs/CLUSTER.md.
+"""
+
+from repro.cluster.coordinator import ClusterBackend, WorkerStats, parse_worker_list
+from repro.cluster.local import LocalCluster
+from repro.cluster.protocol import PROTOCOL_VERSION, ClusterError
+from repro.cluster.store import WorkerArtifactStore, current_store
+from repro.cluster.worker import Worker
+
+__all__ = [
+    "ClusterBackend",
+    "ClusterError",
+    "LocalCluster",
+    "PROTOCOL_VERSION",
+    "Worker",
+    "WorkerArtifactStore",
+    "WorkerStats",
+    "current_store",
+    "parse_worker_list",
+]

@@ -1,0 +1,96 @@
+"""``repro worker`` — run one cluster worker process.
+
+Usage::
+
+    repro worker [--host H] [--port P] [--cache-dir DIR]
+                 [--max-memory-bytes N] [--once] [--verbose]
+
+The worker prints its bound address (``host:port``) to stdout as soon
+as it is listening — with ``--port 0`` (the default) the OS picks a
+free port, so the printed line is how an orchestrator learns where to
+point ``repro report --backend cluster --workers …``.  It then serves
+coordinator sessions until interrupted (or after one session with
+``--once``).  See docs/CLUSTER.md for the protocol and failure model.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.cluster.worker import Worker
+
+
+def worker_main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro worker",
+        description="Run a cluster worker that executes shards dispatched "
+        "by 'repro report --backend cluster' (docs/CLUSTER.md).",
+    )
+    parser.add_argument(
+        "--host",
+        default="127.0.0.1",
+        help="interface to bind (default %(default)s; use 0.0.0.0 to "
+        "accept coordinators from other hosts)",
+    )
+    parser.add_argument(
+        "--port",
+        type=int,
+        default=0,
+        help="TCP port to listen on (default 0 = let the OS pick; the "
+        "bound address is printed to stdout)",
+    )
+    parser.add_argument(
+        "--cache-dir",
+        default=None,
+        metavar="DIR",
+        help="persist pulled artifacts to a local disk tier so repeat "
+        "campaigns ship only content keys (default: memory-only cache)",
+    )
+    parser.add_argument(
+        "--max-memory-bytes",
+        type=int,
+        default=256 * 1024 * 1024,
+        metavar="N",
+        help="memory-tier cap for the local artifact cache "
+        "(default %(default)s)",
+    )
+    parser.add_argument(
+        "--once",
+        action="store_true",
+        help="exit after serving one coordinator session",
+    )
+    parser.add_argument(
+        "--verbose", action="store_true", help="log session events to stderr"
+    )
+    args = parser.parse_args(argv)
+    if args.port < 0 or args.port > 65535:
+        print(f"--port must be in [0, 65535], got {args.port}", file=sys.stderr)
+        return 2
+
+    try:
+        worker = Worker(
+            host=args.host,
+            port=args.port,
+            cache_dir=args.cache_dir,
+            max_memory_bytes=args.max_memory_bytes,
+            verbose=args.verbose,
+        )
+    except OSError as exc:
+        print(f"cannot bind {args.host}:{args.port}: {exc}", file=sys.stderr)
+        return 2
+    host, port = worker.address
+    print(f"{host}:{port}", flush=True)
+    try:
+        worker.serve_forever(max_sessions=1 if args.once else None)
+    except KeyboardInterrupt:
+        pass
+    finally:
+        worker.stop()
+    if args.verbose:
+        print(
+            f"served {worker.sessions} session(s), "
+            f"{worker.shards_run} shard(s)",
+            file=sys.stderr,
+        )
+    return 0

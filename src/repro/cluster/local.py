@@ -1,0 +1,157 @@
+"""A loopback cluster for tests, benches, and the CI smoke job.
+
+:class:`LocalCluster` forks *n* real :class:`~repro.cluster.Worker`
+processes on ``127.0.0.1`` (each binds port 0 and reports its actual
+address back through a queue), hands out a ready-made
+:class:`~repro.cluster.ClusterBackend`, and can SIGKILL an individual
+worker mid-shard — which is exactly how the heartbeat-timeout
+re-dispatch path is exercised without a second host.
+
+Workers are separate processes, so everything crosses the real TCP
+protocol: function shipping, artifact pulls, heartbeats.  The only
+difference from a multi-host deployment is the address family of the
+loopback interface.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import signal
+import tempfile
+
+from repro.cluster.coordinator import ClusterBackend
+from repro.cluster.protocol import ClusterError
+
+
+def _worker_entry(
+    ready_queue, cache_dir: str | None, max_memory_bytes: int, verbose: bool
+) -> None:
+    """Child-process entry: bind, report the bound address, serve."""
+    from repro.cluster.worker import Worker
+
+    worker = Worker(
+        host="127.0.0.1",
+        port=0,
+        cache_dir=cache_dir,
+        max_memory_bytes=max_memory_bytes,
+        verbose=verbose,
+    )
+    ready_queue.put(worker.address)
+    worker.serve_forever()
+
+
+class LocalCluster:
+    """*n* loopback worker processes plus a backend factory.
+
+    Args:
+        n_workers: worker processes to fork.
+        cache_dir: optional base directory; worker *i* caches under
+            ``cache_dir/worker-<i>`` (separate dirs model separate
+            hosts). None keeps worker caches memory-only.
+        max_memory_bytes: per-worker memory-tier cap.
+        start_method: multiprocessing start method; None uses ``fork``
+            where available (fast) and ``spawn`` elsewhere.
+        verbose: pass ``--verbose``-style logging to every worker.
+
+    Use as a context manager::
+
+        with LocalCluster(n_workers=2) as cluster:
+            backend = cluster.backend()
+            ...
+    """
+
+    def __init__(
+        self,
+        n_workers: int = 2,
+        cache_dir: str | None = None,
+        max_memory_bytes: int = 256 * 1024 * 1024,
+        start_method: str | None = None,
+        verbose: bool = False,
+    ) -> None:
+        if n_workers < 1:
+            raise ClusterError("LocalCluster needs at least one worker")
+        self.n_workers = n_workers
+        self.cache_dir = cache_dir
+        self.max_memory_bytes = max_memory_bytes
+        self.verbose = verbose
+        if start_method is None:
+            start_method = (
+                "fork"
+                if "fork" in multiprocessing.get_all_start_methods()
+                else "spawn"
+            )
+        self._context = multiprocessing.get_context(start_method)
+        self._processes: list = []
+        self.addresses: list[tuple[str, int]] = []
+
+    def start(self, timeout_s: float = 30.0) -> list[tuple[str, int]]:
+        """Fork the workers; returns their bound ``(host, port)`` pairs."""
+        if self._processes:
+            return self.addresses
+        ready: multiprocessing.Queue = self._context.Queue()
+        for index in range(self.n_workers):
+            cache_dir = None
+            if self.cache_dir is not None:
+                cache_dir = os.path.join(self.cache_dir, f"worker-{index}")
+            process = self._context.Process(
+                target=_worker_entry,
+                args=(ready, cache_dir, self.max_memory_bytes, self.verbose),
+                daemon=True,
+            )
+            process.start()
+            self._processes.append(process)
+        try:
+            self.addresses = [
+                ready.get(timeout=timeout_s) for _ in range(self.n_workers)
+            ]
+        except Exception as exc:
+            self.stop()
+            raise ClusterError(
+                f"local cluster workers did not come up in {timeout_s}s"
+            ) from exc
+        return self.addresses
+
+    def backend(self, **overrides) -> ClusterBackend:
+        """A :class:`ClusterBackend` wired to every live worker."""
+        if not self.addresses:
+            self.start()
+        return ClusterBackend(self.addresses, **overrides)
+
+    def kill(self, index: int) -> None:
+        """SIGKILL worker *index* — no shutdown handshake, no cleanup.
+
+        This is the fault-injection hook: the coordinator only learns
+        of the death through heartbeat silence (or the connection
+        reset), and must re-dispatch the shard that worker held.
+        """
+        process = self._processes[index]
+        if process.pid is not None and process.is_alive():
+            os.kill(process.pid, signal.SIGKILL)
+            process.join(timeout=10.0)
+
+    def stop(self) -> None:
+        """Terminate and reap every worker process (idempotent)."""
+        for process in self._processes:
+            if process.is_alive():
+                process.terminate()
+        for process in self._processes:
+            process.join(timeout=10.0)
+            if process.is_alive() and process.pid is not None:
+                os.kill(process.pid, signal.SIGKILL)
+                process.join(timeout=5.0)
+        self._processes = []
+        self.addresses = []
+
+    def __enter__(self) -> "LocalCluster":
+        self.start()
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()
+
+
+def ephemeral_cluster(n_workers: int = 2, **kwargs) -> LocalCluster:
+    """A LocalCluster whose workers cache under a fresh temp directory."""
+    base = tempfile.mkdtemp(prefix="repro-cluster-")
+    return LocalCluster(n_workers=n_workers, cache_dir=base, **kwargs)

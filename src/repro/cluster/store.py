@@ -1,0 +1,111 @@
+"""Worker-side artifact resolution: local cache first, coordinator pull second.
+
+A shipped shard function references its inputs by content key, never
+by payload (see :meth:`repro.dag.scheduler._NodeShardFn.for_cluster`).
+On the worker those keys resolve through a :class:`WorkerArtifactStore`:
+
+1. the worker's **local** :class:`~repro.cache.ArtifactCache` — a
+   memory LRU, plus a disk tier when ``repro worker --cache-dir`` is
+   given, published with the same atomic ``os.replace`` discipline as
+   every other store, so concurrent sessions and re-dispatched retries
+   are harmless;
+2. on a miss, a **JIT pull** from the coordinator's cache over the
+   session channel (one ``artifact-request`` / ``artifact`` round
+   trip), after which the payload is published locally — a warm worker
+   therefore receives ~O(100 B) of key instead of the arrays.
+
+Results flow back through the same store semantics: a worker that
+computes a DAG node publishes the output artifact into its local cache
+under the node's output key before shipping the arrays home, so later
+waves scheduled onto the same worker hit locally and pull nothing.
+
+The store a shard function should use is process-global state on the
+worker (:func:`current_store` / :func:`activate_store`), mirroring how
+pool workers receive their shard function through a module slot.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections.abc import Callable
+
+from repro.cache.store import ArtifactCache, CachedArtifact
+from repro.cluster.protocol import ClusterError
+
+#: The active store in this worker process; None outside a cluster
+#: worker (in-process backends resolve through preloaded artifacts and
+#: never consult this slot).
+_ACTIVE_STORE: "WorkerArtifactStore | None" = None
+
+
+def current_store() -> "WorkerArtifactStore | None":
+    """The store shard functions resolve keys through on this worker."""
+    return _ACTIVE_STORE
+
+
+def activate_store(store: "WorkerArtifactStore | None") -> None:
+    """Install (or clear, with None) the worker's active store."""
+    global _ACTIVE_STORE
+    _ACTIVE_STORE = store
+
+
+class WorkerArtifactStore:
+    """Pull-through cache: local tiers backed by the coordinator's store.
+
+    Args:
+        cache: the worker's local artifact cache (memory, optionally
+            disk when the worker was started with a cache directory).
+        pull: ``key -> CachedArtifact | None`` fetching a missing
+            artifact from the coordinator; None means the coordinator
+            does not hold the key either.
+    """
+
+    def __init__(
+        self,
+        cache: ArtifactCache,
+        pull: Callable[[str], CachedArtifact | None],
+    ) -> None:
+        self.cache = cache
+        self._pull = pull
+        self._lock = threading.Lock()
+        self.local_hits = 0
+        self.pulls = 0
+        self.pulled_bytes = 0
+        self.publishes = 0
+
+    def fetch(self, key: str) -> CachedArtifact:
+        """Resolve *key*: local tiers, then a coordinator pull."""
+        artifact = self.cache.get(key)
+        if artifact is not None:
+            with self._lock:
+                self.local_hits += 1
+            return artifact
+        artifact = self._pull(key)
+        if artifact is None:
+            raise ClusterError(
+                f"artifact {key[:12]}… is neither in this worker's cache nor "
+                f"in the coordinator's store"
+            )
+        with self._lock:
+            self.pulls += 1
+            self.pulled_bytes += artifact.nbytes
+        self.cache.put(key, artifact)
+        return artifact
+
+    def publish(self, key: str, artifact: CachedArtifact) -> None:
+        """Store a computed artifact locally (atomic, last writer wins)."""
+        self.cache.put(key, artifact)
+        with self._lock:
+            self.publishes += 1
+
+    def stats_delta(self) -> dict[str, int]:
+        """Snapshot and reset the per-shard transfer counters."""
+        with self._lock:
+            delta = {
+                "local_hits": self.local_hits,
+                "pulls": self.pulls,
+                "pulled_bytes": self.pulled_bytes,
+                "publishes": self.publishes,
+            }
+            self.local_hits = self.pulls = self.pulled_bytes = self.publishes = 0
+        return delta

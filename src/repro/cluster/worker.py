@@ -1,0 +1,316 @@
+"""The remote side of the cluster: ``repro worker``.
+
+A :class:`Worker` listens on one TCP port and serves one coordinator
+session at a time (parallelism across a cluster comes from running
+many workers, each executing one shard at a time — exactly one CPU's
+worth of work per worker, like a process-pool slot with a network in
+the middle).
+
+Per session the worker runs three threads:
+
+* the **receive loop** (session thread): decodes coordinator messages,
+  caches shipped shard functions by content id, queues dispatches, and
+  resolves in-flight artifact pulls;
+* the **execution thread**: runs one dispatched shard at a time
+  through the shipped shard function, resolving content-key inputs via
+  the worker's :class:`~repro.cluster.store.WorkerArtifactStore`
+  (local cache first, coordinator pull on miss), and ships each result
+  home with its transfer stats;
+* the **heartbeat thread**: emits liveness every
+  ``heartbeat_interval_s`` — *including while a shard is executing* —
+  so the coordinator can tell "busy on a long shard" from "dead".
+
+A dropped connection (coordinator finished, crashed, or was killed)
+ends the session; the worker discards session state, keeps its local
+artifact cache (the next session pulls nothing it already holds), and
+goes back to listening.
+"""
+
+from __future__ import annotations
+
+import os
+import queue
+import socket
+import sys
+import threading
+import time
+import traceback
+
+from repro.cache.store import ArtifactCache
+from repro.cluster import shipping
+from repro.cluster.protocol import (
+    PROTOCOL_VERSION,
+    Channel,
+    ChannelClosed,
+    ClusterError,
+    unpack_artifact,
+)
+from repro.cluster.store import WorkerArtifactStore, activate_store
+
+#: How long the execution thread waits for a requested artifact before
+#: declaring the session wedged.
+_PULL_TIMEOUT_S = 60.0
+
+_SHUTDOWN = object()
+
+
+class Worker:
+    """One cluster worker: listens, handshakes, executes shards.
+
+    Args:
+        host: interface to bind (default loopback; bind 0.0.0.0
+            explicitly for real multi-host runs).
+        port: TCP port; 0 picks a free one (see :attr:`address`).
+        cache_dir: optional local artifact-cache directory; without it
+            the worker caches pulled artifacts in memory only.
+        max_memory_bytes: local cache memory-tier cap.
+        verbose: log session events to stderr.
+    """
+
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        cache_dir: str | None = None,
+        max_memory_bytes: int = 256 * 1024 * 1024,
+        verbose: bool = False,
+    ) -> None:
+        self.cache = ArtifactCache(
+            max_memory_bytes=max_memory_bytes, directory=cache_dir
+        )
+        self.verbose = verbose
+        self.shards_run = 0
+        self.sessions = 0
+        self._listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        self._listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        self._listener.bind((host, port))
+        self._listener.listen(4)
+        self._stop = threading.Event()
+
+    @property
+    def address(self) -> tuple[str, int]:
+        """The (host, port) the worker is actually listening on."""
+        return self._listener.getsockname()[:2]
+
+    def _log(self, message: str) -> None:
+        if self.verbose:
+            host, port = self.address
+            print(f"[worker {host}:{port}] {message}", file=sys.stderr, flush=True)
+
+    def stop(self) -> None:
+        """Stop the accept loop (the current session finishes first)."""
+        self._stop.set()
+        try:
+            self._listener.close()
+        except OSError:
+            pass
+
+    def serve_forever(self, max_sessions: int | None = None) -> None:
+        """Accept coordinator sessions until stopped.
+
+        Args:
+            max_sessions: exit after this many sessions (None = run
+                until :meth:`stop`); ``repro worker --once`` uses 1.
+        """
+        self._log("listening")
+        while not self._stop.is_set():
+            try:
+                conn, peer = self._listener.accept()
+            except OSError:
+                break  # listener closed by stop()
+            conn.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+            channel = Channel(conn, name=f"coordinator {peer[0]}:{peer[1]}")
+            self.sessions += 1
+            self._log(f"session {self.sessions} from {peer[0]}:{peer[1]}")
+            try:
+                self._serve_session(channel)
+            except ChannelClosed:
+                self._log("session ended (connection closed)")
+            except Exception as exc:  # session-fatal, worker survives
+                self._log(f"session failed: {type(exc).__name__}: {exc}")
+            finally:
+                channel.close()
+            if max_sessions is not None and self.sessions >= max_sessions:
+                break
+        self.stop()
+
+    # -- one coordinator session ------------------------------------------
+
+    def _serve_session(self, channel: Channel) -> None:
+        header, _ = channel.recv()
+        if header.get("type") != "hello":
+            channel.send({"type": "reject", "reason": "expected hello"})
+            return
+        problem = self._handshake_problem(header)
+        if problem:
+            channel.send({"type": "reject", "reason": problem})
+            self._log(f"rejected session: {problem}")
+            return
+        channel.send(
+            {
+                "type": "welcome",
+                "python": shipping.python_tag(),
+                "pid": os.getpid(),
+                "host": socket.gethostname(),
+                "cache_entries": self.cache.stats().n_memory_entries,
+            }
+        )
+        heartbeat_interval = float(header.get("heartbeat_interval_s", 1.0))
+
+        session_over = threading.Event()
+        dispatches: queue.Queue = queue.Queue()
+        tasks: dict[str, object] = {}
+        pull_slot: dict[str, object] = {}
+        pull_ready = threading.Condition()
+
+        def pull(key: str):
+            with pull_ready:
+                channel.send({"type": "artifact-request", "key": key})
+                deadline = time.monotonic() + _PULL_TIMEOUT_S
+                while key not in pull_slot:
+                    remaining = deadline - time.monotonic()
+                    if remaining <= 0 or session_over.is_set():
+                        raise ClusterError(
+                            f"timed out pulling artifact {key[:12]}… from "
+                            f"the coordinator"
+                        )
+                    pull_ready.wait(timeout=min(remaining, 1.0))
+                return pull_slot.pop(key)
+
+        store = WorkerArtifactStore(self.cache, pull)
+
+        def heartbeat_loop() -> None:
+            while not session_over.wait(heartbeat_interval):
+                try:
+                    channel.send({"type": "heartbeat"})
+                except OSError:
+                    return
+
+        def execution_loop() -> None:
+            activate_store(store)
+            try:
+                while True:
+                    item = dispatches.get()
+                    if item is _SHUTDOWN:
+                        return
+                    self._run_shard(channel, tasks, store, *item)
+            finally:
+                activate_store(None)
+
+        threads = [
+            threading.Thread(target=heartbeat_loop, daemon=True),
+            threading.Thread(target=execution_loop, daemon=True),
+        ]
+        for thread in threads:
+            thread.start()
+        try:
+            while True:
+                header, blobs = channel.recv()
+                kind = header.get("type")
+                if kind == "task":
+                    tasks[header["fn_id"]] = self._load_task(blobs[0])
+                elif kind == "dispatch":
+                    dispatches.put(
+                        (header["run_id"], header["fn_id"], blobs[0])
+                    )
+                elif kind == "artifact":
+                    with pull_ready:
+                        pull_slot[header["key"]] = (
+                            unpack_artifact(header, blobs[0])
+                            if header.get("found")
+                            else None
+                        )
+                        pull_ready.notify_all()
+                elif kind == "shutdown":
+                    self._log("shutdown requested")
+                    return
+                else:
+                    raise ClusterError(f"unexpected message type {kind!r}")
+        finally:
+            session_over.set()
+            dispatches.put(_SHUTDOWN)
+            with pull_ready:
+                pull_ready.notify_all()
+
+    @staticmethod
+    def _handshake_problem(hello: dict) -> str | None:
+        if hello.get("protocol") != PROTOCOL_VERSION:
+            return (
+                f"protocol mismatch: coordinator speaks "
+                f"{hello.get('protocol')}, worker speaks {PROTOCOL_VERSION}"
+            )
+        if hello.get("python") != shipping.python_tag():
+            return (
+                f"python mismatch: coordinator runs {hello.get('python')}, "
+                f"worker runs {shipping.python_tag()} (by-value shipped "
+                f"functions require identical interpreter versions)"
+            )
+        return None
+
+    @staticmethod
+    def _load_task(blob: bytes) -> object:
+        """Unpickle a shipped shard function; failures surface at dispatch."""
+        try:
+            return shipping.loads(blob)
+        except Exception as exc:  # report per-shard, keep the session alive
+            return ClusterError(
+                f"could not load shipped shard function: "
+                f"{type(exc).__name__}: {exc}"
+            )
+
+    def _run_shard(
+        self,
+        channel: Channel,
+        tasks: dict,
+        store: WorkerArtifactStore,
+        run_id: int,
+        fn_id: str,
+        shard_blob: bytes,
+    ) -> None:
+        try:
+            shard_fn = tasks.get(fn_id)
+            if shard_fn is None:
+                raise ClusterError(f"dispatch references unknown task {fn_id[:12]}…")
+            if isinstance(shard_fn, Exception):
+                raise shard_fn
+            shard = shipping.loads(shard_blob)
+            start = time.perf_counter()
+            out = shard_fn(shard)
+            elapsed = time.perf_counter() - start
+            payload = shipping.dumps(out)
+        except Exception as exc:
+            try:
+                channel.send(
+                    {
+                        "type": "shard-error",
+                        "run_id": run_id,
+                        "shard_index": self._shard_index(shard_blob),
+                        "error": f"{type(exc).__name__}: {exc}",
+                        "details": traceback.format_exc(),
+                    }
+                )
+            except OSError:
+                pass
+            return
+        self.shards_run += 1
+        stats = store.stats_delta()
+        try:
+            channel.send(
+                {
+                    "type": "result",
+                    "run_id": run_id,
+                    "shard_index": shard.index,
+                    "elapsed_s": elapsed,
+                    "stats": stats,
+                },
+                (payload,),
+            )
+        except OSError:
+            pass  # session died; the coordinator will re-dispatch
+
+    @staticmethod
+    def _shard_index(shard_blob: bytes) -> int:
+        try:
+            return shipping.loads(shard_blob).index
+        except Exception:
+            return -1

@@ -4,6 +4,8 @@
 ``--only`` subset — as **one DAG run**:
 
     repro report [--quick] [--only fig2,fig4] [--jobs N | --threads N]
+                 [--backend serial|thread|process|cluster]
+                 [--workers host:port,host:port]
                  [--resume] [--plan] [--progress]
                  [--cache-dir DIR] [--out REPORT.md] [--json PANELS.json]
     repro report --from-json PANELS.json --out REPORT.md   # render only
@@ -35,11 +37,10 @@ from repro.dag.report import PANELS_NODE, build_report_graph
 from repro.dag.scheduler import DagScheduler, DagSurvey
 from repro.exceptions import ReproError
 from repro.runtime import (
-    ProcessPoolBackend,
+    BACKEND_CHOICES,
     ProgressPrinter,
-    SerialBackend,
     Telemetry,
-    ThreadPoolBackend,
+    resolve_backend,
 )
 
 #: Default on-disk artifact store, shared with ``repro cache`` and the
@@ -89,14 +90,6 @@ def format_plan(survey: DagSurvey, cache_dir: str | None = None) -> str:
     return "\n".join(lines)
 
 
-def _build_backend(jobs: int, threads: int):
-    if threads:
-        return ThreadPoolBackend(threads)
-    if jobs > 1:
-        return ProcessPoolBackend(jobs)
-    return SerialBackend()
-
-
 def report_main(argv: list[str] | None = None) -> int:
     """Entry point for ``repro report``; returns the process exit code."""
     parser = argparse.ArgumentParser(
@@ -127,6 +120,20 @@ def report_main(argv: list[str] | None = None) -> int:
         metavar="N",
         help="worker threads instead of processes (mutually exclusive "
         "with --jobs)",
+    )
+    parser.add_argument(
+        "--backend",
+        choices=BACKEND_CHOICES,
+        default=None,
+        help="execution backend (default: inferred from --jobs/--threads/"
+        "--workers; results are bit-identical for every choice)",
+    )
+    parser.add_argument(
+        "--workers",
+        metavar="ADDRS",
+        default=None,
+        help="cluster worker addresses as host:port[,host:port…] "
+        "(start workers with 'repro worker'; implies --backend cluster)",
     )
     parser.add_argument(
         "--resume",
@@ -224,9 +231,17 @@ def report_main(argv: list[str] | None = None) -> int:
     if args.progress:
         telemetry = Telemetry()
         telemetry.subscribe(ProgressPrinter())
+    try:
+        backend = resolve_backend(
+            args.backend, jobs=args.jobs, threads=args.threads,
+            workers=args.workers,
+        )
+    except ReproError as exc:
+        print(f"report failed: {exc}", file=sys.stderr)
+        return 2
     scheduler = DagScheduler(
         cache=ArtifactCache(directory=Path(args.cache_dir)),
-        backend=_build_backend(args.jobs, args.threads),
+        backend=backend,
         telemetry=telemetry,
     )
     try:
@@ -236,6 +251,23 @@ def report_main(argv: list[str] | None = None) -> int:
     except ReproError as exc:
         print(f"report failed: {exc}", file=sys.stderr)
         return 2
+    finally:
+        stats = getattr(backend, "stats", None)
+        if callable(stats):
+            for label, worker in sorted(stats().items()):
+                w = worker.as_dict()
+                print(
+                    f"worker {label}: {w['shards']} shard(s), "
+                    f"{w['bytes_sent']}B out / {w['bytes_received']}B in, "
+                    f"{w['artifact_pulls']} pull(s) "
+                    f"({w['pulled_bytes']}B), cache hit rate "
+                    f"{w['cache_hit_rate']:.0%}, "
+                    f"{w['redispatches']} re-dispatch(es)",
+                    file=sys.stderr,
+                )
+        close = getattr(backend, "close", None)
+        if callable(close):
+            close()
 
     from repro.dag.build import json_payload
     from repro.experiments.common import ExperimentResult

@@ -134,25 +134,67 @@ def _context_rng(node: TaskNode, output_key: str) -> np.random.Generator:
     return np.random.default_rng(int(output_key[:16], 16))
 
 
-def _make_node_shard_fn(batch: dict[int, tuple[TaskNode, dict, str]]):
+class _NodeShardFn:
     """A :data:`~repro.runtime.ShardFn` running one graph node per shard.
 
-    *batch* maps shard index → (node, loaded inputs, output key); the
-    closure crosses into pool workers by fork inheritance exactly like
-    campaign shard functions.  Node exceptions come back as
-    :class:`_NodeFailure` values so sibling nodes in the same wave
-    still publish before the run aborts.
+    *batch* maps shard index → (node, input keys, output key).  Inputs
+    travel as content addresses, not payloads: in-process backends (and
+    fork-inherited pool workers) resolve them through the scheduler's
+    own cache reference, while cluster workers — which receive this
+    object with the cache stripped via :meth:`for_cluster` — resolve
+    them through their :func:`~repro.cluster.store.current_store`
+    (local cache first, coordinator pull on miss) and publish their
+    computed output locally so later waves hit without a transfer.
+    Node exceptions come back as :class:`_NodeFailure` values so
+    sibling nodes in the same wave still publish before the run aborts.
     """
 
-    def run_node(shard: Shard) -> list:
-        node, inputs, output_key = batch[shard.index]
-        ctx = TaskContext(
-            node=node,
-            inputs=inputs,
-            output_key=output_key,
-            rng=_context_rng(node, output_key),
-        )
+    def __init__(
+        self,
+        batch: dict[int, tuple[TaskNode, dict[str, str], str]],
+        cache: ArtifactCache | None = None,
+    ) -> None:
+        self.batch = batch
+        self.cache = cache
+
+    def for_cluster(self) -> "_NodeShardFn":
+        """The shippable form: keys only, no cache reference (locks
+        don't pickle; workers bring their own store)."""
+        return _NodeShardFn(self.batch, cache=None)
+
+    def _resolve(self, name: str, key: str) -> CachedArtifact:
+        if self.cache is not None:
+            artifact = self.cache.get(key)
+            if artifact is None:
+                raise DagError(
+                    f"artifact for node {name!r} (key {key[:12]}…) vanished "
+                    f"from the cache between publication and use; raise the "
+                    f"cache's memory/disk caps or give it a directory"
+                )
+            return artifact
+        from repro.cluster.store import current_store
+
+        store = current_store()
+        if store is None:
+            raise DagError(
+                f"no artifact source in this process for node {name!r}: "
+                f"the shard function was shipped without its cache but no "
+                f"worker store is active"
+            )
+        return store.fetch(key)
+
+    def __call__(self, shard: Shard) -> list:
+        node, input_keys, output_key = self.batch[shard.index]
         try:
+            inputs = {
+                dep: self._resolve(dep, key) for dep, key in input_keys.items()
+            }
+            ctx = TaskContext(
+                node=node,
+                inputs=inputs,
+                output_key=output_key,
+                rng=_context_rng(node, output_key),
+            )
             artifact = normalize_output(node, node.run(ctx))
         except Exception as exc:
             return [
@@ -164,9 +206,14 @@ def _make_node_shard_fn(batch: dict[int, tuple[TaskNode, dict, str]]):
             ]
         meta = dict(artifact.meta)
         meta["node_kind"] = node.kind
-        return [(dict(artifact.arrays), meta)]
+        arrays = dict(artifact.arrays)
+        if self.cache is None:
+            from repro.cluster.store import current_store
 
-    return run_node
+            store = current_store()
+            if store is not None:
+                store.publish(output_key, CachedArtifact.build(arrays, meta))
+        return [(arrays, meta)]
 
 
 class DagScheduler:
@@ -278,6 +325,11 @@ class DagScheduler:
         """
         start = time.perf_counter()
         graph.validate()
+        bind = getattr(self.backend, "bind_artifact_source", None)
+        if callable(bind):
+            # Multi-host backends serve worker artifact pulls from the
+            # scheduler's own cache; in-process backends have no hook.
+            bind(self.cache)
         resolved = self._resolve_targets(graph, targets)
         order = self._closure_order(graph, resolved)
         if recover:
@@ -310,7 +362,7 @@ class DagScheduler:
                 index: (
                     graph.node(name),
                     {
-                        dep: self._load(graph, dep)
+                        dep: graph.output_key(dep)
                         for dep in graph.node(name).inputs
                     },
                     graph.output_key(name),
@@ -323,7 +375,7 @@ class DagScheduler:
             ]
             failures: list[_NodeFailure] = []
             for result in self.backend.run_shards(
-                _make_node_shard_fn(batch), shards
+                _NodeShardFn(batch, cache=self.cache), shards
             ):
                 node, _, key = batch[result.index]
                 payload = result.values[0]

@@ -23,12 +23,14 @@ unfused plans.
 """
 
 from repro.runtime.backend import (
+    BACKEND_CHOICES,
     Executor,
     ProcessPoolBackend,
     SerialBackend,
     ThreadPoolBackend,
     ShardResult,
     default_start_method,
+    resolve_backend,
 )
 from repro.runtime.checkpoint import CheckpointStore
 from repro.runtime.executor import TrialRuntime
@@ -58,6 +60,7 @@ __all__ = [
     "Arm",
     "ArmRequest",
     "ArtifactPipeline",
+    "BACKEND_CHOICES",
     "CacheSnapshot",
     "CheckpointStore",
     "DagCompleted",
@@ -82,4 +85,5 @@ __all__ = [
     "default_shard_size",
     "default_start_method",
     "fuse",
+    "resolve_backend",
 ]

@@ -71,10 +71,15 @@ class Executor(ABC):
         crosses_process_boundary: True when shards may run in other
             processes, so artifacts shared with workers must travel
             through inherited or shared memory, not object references.
+        ships_artifacts: True when the backend moves artifacts to its
+            workers itself (content-addressed pulls over its own
+            transport), so callers must not pre-broadcast payloads
+            through shared memory — keys alone suffice.
     """
 
     jobs: int = 1
     crosses_process_boundary: bool = False
+    ships_artifacts: bool = False
 
     @abstractmethod
     def run_shards(
@@ -206,6 +211,72 @@ def default_start_method() -> str:
     """
     available = multiprocessing.get_all_start_methods()
     return "fork" if "fork" in available else "spawn"
+
+
+#: Backend names accepted by every repro CLI's ``--backend`` flag.
+BACKEND_CHOICES = ("serial", "thread", "process", "cluster")
+
+
+def resolve_backend(
+    name: str | None = None,
+    jobs: int = 1,
+    threads: int = 0,
+    workers: str | None = None,
+) -> Executor:
+    """Build an :class:`Executor` from the uniform CLI flags.
+
+    Every repro CLI exposes the same surface — ``--backend
+    {serial,thread,process,cluster}`` plus the sizing flags ``--jobs``
+    (processes), ``--threads`` (threads), and ``--workers host:port,…``
+    (cluster) — and resolves it here, so flag semantics cannot drift
+    between entry points.
+
+    Args:
+        name: explicit backend choice; None infers one from the sizing
+            flags for backward compatibility (``--threads N`` → thread,
+            ``--jobs N>1`` → process, otherwise serial).
+        jobs: worker-process count for the process backend.
+        threads: worker-thread count for the thread backend.
+        workers: cluster worker addresses (``host:port,host:port``);
+            required by — and only meaningful for — the cluster
+            backend.
+
+    Raises:
+        ConfigurationError: unknown name, missing/invalid sizing for
+            the chosen backend, or ``--workers`` without ``cluster``.
+    """
+    if name is None:
+        if workers:
+            name = "cluster"
+        elif threads:
+            name = "thread"
+        elif jobs > 1:
+            name = "process"
+        else:
+            name = "serial"
+    if name != "cluster" and workers:
+        raise ConfigurationError(
+            f"--workers only applies to the cluster backend, not {name!r}"
+        )
+    if name == "serial":
+        return SerialBackend()
+    if name == "thread":
+        return ThreadPoolBackend(threads or max(jobs, 1))
+    if name == "process":
+        return ProcessPoolBackend(max(jobs, 1))
+    if name == "cluster":
+        if not workers:
+            raise ConfigurationError(
+                "the cluster backend needs --workers host:port[,host:port…] "
+                "(start them with 'repro worker')"
+            )
+        from repro.cluster import ClusterBackend  # deferred: repro.cluster
+        # imports this module, so a top-level import would be circular.
+
+        return ClusterBackend(workers)
+    raise ConfigurationError(
+        f"unknown backend {name!r}; choose one of {', '.join(BACKEND_CHOICES)}"
+    )
 
 
 class ProcessPoolBackend(Executor):

@@ -45,20 +45,27 @@ def _jsonable(value: object) -> object:
     return float(value)  # type: ignore[arg-type]
 
 
-def _make_shard_fn(trial_fn: TrialFn) -> Callable[[Shard], list]:
-    def run_shard(shard: Shard) -> list:
+class _TrialShardFn:
+    """Runs one shard of independently seeded trials.
+
+    A class (not a closure) so the object itself pickles; whether it
+    can *ship* depends only on ``trial_fn`` — lambdas and closures
+    cross to cluster workers by value through
+    :mod:`repro.cluster.shipping`, and to fork-context pool workers by
+    inheritance, exactly as before.
+    """
+
+    def __init__(self, trial_fn: TrialFn) -> None:
+        self.trial_fn = trial_fn
+
+    def __call__(self, shard: Shard) -> list:
         return [
-            _jsonable(trial_fn(np.random.default_rng(seed))) for seed in shard.seeds
+            _jsonable(self.trial_fn(np.random.default_rng(seed)))
+            for seed in shard.seeds
         ]
 
-    return run_shard
 
-
-def _make_fused_shard_fn(
-    group: FusedGroup,
-    cache: ArtifactCache | None,
-    overlay: SharedArtifactMap | None,
-) -> Callable[[Shard], object]:
+class _FusedShardFn:
     """Shard function for a fused group: produce once, evaluate all arms.
 
     Each trial's value is the *list* of its per-arm values in arm
@@ -66,28 +73,57 @@ def _make_fused_shard_fn(
     is given, it is attached to the cache on entry, so pool workers
     serve warm artifacts zero-copy instead of reproducing them.  When
     the shard ran in a different process than the one that built this
-    closure, the worker's cache-counter delta rides back as shard meta
+    object, the worker's cache-counter delta rides back as shard meta
     so the parent's telemetry counts worker-side hits.
-    """
-    parent_pid = os.getpid()
 
-    def run_shard(shard: Shard) -> object:
-        if cache is not None and overlay is not None:
-            cache.attach_overlay(overlay)
+    :meth:`for_cluster` strips the cache and overlay (neither survives
+    a TCP boundary); on a cluster worker the shard instead produces
+    through the worker's own local artifact cache when one is active
+    (:func:`repro.cluster.store.current_store`), so repeated trials on
+    a warm worker still reuse pristine datasets and fault realizations.
+    """
+
+    def __init__(
+        self,
+        group: FusedGroup,
+        cache: ArtifactCache | None,
+        overlay: SharedArtifactMap | None,
+    ) -> None:
+        self.group = group
+        self.cache = cache
+        self.overlay = overlay
+        self.parent_pid = os.getpid()
+
+    def for_cluster(self) -> "_FusedShardFn":
+        return _FusedShardFn(self.group, None, None)
+
+    def _active_cache(self) -> ArtifactCache | None:
+        if self.cache is not None:
+            return self.cache
+        from repro.cluster.store import current_store
+
+        store = current_store()
+        return store.cache if store is not None else None
+
+    def __call__(self, shard: Shard) -> object:
+        cache = self._active_cache()
+        if cache is not None and self.overlay is not None:
+            cache.attach_overlay(self.overlay)
         before = cache.counters() if cache is not None else None
         values = []
         for seed in shard.seeds:
-            pristine, corrupted = group.pipeline.produce(seed, cache)
+            pristine, corrupted = self.group.pipeline.produce(seed, cache)
             values.append(
-                [_jsonable(arm.evaluate(corrupted, pristine)) for arm in group.arms]
+                [
+                    _jsonable(arm.evaluate(corrupted, pristine))
+                    for arm in self.group.arms
+                ]
             )
-        if cache is not None and os.getpid() != parent_pid:
+        if cache is not None and os.getpid() != self.parent_pid:
             after = cache.counters()
             delta = {name: after[name] - before[name] for name in after}
             return values, {"cache_counters": delta}
         return values
-
-    return run_shard
 
 
 class TrialRuntime:
@@ -140,7 +176,7 @@ class TrialRuntime:
         if key is None:
             key = f"run-{next(self._auto_keys):04d}"
         plan = TrialPlan(n_trials, seed, self.shard_size)
-        return self._execute(plan, _make_shard_fn(trial_fn), key)
+        return self._execute(plan, _TrialShardFn(trial_fn), key)
 
     def run_fused(
         self,
@@ -176,9 +212,13 @@ class TrialRuntime:
         broadcast = None
         overlay = None
         broadcast_bytes = 0
+        bind = getattr(self.backend, "bind_artifact_source", None)
+        if callable(bind) and self.cache is not None:
+            bind(self.cache)
         if (
             self.cache is not None
             and self.backend.crosses_process_boundary
+            and not getattr(self.backend, "ships_artifacts", False)
             and self.backend.jobs > 1
         ):
             warm = self._warm_entries(group, plan)
@@ -193,7 +233,7 @@ class TrialRuntime:
                     self.cache.merge_counters(delta)
 
         try:
-            shard_fn = _make_fused_shard_fn(group, self.cache, overlay)
+            shard_fn = _FusedShardFn(group, self.cache, overlay)
             values = self._execute(
                 plan, shard_fn, key, result_hook=merge_worker_counters
             )

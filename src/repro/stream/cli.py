@@ -48,6 +48,7 @@ from repro.stream.source import (
     LimitedSource,
     SyntheticWalkSource,
 )
+from repro.runtime.backend import BACKEND_CHOICES
 from repro.stream.telemetry import StreamProgressPrinter, Telemetry
 
 #: Exit code when --limit-chunks stopped the run before exhaustion.
@@ -180,6 +181,23 @@ def build_parser() -> argparse.ArgumentParser:
         help="inlet backpressure policy (default %(default)s)",
     )
     run = parser.add_argument_group("run control")
+    run.add_argument(
+        "--backend",
+        choices=BACKEND_CHOICES,
+        default="serial",
+        help="execution backend (uniform across repro CLIs; the stream "
+        "pipeline is stateful and in-process, so only 'serial' and "
+        "'thread' apply — 'process' and 'cluster' are refused with "
+        "exit code 2)",
+    )
+    run.add_argument(
+        "--workers",
+        metavar="ADDRS",
+        default=None,
+        help="cluster worker addresses (accepted for flag uniformity; "
+        "refused here — batch campaigns via 'repro report' are the "
+        "cluster-capable path)",
+    )
     run.add_argument(
         "--limit-chunks",
         type=int,
@@ -332,6 +350,19 @@ def _result_json(result: StreamResult) -> dict:
 def main(argv: list[str] | None = None) -> int:
     """Entry point for ``repro stream``; returns the exit code."""
     args = build_parser().parse_args(argv)
+    if args.workers and args.backend != "cluster":
+        print("--workers only applies to --backend cluster", file=sys.stderr)
+        return 2
+    if args.backend in ("process", "cluster"):
+        print(
+            f"repro stream runs a stateful in-process pipeline (voter "
+            f"stacks carry frames across chunk boundaries); --backend "
+            f"{args.backend} is not supported — use serial or thread, or "
+            f"run batch campaigns over the cluster with 'repro report "
+            f"--backend cluster'",
+            file=sys.stderr,
+        )
+        return 2
     if args.frames < 0:
         print(f"--frames must be >= 0, got {args.frames}", file=sys.stderr)
         return 2

@@ -26,6 +26,7 @@ def reports(tmp_path_factory):
     cache_out = bench_dir / "cache.json"
     native_out = bench_dir / "native.json"
     dag_out = bench_dir / "dag.json"
+    cluster_out = bench_dir / "cluster.json"
     assert (
         bench_report.main(
             [
@@ -42,6 +43,8 @@ def reports(tmp_path_factory):
                 str(native_out),
                 "--dag-out",
                 str(dag_out),
+                "--cluster-out",
+                str(cluster_out),
             ]
         )
         == 0
@@ -52,6 +55,7 @@ def reports(tmp_path_factory):
         json.loads(cache_out.read_text()),
         json.loads(native_out.read_text()),
         json.loads(dag_out.read_text()),
+        json.loads(cluster_out.read_text()),
     )
 
 
@@ -78,6 +82,11 @@ def native_report(reports):
 @pytest.fixture(scope="module")
 def dag_report(reports):
     return reports[4]
+
+
+@pytest.fixture(scope="module")
+def cluster_report(reports):
+    return reports[5]
 
 
 def test_report_top_level_schema(report):
@@ -335,6 +344,70 @@ def test_committed_dag_report_is_schema_valid():
     assert run["bit_identical"] is True
     assert run["n_restored_warm"] == run["n_nodes"]
     assert run["dag_warm_s"] < run["dag_cold_s"]
+
+
+def test_cluster_report_top_level_schema(cluster_report):
+    assert (
+        cluster_report["schema_version"] == bench_report.CLUSTER_SCHEMA_VERSION
+    )
+    assert cluster_report["quick"] is True
+    assert cluster_report["cpu_count"] >= 1
+    assert isinstance(cluster_report["single_core_container"], bool)
+    assert isinstance(cluster_report["scaling"], dict)
+    assert set(bench_report.CLUSTER_OVERHEAD_KEYS) <= set(
+        cluster_report["overhead"]
+    )
+
+
+def test_cluster_report_scaling_runs(cluster_report):
+    scaling = cluster_report["scaling"]
+    assert scaling["serial_s"] > 0
+    assert scaling["runs"]
+    for run in scaling["runs"]:
+        assert set(bench_report.CLUSTER_RUN_KEYS) <= set(run), run
+        assert run["workers"] >= 1
+        assert run["elapsed_s"] > 0
+        assert run["bytes_sent"] > 0
+        assert run["bytes_received"] > 0
+        assert len(run["per_worker"]) == run["workers"]
+
+
+def test_cluster_report_witnesses_bit_identity(cluster_report):
+    """Every worker count produces byte-identical report panels —
+    the backend-independence contract, witnessed in the benchmark."""
+    assert cluster_report["scaling"]["bit_identical_all"] is True
+    for run in cluster_report["scaling"]["runs"]:
+        assert run["bit_identical"] is True
+
+
+def test_cluster_report_overhead_entry(cluster_report):
+    overhead = cluster_report["overhead"]
+    assert overhead["n_shards"] >= 1
+    assert overhead["cluster_s"] > 0
+    assert overhead["per_shard_roundtrip_ms"] > 0
+    assert overhead["per_shard_overhead_ms"] >= 0
+    # Warm dispatches carry keys and floats, not arrays or functions.
+    assert 0 < overhead["wire_bytes_per_shard"] < 10_000
+
+
+def test_committed_cluster_report_is_schema_valid():
+    """The checked-in BENCH_PR9.json must parse under the same schema
+    and meet the acceptance gate: >= 1.7x at two workers, or a
+    documented single-core-container caveat with per-shard overhead
+    numbers making the dispatch cost inspectable."""
+    committed = json.loads((REPO_ROOT / "BENCH_PR9.json").read_text())
+    assert committed["schema_version"] == bench_report.CLUSTER_SCHEMA_VERSION
+    scaling = committed["scaling"]
+    assert scaling["bit_identical_all"] is True
+    for run in scaling["runs"]:
+        assert set(bench_report.CLUSTER_RUN_KEYS) <= set(run)
+    assert set(bench_report.CLUSTER_OVERHEAD_KEYS) <= set(
+        committed["overhead"]
+    )
+    if committed["scaling"]["speedup_at_2"] < 1.7:
+        assert committed["single_core_container"] is True
+        assert "single-core" in committed["note"]
+        assert committed["overhead"]["per_shard_overhead_ms"] >= 0
 
 
 load_serve = pytest.importorskip("load_serve")

@@ -173,6 +173,33 @@ DAG_RUN_KEYS = (
     "bit_identical",
 )
 
+#: BENCH_PR9.json schema version (cluster backend report).
+CLUSTER_SCHEMA_VERSION = 1
+
+#: Keys every per-worker-count scaling run must carry.
+CLUSTER_RUN_KEYS = (
+    "workers",
+    "elapsed_s",
+    "speedup",
+    "bit_identical",
+    "bytes_sent",
+    "bytes_received",
+    "artifact_pulls",
+    "pulled_bytes",
+    "cache_hit_rate",
+    "per_worker",
+)
+
+#: Keys the per-shard dispatch overhead section must carry.
+CLUSTER_OVERHEAD_KEYS = (
+    "n_shards",
+    "serial_s",
+    "cluster_s",
+    "per_shard_roundtrip_ms",
+    "per_shard_overhead_ms",
+    "wire_bytes_per_shard",
+)
+
 #: Keys every NumPy-vs-native kernel entry must carry.
 NATIVE_KERNEL_KEYS = ("name", "config", "numpy_ms", "native_ms", "speedup")
 
@@ -1000,6 +1027,160 @@ def build_dag_report(quick: bool) -> dict:
     }
 
 
+def _cluster_noop_shard_fn(shard):
+    # Near-zero compute: the cluster round trip IS the measurement.
+    return [float(seed) for seed in shard.seeds]
+
+
+def _bench_cluster_scaling(quick: bool) -> dict:
+    """The report subset over 1/2/4 loopback workers vs serial.
+
+    Every cluster run is byte-compared against the serial panels — the
+    bit-identity contract witnessed inside the benchmark, like the
+    fused-sweep and DAG sections.  Workers are real forked processes
+    crossing the real TCP protocol, so on a single-core container they
+    time-slice one CPU and wall-clock speedup is not expected there;
+    ``cpu_count`` is recorded so the numbers are interpretable.
+    """
+    import os
+
+    from repro.cluster import LocalCluster
+    from repro.dag.build import json_payload
+    from repro.dag.report import PANELS_NODE, build_report_graph
+    from repro.dag.scheduler import DagScheduler
+
+    experiments = ["fig2"] if quick else ["fig2", "fig4", "motivation"]
+    start = time.perf_counter()
+    reference = json_payload(
+        DagScheduler(cache=ArtifactCache()).run(
+            build_report_graph(experiments, quick=quick),
+            targets=(PANELS_NODE,),
+        )[PANELS_NODE]
+    )
+    serial_s = time.perf_counter() - start
+    reference_blob = json.dumps(reference, sort_keys=True)
+
+    runs = []
+    for n_workers in (1, 2) if quick else (1, 2, 4):
+        with LocalCluster(n_workers=n_workers) as cluster:
+            backend = cluster.backend(
+                heartbeat_interval_s=0.2, heartbeat_timeout_s=10.0
+            )
+            scheduler = DagScheduler(cache=ArtifactCache(), backend=backend)
+            start = time.perf_counter()
+            panels = json_payload(
+                scheduler.run(
+                    build_report_graph(experiments, quick=quick),
+                    targets=(PANELS_NODE,),
+                )[PANELS_NODE]
+            )
+            elapsed = time.perf_counter() - start
+            stats = [w.as_dict() for w in backend.stats().values()]
+            backend.close()
+        pulls = sum(w["artifact_pulls"] for w in stats)
+        hits = sum(w["local_hits"] for w in stats)
+        runs.append(
+            {
+                "workers": n_workers,
+                "elapsed_s": round(elapsed, 4),
+                "speedup": round(serial_s / max(elapsed, 1e-9), 2),
+                "bit_identical": json.dumps(panels, sort_keys=True)
+                == reference_blob,
+                "bytes_sent": sum(w["bytes_sent"] for w in stats),
+                "bytes_received": sum(w["bytes_received"] for w in stats),
+                "artifact_pulls": pulls,
+                "pulled_bytes": sum(w["pulled_bytes"] for w in stats),
+                "cache_hit_rate": round(hits / max(hits + pulls, 1), 4),
+                "per_worker": stats,
+            }
+        )
+    at_two = next((r for r in runs if r["workers"] == 2), runs[-1])
+    return {
+        "experiments": experiments,
+        "serial_s": round(serial_s, 4),
+        "runs": runs,
+        "speedup_at_2": at_two["speedup"],
+        "bit_identical_all": all(r["bit_identical"] for r in runs),
+        "cpu_count": os.cpu_count(),
+    }
+
+
+def _bench_cluster_overhead(quick: bool) -> dict:
+    """Per-shard dispatch cost over a warm single-worker connection.
+
+    Runs near-empty shards so the measured time is the protocol itself:
+    pickle + frame + TCP round trip + result unpack.  The overhead
+    column is what a shard must out-compute for remote dispatch to pay
+    off on an otherwise idle worker.
+    """
+    from repro.cluster import LocalCluster
+    from repro.runtime import SerialBackend
+    from repro.runtime.plan import Shard
+
+    n_shards = 32 if quick else 256
+    shards = [
+        Shard(index=i, start=i, stop=i + 1, seeds=(i,))
+        for i in range(n_shards)
+    ]
+    start = time.perf_counter()
+    list(SerialBackend().run_shards(_cluster_noop_shard_fn, shards))
+    serial_s = time.perf_counter() - start
+
+    with LocalCluster(n_workers=1) as cluster:
+        backend = cluster.backend(
+            heartbeat_interval_s=0.5, heartbeat_timeout_s=10.0
+        )
+        # Warm run: connect, handshake, and ship the function once so
+        # the timed loop sees the steady-state ~O(100B) dispatches.
+        list(backend.run_shards(_cluster_noop_shard_fn, shards[:1]))
+        warm_bytes = sum(
+            w.bytes_sent + w.bytes_received for w in backend.stats().values()
+        )
+        start = time.perf_counter()
+        list(backend.run_shards(_cluster_noop_shard_fn, shards))
+        cluster_s = time.perf_counter() - start
+        total_bytes = sum(
+            w.bytes_sent + w.bytes_received for w in backend.stats().values()
+        )
+        backend.close()
+
+    return {
+        "n_shards": n_shards,
+        "serial_s": round(serial_s, 4),
+        "cluster_s": round(cluster_s, 4),
+        "per_shard_roundtrip_ms": round(cluster_s / n_shards * 1e3, 3),
+        "per_shard_overhead_ms": round(
+            max(cluster_s - serial_s, 0.0) / n_shards * 1e3, 3
+        ),
+        "wire_bytes_per_shard": round((total_bytes - warm_bytes) / n_shards),
+    }
+
+
+def build_cluster_report(quick: bool) -> dict:
+    import os
+
+    cpu_count = os.cpu_count() or 1
+    return {
+        "schema_version": CLUSTER_SCHEMA_VERSION,
+        "generated_by": "tools/bench_report.py" + (" --quick" if quick else ""),
+        "quick": quick,
+        "python": platform.python_version(),
+        "numpy": np.__version__,
+        "cpu_count": cpu_count,
+        "single_core_container": cpu_count < 2,
+        "note": (
+            "generated on a single-core container: loopback workers "
+            "time-slice one CPU, so wall-clock speedup over serial is "
+            "not expected here; see per_shard_overhead_ms for the "
+            "dispatch cost a multi-core deployment amortises"
+            if cpu_count < 2
+            else ""
+        ),
+        "scaling": _bench_cluster_scaling(quick),
+        "overhead": _bench_cluster_overhead(quick),
+    }
+
+
 def build_cache_report(quick: bool) -> dict:
     return {
         "schema_version": CACHE_SCHEMA_VERSION,
@@ -1073,6 +1254,12 @@ def main(argv: list[str] | None = None) -> int:
         type=Path,
         default=REPO_ROOT / "BENCH_PR8.json",
         help="DAG orchestrator report path (default: repo-root BENCH_PR8.json)",
+    )
+    parser.add_argument(
+        "--cluster-out",
+        type=Path,
+        default=REPO_ROOT / "BENCH_PR9.json",
+        help="cluster backend report path (default: repo-root BENCH_PR9.json)",
     )
     parser.add_argument(
         "--repeats",
@@ -1183,6 +1370,29 @@ def main(argv: list[str] | None = None) -> int:
         f"bit_identical={d['bit_identical']}"
     )
     print(f"wrote {args.dag_out}")
+
+    cluster_report = build_cluster_report(args.quick)
+    args.cluster_out.write_text(json.dumps(cluster_report, indent=2) + "\n")
+    s = cluster_report["scaling"]
+    for r in s["runs"]:
+        print(
+            f"cluster: {r['workers']} worker(s)  {r['elapsed_s']}s "
+            f"({r['speedup']}x vs serial {s['serial_s']}s)  "
+            f"pulls={r['artifact_pulls']} ({r['pulled_bytes']} B)  "
+            f"hit rate {r['cache_hit_rate']:.0%}  "
+            f"bit_identical={r['bit_identical']}"
+        )
+    o = cluster_report["overhead"]
+    print(
+        f"cluster overhead: {o['n_shards']} empty shards  "
+        f"{o['per_shard_roundtrip_ms']}ms round trip / "
+        f"{o['per_shard_overhead_ms']}ms overhead per shard  "
+        f"{o['wire_bytes_per_shard']} B on the wire  "
+        f"(cpu_count={cluster_report['cpu_count']})"
+    )
+    if cluster_report["note"]:
+        print(f"cluster note: {cluster_report['note']}")
+    print(f"wrote {args.cluster_out}")
     return 0
 
 

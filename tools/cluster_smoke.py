@@ -1,0 +1,167 @@
+"""CI smoke test for the cluster backend: kill a worker mid-report.
+
+Spawns three real ``repro worker`` subprocesses on loopback ports,
+runs the quick fig2 report DAG over them through ``ClusterBackend``,
+SIGKILLs one worker while shards are in flight, and byte-compares the
+resulting panels against a serial in-process run.  Exercises the whole
+stack end to end — the worker CLI, the TCP protocol, by-value function
+shipping, content-addressed artifact pulls, heartbeat-timeout
+detection, and shard re-dispatch — with zero mocks.
+
+Exit code 0 only if the interrupted cluster run is byte-identical to
+serial.  Usage::
+
+    PYTHONPATH=src python tools/cluster_smoke.py
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import signal
+import subprocess
+import sys
+import tempfile
+import threading
+import time
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+SRC_ROOT = REPO_ROOT / "src"
+sys.path.insert(0, str(SRC_ROOT))
+
+from repro.cache.store import ArtifactCache  # noqa: E402
+from repro.cluster import ClusterBackend  # noqa: E402
+from repro.dag.build import json_payload  # noqa: E402
+from repro.dag.report import PANELS_NODE, build_report_graph  # noqa: E402
+from repro.dag.scheduler import DagScheduler  # noqa: E402
+
+N_WORKERS = 3
+
+
+def _spawn_worker(cache_dir: str) -> tuple[subprocess.Popen, tuple[str, int]]:
+    """Start one ``repro worker`` subprocess and read its bound address."""
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(SRC_ROOT) + os.pathsep + env.get("PYTHONPATH", "")
+    proc = subprocess.Popen(
+        [
+            sys.executable,
+            "-m",
+            "repro.cli",
+            "worker",
+            "--port",
+            "0",
+            "--cache-dir",
+            cache_dir,
+        ],
+        stdout=subprocess.PIPE,
+        stderr=subprocess.DEVNULL,
+        text=True,
+        env=env,
+    )
+    line = (proc.stdout.readline() or "").strip()
+    if not line or proc.poll() is not None:
+        proc.kill()
+        raise RuntimeError("worker subprocess failed to report an address")
+    host, _, port = line.rpartition(":")
+    return proc, (host, int(port))
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.parse_args(argv)
+
+    experiments = ["fig2"]
+    print(f"serial reference: {experiments} (quick)")
+    start = time.perf_counter()
+    reference = json_payload(
+        DagScheduler(cache=ArtifactCache()).run(
+            build_report_graph(experiments, quick=True),
+            targets=(PANELS_NODE,),
+        )[PANELS_NODE]
+    )
+    print(f"serial reference done in {time.perf_counter() - start:.2f}s")
+
+    with tempfile.TemporaryDirectory(prefix="repro-cluster-smoke-") as base:
+        procs: list[subprocess.Popen] = []
+        addresses: list[tuple[str, int]] = []
+        try:
+            for i in range(N_WORKERS):
+                proc, address = _spawn_worker(str(Path(base) / f"worker-{i}"))
+                procs.append(proc)
+                addresses.append(address)
+                print(f"worker {i}: pid={proc.pid} at {address[0]}:{address[1]}")
+
+            backend = ClusterBackend(
+                addresses,
+                heartbeat_interval_s=0.2,
+                heartbeat_timeout_s=2.0,
+            )
+            victim_label = f"{addresses[0][0]}:{addresses[0][1]}"
+            killed_mid_run = threading.Event()
+            run_done = threading.Event()
+
+            def _kill_after_first_shard() -> None:
+                # SIGKILL worker 0 the moment it has completed a shard —
+                # deterministically mid-run, however fast the box is.
+                deadline = time.monotonic() + 30
+                while time.monotonic() < deadline and not run_done.is_set():
+                    worker = backend.stats().get(victim_label)
+                    if worker is not None and worker.shards >= 1:
+                        procs[0].send_signal(signal.SIGKILL)
+                        if not run_done.is_set():
+                            killed_mid_run.set()
+                        return
+                    time.sleep(0.002)
+
+            killer = threading.Thread(target=_kill_after_first_shard)
+            killer.start()
+            scheduler = DagScheduler(cache=ArtifactCache(), backend=backend)
+            start = time.perf_counter()
+            panels = json_payload(
+                scheduler.run(
+                    build_report_graph(experiments, quick=True),
+                    targets=(PANELS_NODE,),
+                )[PANELS_NODE]
+            )
+            elapsed = time.perf_counter() - start
+            run_done.set()
+            killer.join(timeout=35)
+            stats = backend.stats()
+            backend.close()
+        finally:
+            for proc in procs:
+                if proc.poll() is None:
+                    proc.kill()
+                proc.wait(timeout=10)
+
+    killed = killed_mid_run.is_set()
+    redispatches = sum(w.redispatches for w in stats.values())
+    for label, w in sorted(stats.items()):
+        print(
+            f"  {label}: {w.shards} shard(s), {w.artifact_pulls} pull(s), "
+            f"{w.redispatches} re-dispatch(es)"
+        )
+    print(
+        f"cluster run over {N_WORKERS} workers done in {elapsed:.2f}s "
+        f"(worker 0 SIGKILLed: {killed}, re-dispatches: {redispatches})"
+    )
+    if not killed:
+        # The run outpaced the timer — the byte-compare below still
+        # gates, but the kill path was not exercised this time.
+        print("warning: run finished before the kill landed", file=sys.stderr)
+
+    identical = json.dumps(panels, sort_keys=True) == json.dumps(
+        reference, sort_keys=True
+    )
+    print(f"bit_identical={identical}")
+    if not identical:
+        print("FAIL: cluster panels differ from serial", file=sys.stderr)
+        return 1
+    print("OK: interrupted cluster report is byte-identical to serial")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
