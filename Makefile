@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install native test verify bench bench-report serve-bench cluster-smoke figures quick-figures report report-render claims clean
+.PHONY: install native test verify bench bench-report serve-bench cluster-smoke strategy-smoke figures quick-figures report report-render claims clean
 
 install:
 	pip install -e . || $(PYTHON) setup.py develop
@@ -29,8 +29,9 @@ bench:
 
 # Machine-readable before/after kernel timings (BENCH_PR2.json),
 # streaming throughput/memory figures (BENCH_PR3.json), the fused
-# sweep / cache / shared-memory report (BENCH_PR4.json), and the
-# cluster scaling/overhead report (BENCH_PR9.json).
+# sweep / cache / shared-memory report (BENCH_PR4.json), the cluster
+# scaling/overhead report (BENCH_PR9.json), and the adaptive
+# strategies report (BENCH_PR10.json).
 # BENCH_ARGS=--quick shrinks problem sizes for CI.
 bench-report:
 	PYTHONPATH=src $(PYTHON) tools/bench_report.py $(BENCH_ARGS)
@@ -40,6 +41,12 @@ bench-report:
 # mid-run — must re-dispatch and stay byte-identical to serial.
 cluster-smoke:
 	PYTHONPATH=src $(PYTHON) tools/cluster_smoke.py
+
+# Adaptive-strategy drill: fig2 with the adaptive + selective arms
+# serial vs a 2-worker LocalCluster (byte-compared), then the operator
+# `--strategy` flag path through the real CLI.
+strategy-smoke:
+	PYTHONPATH=src $(PYTHON) tools/strategy_smoke.py
 
 # Serve load harness: concurrent-stream throughput/latency plus the
 # chaos-kill/drain/restart churn phase (BENCH_PR6.json).  The committed

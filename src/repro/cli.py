@@ -46,6 +46,7 @@ import sys
 from pathlib import Path
 
 from repro.cache import ArtifactCache
+from repro.config import STRATEGY_CHOICES
 from repro.exceptions import ReproError
 from repro.experiments.registry import REGISTRY, run_experiment
 from repro.runtime import (
@@ -97,6 +98,10 @@ _QUICK_OVERRIDES: dict[str, dict] = {
     "compression": {"n_repeats": 1, "side": 24, "gamma0_grid": (0.0, 0.01, 0.05)},
     "motivation": {"n_repeats": 1, "side": 8, "gamma0_grid": (0.005, 0.025)},
 }
+
+#: Experiments whose ``run`` accepts a ``strategies`` keyword (the
+#: figures ``--strategy`` adds adaptive/selective arms to).
+_STRATEGY_EXPERIMENTS = frozenset({"fig2", "fig4"})
 
 
 def probe_writable(directory: Path) -> str | None:
@@ -223,6 +228,15 @@ def main(argv: list[str] | None = None) -> int:
         help="print per-shard telemetry (timing, trials/sec) to stderr",
     )
     parser.add_argument(
+        "--strategy",
+        action="append",
+        choices=[s for s in STRATEGY_CHOICES if s != "fixed"],
+        default=None,
+        metavar="NAME",
+        help="append an adaptive/selective Algo_NGST arm to experiments "
+        "that support strategy arms (fig2, fig4); repeatable",
+    )
+    parser.add_argument(
         "--cache-dir",
         metavar="DIR",
         default=None,
@@ -276,6 +290,18 @@ def main(argv: list[str] | None = None) -> int:
         print(f"unknown experiment(s): {bad}; try 'repro list'", file=sys.stderr)
         return 2
 
+    if args.strategy and args.experiment != "all":
+        unsupported = [
+            e for e in experiment_ids if e not in _STRATEGY_EXPERIMENTS
+        ]
+        if unsupported:
+            print(
+                f"--strategy applies to {sorted(_STRATEGY_EXPERIMENTS)}, "
+                f"not {unsupported}",
+                file=sys.stderr,
+            )
+            return 2
+
     try:
         backend = resolve_backend(
             args.backend, jobs=args.jobs, threads=args.threads,
@@ -289,6 +315,8 @@ def main(argv: list[str] | None = None) -> int:
     try:
         for experiment_id in experiment_ids:
             kwargs = _QUICK_OVERRIDES.get(experiment_id, {}) if args.quick else {}
+            if args.strategy and experiment_id in _STRATEGY_EXPERIMENTS:
+                kwargs = {**kwargs, "strategies": tuple(dict.fromkeys(args.strategy))}
             runtime = _build_runtime(args, experiment_id, backend)
             try:
                 results = run_experiment(experiment_id, runtime=runtime, **kwargs)

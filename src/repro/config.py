@@ -29,6 +29,15 @@ def _check_sensitivity(sensitivity: float) -> None:
         raise ConfigurationError(f"sensitivity must be within [0, 100], got {sensitivity}")
 
 
+#: Preprocessing strategies selectable through :class:`NGSTConfig`.
+#: ``fixed`` is Algorithm 1 exactly as the paper states it; ``adaptive``
+#: re-weights the pruning thresholds per pairing way by an incoherence
+#: score (Alagöz-style score-weighted voting); ``selective`` routes only
+#: high-sensitivity regions through the full pipeline (Wang et al.-style
+#: application-aware protection).  See :mod:`repro.core.strategies`.
+STRATEGY_CHOICES = ("fixed", "adaptive", "selective")
+
+
 def _check_probability(p: float, name: str) -> None:
     if not 0.0 <= p <= 1.0:
         raise ConfigurationError(f"{name} must be within [0, 1], got {p}")
@@ -46,15 +55,79 @@ class NGSTConfig:
         per_coordinate_thresholds: derive the dynamic V_val thresholds per
             image coordinate (the fully dynamic behaviour of §3.3).  When
             False a single global threshold per pairing way is used.
+        strategy: one of :data:`STRATEGY_CHOICES`.  ``fixed`` (default)
+            runs Algorithm 1 unchanged; ``adaptive`` and ``selective``
+            dispatch through :mod:`repro.core.strategies`.
+        coherence_beta: β ≥ 0, gain of the incoherence-score threshold
+            shift used by the ``adaptive`` strategy.  β = 0 disables the
+            adjustment entirely: the adaptive path then produces output
+            byte-identical to ``fixed`` (the degeneracy the equivalence
+            harness gates).
+        coherence_prune_ratio: incoherence score at or above which an
+            entire pairing way is pruned (abstains) at a column.  Scores
+            are normalised so a coherent way sits near 1.0; 0 disables
+            pruning.  Must be 0 or > 1.
+        margin: border width (in pixels, every spatial axis) classified
+            low-sensitivity by the ``selective`` strategy's region map.
+            0 = no margin region.
+        header_rows: leading rows along the first spatial axis that are
+            always fully protected (telemetry/header region), overriding
+            ``margin``/``science_fast``.
+        science_fast: route the interior science region through the cheap
+            unanimous-vote path too (protect only the header rows).  With
+            the defaults (margin=0, header_rows=0, science_fast=False)
+            every pixel is high-sensitivity and ``selective`` degenerates
+            byte-identically to ``fixed``.
     """
 
     upsilon: int = 4
     sensitivity: float = 50.0
     per_coordinate_thresholds: bool = True
+    strategy: str = "fixed"
+    coherence_beta: float = 1.0
+    coherence_prune_ratio: float = 0.0
+    margin: int = 0
+    header_rows: int = 0
+    science_fast: bool = False
 
     def __post_init__(self) -> None:
         _check_upsilon(self.upsilon)
         _check_sensitivity(self.sensitivity)
+        if self.strategy not in STRATEGY_CHOICES:
+            raise ConfigurationError(
+                f"strategy must be one of {STRATEGY_CHOICES}, got {self.strategy!r}"
+            )
+        if not self.coherence_beta >= 0:
+            raise ConfigurationError(
+                f"coherence_beta must be >= 0, got {self.coherence_beta}"
+            )
+        if self.coherence_prune_ratio != 0 and not self.coherence_prune_ratio > 1:
+            raise ConfigurationError(
+                "coherence_prune_ratio must be 0 (off) or > 1, "
+                f"got {self.coherence_prune_ratio}"
+            )
+        if self.margin < 0:
+            raise ConfigurationError(f"margin must be >= 0, got {self.margin}")
+        if self.header_rows < 0:
+            raise ConfigurationError(
+                f"header_rows must be >= 0, got {self.header_rows}"
+            )
+
+    @property
+    def is_default_strategy(self) -> bool:
+        """True when every strategy field still has its default value.
+
+        Used by :meth:`repro.stream.pipeline.VoterStage.describe` to keep
+        checkpoint fingerprints of pre-strategy pipelines unchanged.
+        """
+        return (
+            self.strategy == "fixed"
+            and self.coherence_beta == 1.0
+            and self.coherence_prune_ratio == 0.0
+            and self.margin == 0
+            and self.header_rows == 0
+            and not self.science_fast
+        )
 
     @property
     def half_upsilon(self) -> int:

@@ -49,6 +49,67 @@ class NGSTResult:
     n_bits_corrected: int
 
 
+def correct_with_thresholds(
+    pixels: np.ndarray,
+    cfg: NGSTConfig,
+    matrix: VoterMatrix,
+    thresholds: np.ndarray,
+) -> NGSTResult:
+    """Steps 3–4 of Algorithm 1 given a (possibly adjusted) threshold tensor.
+
+    This is the shared correction core: the ``fixed`` path feeds it the
+    Φ(Λ)-ranked thresholds unchanged, while the adaptive strategy feeds
+    it per-way/per-column thresholds rescaled by incoherence score.
+    ``thresholds`` must have shape ``(Υ,)`` or ``(Υ,) + coord shape`` and
+    contain powers of two (or 0 / 2**nbits at the extremes), as
+    :meth:`BitWindows.from_thresholds` requires.
+    """
+    nbits = bitops.bit_width(pixels.dtype)
+    windows = BitWindows.from_thresholds(thresholds, nbits)
+
+    n = matrix.n_variants
+    n_coords = int(np.prod(pixels.shape[1:], dtype=np.int64)) if pixels.ndim > 1 else 1
+    xors = matrix.xors.reshape(cfg.upsilon, n, n_coords)
+    thr = np.asarray(thresholds, dtype=np.uint64).reshape(cfg.upsilon, 1, -1)
+    keep = xors.astype(np.uint64) > thr
+
+    corr = np.zeros(n * n_coords, dtype=np.uint64)
+    active = keep.any(axis=0).reshape(-1)
+    active_idx = np.nonzero(active)[0]
+    if active_idx.size:
+        flat_xors = xors.reshape(cfg.upsilon, -1)
+        flat_keep = keep.reshape(cfg.upsilon, -1)
+        voters = np.where(
+            flat_keep[:, active_idx], flat_xors[:, active_idx], 0
+        ).astype(np.uint64)
+        unanimous = VoterMatrix.unanimous(voters)
+        grt = VoterMatrix.grt(voters)
+        lsb = np.asarray(windows.lsb_mask, dtype=np.uint64).reshape(-1)
+        msb = np.asarray(windows.msb_mask, dtype=np.uint64).reshape(-1)
+        coord_idx = active_idx % n_coords if lsb.size > 1 else np.zeros_like(active_idx)
+        corr[active_idx] = (
+            unanimous | (grt & msb[coord_idx])
+        ) & lsb[coord_idx]
+    corr = corr.reshape(pixels.shape).astype(pixels.dtype)
+    corrected = np.bitwise_xor(pixels, corr)
+    return NGSTResult(
+        corrected=corrected,
+        correction_vectors=corr,
+        windows=windows,
+        n_pixels_corrected=int(np.count_nonzero(corr)),
+        n_bits_corrected=int(bitops.popcount(corr).sum()),
+    )
+
+
+def run_fixed(pixels: np.ndarray, cfg: NGSTConfig) -> NGSTResult:
+    """Algorithm 1 exactly as the paper states it (the ``fixed`` strategy)."""
+    matrix = VoterMatrix(pixels, cfg.upsilon)
+    thresholds = matrix.thresholds(
+        cfg.sensitivity, per_coordinate=cfg.per_coordinate_thresholds
+    )
+    return correct_with_thresholds(pixels, cfg, matrix, thresholds)
+
+
 class AlgoNGST:
     """Callable implementation of Algorithm 1.
 
@@ -86,42 +147,9 @@ class AlgoNGST:
                 "pixels must have a leading temporal axis with >= 2 variants"
             )
         cfg = self.config
-        matrix = VoterMatrix(pixels, cfg.upsilon)
-        thresholds = matrix.thresholds(
-            cfg.sensitivity, per_coordinate=cfg.per_coordinate_thresholds
-        )
-        nbits = bitops.bit_width(pixels.dtype)
-        windows = BitWindows.from_thresholds(thresholds, nbits)
+        if cfg.strategy != "fixed":
+            # Late import: strategies imports run_fixed from this module.
+            from repro.core.strategies import resolve_strategy
 
-        n = matrix.n_variants
-        n_coords = int(np.prod(pixels.shape[1:], dtype=np.int64)) if pixels.ndim > 1 else 1
-        xors = matrix.xors.reshape(cfg.upsilon, n, n_coords)
-        thr = np.asarray(thresholds, dtype=np.uint64).reshape(cfg.upsilon, 1, -1)
-        keep = xors.astype(np.uint64) > thr
-
-        corr = np.zeros(n * n_coords, dtype=np.uint64)
-        active = keep.any(axis=0).reshape(-1)
-        active_idx = np.nonzero(active)[0]
-        if active_idx.size:
-            flat_xors = xors.reshape(cfg.upsilon, -1)
-            flat_keep = keep.reshape(cfg.upsilon, -1)
-            voters = np.where(
-                flat_keep[:, active_idx], flat_xors[:, active_idx], 0
-            ).astype(np.uint64)
-            unanimous = VoterMatrix.unanimous(voters)
-            grt = VoterMatrix.grt(voters)
-            lsb = np.asarray(windows.lsb_mask, dtype=np.uint64).reshape(-1)
-            msb = np.asarray(windows.msb_mask, dtype=np.uint64).reshape(-1)
-            coord_idx = active_idx % n_coords if lsb.size > 1 else np.zeros_like(active_idx)
-            corr[active_idx] = (
-                unanimous | (grt & msb[coord_idx])
-            ) & lsb[coord_idx]
-        corr = corr.reshape(pixels.shape).astype(pixels.dtype)
-        corrected = np.bitwise_xor(pixels, corr)
-        return NGSTResult(
-            corrected=corrected,
-            correction_vectors=corr,
-            windows=windows,
-            n_pixels_corrected=int(np.count_nonzero(corr)),
-            n_bits_corrected=int(bitops.popcount(corr).sum()),
-        )
+            return resolve_strategy(cfg).run(pixels, cfg)
+        return run_fixed(pixels, cfg)

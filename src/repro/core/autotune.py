@@ -34,6 +34,11 @@ from repro.metrics.relative_error import psi
 
 DEFAULT_LAMBDA_GRID = (10.0, 30.0, 50.0, 70.0, 90.0, 100.0)
 
+#: Gaussian consistency constant: MAD of N(0, σ) samples ≈ 0.6745·σ, so
+#: dividing a median absolute deviation by this estimates σ.  Shared with
+#: the incoherence scoring in :mod:`repro.core.strategies`.
+MAD_SCALE = 0.6745
+
 
 @dataclass(frozen=True)
 class AutotuneResult:
@@ -64,7 +69,7 @@ def estimate_sigma(corrupted: np.ndarray) -> float:
         raise DataFormatError("need a temporal stack with >= 2 variants")
     diffs = np.abs(np.diff(corrupted.astype(np.float64), axis=0))
     mad = float(np.median(diffs))
-    return mad / 0.6745
+    return mad / MAD_SCALE
 
 
 def estimate_gamma(corrupted: np.ndarray, sigma_hat: float) -> float:
@@ -77,6 +82,10 @@ def estimate_gamma(corrupted: np.ndarray, sigma_hat: float) -> float:
     disagreement rate ≈ 2Γ (minus the 2Γ² double-flip overlap).
     """
     bitops.require_unsigned(corrupted, "corrupted")
+    if corrupted.ndim < 1 or corrupted.shape[0] < 2:
+        # A single variant has no adjacent pair to disagree: the XOR
+        # stack below would be empty and its mean a NaN + RuntimeWarning.
+        raise DataFormatError("need a temporal stack with >= 2 variants")
     nbits = bitops.bit_width(corrupted.dtype)
     # Top bits: weight strictly above the natural-variation reach.
     floor_bit = int(np.ceil(np.log2(max(8.0 * sigma_hat, 1.0))))

@@ -22,6 +22,7 @@ from collections.abc import Sequence
 from repro.baselines.median import median_smooth_temporal
 from repro.config import NGSTConfig, NGSTDatasetConfig
 from repro.core.algo_ngst import AlgoNGST
+from repro.core.strategies import strategy_arm_config
 from repro.dag import TaskGraph, add_arm_sweep
 from repro.experiments.common import (
     DEFAULT_GAMMA0_GRID,
@@ -38,13 +39,32 @@ from repro.runtime import Arm, TrialRuntime
 TABLE_NODE = "fig2/table"
 
 
-def _arms(lambdas: Sequence[float], upsilon: int) -> list[Arm]:
+def _arms(
+    lambdas: Sequence[float],
+    upsilon: int,
+    strategies: Sequence[str] = (),
+    strategy_lambda: float = 50.0,
+) -> list[Arm]:
     arms = [Arm("no-preprocessing", lambda corrupted, pristine: psi(corrupted, pristine))]
     for lam in lambdas:
         algo = AlgoNGST(NGSTConfig(upsilon=upsilon, sensitivity=lam))
         arms.append(
             Arm(
                 f"Algo_NGST L={int(lam)}",
+                lambda corrupted, pristine, algo=algo: psi(
+                    algo(corrupted).corrected, pristine
+                ),
+            )
+        )
+    for strategy in strategies:
+        algo = AlgoNGST(
+            strategy_arm_config(
+                strategy, upsilon=upsilon, sensitivity=strategy_lambda
+            )
+        )
+        arms.append(
+            Arm(
+                f"Algo_NGST {strategy} L={int(strategy_lambda)}",
                 lambda corrupted, pristine, algo=algo: psi(
                     algo(corrupted).corrected, pristine
                 ),
@@ -70,19 +90,24 @@ def graph(
     shape: tuple[int, ...] = (16, 16),
     n_repeats: int = 3,
     seed: int = 2003,
+    strategies: Sequence[str] = (),
+    strategy_lambda: float = 50.0,
 ) -> TaskGraph:
     """The Figure 2 campaign as a task graph ending in :data:`TABLE_NODE`.
 
     One arm sweep per Γ₀ point; the pristine-walk dataset nodes are
     shared across points (the walk does not depend on Γ₀), turning the
     artifact reuse the cache used to discover at runtime into explicit
-    graph structure.
+    graph structure.  *strategies* appends one adaptive/selective
+    Algo_NGST arm per named strategy, all operating at Λ =
+    *strategy_lambda* (see
+    :func:`repro.core.strategies.strategy_arm_config`).
     """
     result_graph = TaskGraph("fig2")
     dataset = walk_dataset(
         NGSTDatasetConfig(n_variants=n_variants, sigma=sigma), shape
     )
-    arms = _arms(lambdas, upsilon)
+    arms = _arms(lambdas, upsilon, strategies, strategy_lambda)
     aggregates = [
         add_arm_sweep(
             result_graph,
@@ -121,6 +146,8 @@ def run(
     shape: tuple[int, ...] = (16, 16),
     n_repeats: int = 3,
     seed: int = 2003,
+    strategies: Sequence[str] = (),
+    strategy_lambda: float = 50.0,
     runtime: TrialRuntime | None = None,
 ) -> ExperimentResult:
     """Regenerate the Figure 2 curves by running :func:`graph`."""
@@ -133,5 +160,7 @@ def run(
         shape=shape,
         n_repeats=n_repeats,
         seed=seed,
+        strategies=strategies,
+        strategy_lambda=strategy_lambda,
     )
     return run_figure_graph(figure_graph, TABLE_NODE, runtime)

@@ -19,6 +19,8 @@ from collections.abc import Sequence
 from repro.baselines.majority import majority_vote_temporal
 from repro.baselines.median import median_smooth_temporal
 from repro.config import CorrelatedFaultConfig, NGSTDatasetConfig
+from repro.core.algo_ngst import AlgoNGST
+from repro.core.strategies import strategy_arm_config
 from repro.dag import TaskGraph, add_arm_sweep
 from repro.experiments.common import (
     DEFAULT_LAMBDA_GRID,
@@ -38,9 +40,13 @@ DEFAULT_GAMMA_INI_GRID = (0.005, 0.01, 0.025, 0.05, 0.1, 0.15, 0.2)
 TABLE_NODE = "fig4/table"
 
 
-def _arms(lambdas: Sequence[float]) -> list[Arm]:
+def _arms(
+    lambdas: Sequence[float],
+    strategies: Sequence[str] = (),
+    strategy_lambda: float = 50.0,
+) -> list[Arm]:
     lambdas = tuple(lambdas)
-    return [
+    arms = [
         Arm("no-preprocessing", lambda corrupted, pristine: psi(corrupted, pristine)),
         Arm(
             "Algo_NGST (opt L)",
@@ -48,6 +54,20 @@ def _arms(lambdas: Sequence[float]) -> list[Arm]:
                 corrupted, pristine, lambdas
             )[1],
         ),
+    ]
+    for strategy in strategies:
+        algo = AlgoNGST(
+            strategy_arm_config(strategy, sensitivity=strategy_lambda)
+        )
+        arms.append(
+            Arm(
+                f"Algo_NGST {strategy} L={int(strategy_lambda)}",
+                lambda corrupted, pristine, algo=algo: psi(
+                    algo(corrupted).corrected, pristine
+                ),
+            )
+        )
+    arms += [
         Arm(
             "median-w3",
             lambda corrupted, pristine: psi(
@@ -61,6 +81,7 @@ def _arms(lambdas: Sequence[float]) -> list[Arm]:
             ),
         ),
     ]
+    return arms
 
 
 def graph(
@@ -71,13 +92,19 @@ def graph(
     shape: tuple[int, ...] = (16, 16),
     n_repeats: int = 3,
     seed: int = 2003,
+    strategies: Sequence[str] = (),
+    strategy_lambda: float = 50.0,
 ) -> TaskGraph:
-    """The Figure 4 campaign as a task graph ending in :data:`TABLE_NODE`."""
+    """The Figure 4 campaign as a task graph ending in :data:`TABLE_NODE`.
+
+    *strategies* appends one adaptive/selective Algo_NGST arm per named
+    strategy at Λ = *strategy_lambda*, mirroring figure 2.
+    """
     result_graph = TaskGraph("fig4")
     dataset = walk_dataset(
         NGSTDatasetConfig(n_variants=n_variants, sigma=sigma), shape
     )
-    arms = _arms(lambdas)
+    arms = _arms(lambdas, strategies, strategy_lambda)
     aggregates = [
         add_arm_sweep(
             result_graph,
@@ -115,6 +142,8 @@ def run(
     shape: tuple[int, ...] = (16, 16),
     n_repeats: int = 3,
     seed: int = 2003,
+    strategies: Sequence[str] = (),
+    strategy_lambda: float = 50.0,
     runtime: TrialRuntime | None = None,
 ) -> ExperimentResult:
     """Regenerate the Figure 4 comparison by running :func:`graph`."""
@@ -126,5 +155,7 @@ def run(
         shape=shape,
         n_repeats=n_repeats,
         seed=seed,
+        strategies=strategies,
+        strategy_lambda=strategy_lambda,
     )
     return run_figure_graph(figure_graph, TABLE_NODE, runtime)

@@ -22,7 +22,12 @@ from bisect import bisect_left
 
 from repro.exceptions import ConfigurationError
 from repro.runtime.telemetry import RunCompleted, RunStarted, ShardCompleted
-from repro.stream.telemetry import ChunkCompleted, StreamCompleted, StreamStarted
+from repro.stream.telemetry import (
+    ChunkCompleted,
+    LambdaAdjusted,
+    StreamCompleted,
+    StreamStarted,
+)
 
 
 def _log_spaced_bounds(
@@ -126,6 +131,7 @@ COUNTER_NAMES = (
     "chaos_kills",
     "drains",
     "runtime_shards",
+    "lambda_adjustments",
 )
 
 #: The histogram names ServeMetrics tracks.
@@ -146,6 +152,9 @@ class ServeMetrics:
         self._lock = threading.Lock()
         self._counters = {name: 0 for name in COUNTER_NAMES}
         self._histograms = {name: LatencyHistogram() for name in HISTOGRAM_NAMES}
+        # Per-tenant Λ gauge: the online autotuner's current operating
+        # sensitivity, keyed by the LambdaAdjusted event label.
+        self._lambda_current: dict[str, float] = {}
 
     def incr(self, name: str, amount: int = 1) -> None:
         """Add *amount* to the named counter."""
@@ -174,6 +183,12 @@ class ServeMetrics:
                 self._counters["sessions_opened"] += 1
                 if event.resumed_frames:
                     self._counters["sessions_resumed"] += 1
+        elif isinstance(event, LambdaAdjusted):
+            with self._lock:
+                self._counters["lambda_adjustments"] += 1
+                self._lambda_current[event.label or "-"] = float(
+                    event.new_sensitivity
+                )
         elif isinstance(event, StreamCompleted):
             self.incr("sessions_completed")
         elif isinstance(event, (RunStarted, RunCompleted)):
@@ -195,6 +210,7 @@ class ServeMetrics:
                     name: hist.snapshot()
                     for name, hist in self._histograms.items()
                 },
+                "lambda_current": dict(self._lambda_current),
             }
 
     def render_prometheus(self) -> str:
@@ -205,6 +221,14 @@ class ServeMetrics:
                 metric = f"repro_serve_{name}_total"
                 lines.append(f"# TYPE {metric} counter")
                 lines.append(f"{metric} {value}")
+            if self._lambda_current:
+                metric = "repro_serve_lambda_current"
+                lines.append(f"# TYPE {metric} gauge")
+                for tenant in sorted(self._lambda_current):
+                    lines.append(
+                        f'{metric}{{tenant="{tenant}"}} '
+                        f"{self._lambda_current[tenant]:g}"
+                    )
             for name, hist in self._histograms.items():
                 metric = f"repro_serve_{name}_seconds"
                 lines.append(f"# TYPE {metric} histogram")

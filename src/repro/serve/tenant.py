@@ -23,6 +23,7 @@ from pathlib import Path
 from repro.config import NGSTConfig
 from repro.exceptions import ConfigurationError, ServeError
 from repro.faults import UncorrelatedFaultModel
+from repro.stream.autotune_stage import AutotuneVoterStage
 from repro.stream.buffer import BackpressurePolicy
 from repro.stream.pipeline import InjectStage, Stage, VoterStage
 from repro.stream.smoothers import SMOOTHERS, smoother_stage
@@ -51,6 +52,23 @@ class TenantConfig:
         durable: checkpoint every chunk boundary so streams survive a
             server restart; non-durable streams restart from frame 0.
         measure: accumulate Ψ metrics per stream.
+        strategy: preprocessing strategy for the voter
+            (:data:`repro.config.STRATEGY_CHOICES`).
+        coherence_beta: adaptive-strategy shift gain (see
+            :class:`repro.config.NGSTConfig`).
+        coherence_prune_ratio: adaptive-strategy way-abstain score.
+        margin: selective-strategy low-sensitivity border width.
+        header_rows: selective-strategy always-protected leading rows.
+        science_fast: selective-strategy cheap path for the interior.
+        autotune: run the voter as an online Λ autotuner
+            (:class:`repro.stream.autotune_stage.AutotuneVoterStage`);
+            ``sensitivity`` is the starting Λ and the committed
+            trajectory is surfaced per tenant on ``/metrics``.
+        autotune_window: sliding-window size in stacks.
+        autotune_interval: re-estimate every this many stacks.
+        autotune_min_delta: hysteresis dead band on |ΔΛ|.
+        autotune_confirm: consecutive agreeing estimates to commit.
+        autotune_seed: calibration seed of the tuner's synthetic sweep.
     """
 
     name: str = DEFAULT_TENANT
@@ -66,6 +84,18 @@ class TenantConfig:
     buffer_frames: int = 4096
     durable: bool = True
     measure: bool = True
+    strategy: str = "fixed"
+    coherence_beta: float = 1.0
+    coherence_prune_ratio: float = 0.0
+    margin: int = 0
+    header_rows: int = 0
+    science_fast: bool = False
+    autotune: bool = False
+    autotune_window: int = 2
+    autotune_interval: int = 1
+    autotune_min_delta: float = 15.0
+    autotune_confirm: int = 2
+    autotune_seed: int = 0
 
     def __post_init__(self) -> None:
         if not self.name or "/" in self.name or self.name != self.name.strip():
@@ -90,15 +120,37 @@ class TenantConfig:
                 f"chunk_frames ({self.chunk_frames})"
             )
         BackpressurePolicy.parse(self.policy)
+        if self.autotune:
+            if self.autotune_window < 1 or self.autotune_interval < 1:
+                raise ConfigurationError(
+                    "autotune_window and autotune_interval must be >= 1"
+                )
+            if self.autotune_min_delta < 0 or self.autotune_confirm < 1:
+                raise ConfigurationError(
+                    "autotune_min_delta must be >= 0 and autotune_confirm >= 1"
+                )
         if self.upsilon:
-            # Surfaces bad Υ/Λ/N combinations at registration, not at
-            # the first stream open.
-            config = NGSTConfig(upsilon=self.upsilon, sensitivity=self.sensitivity)
+            # Surfaces bad Υ/Λ/N/strategy combinations at registration,
+            # not at the first stream open.
+            config = self.ngst_config()
             if self.stack_frames <= config.upsilon // 2:
                 raise ConfigurationError(
                     f"stack_frames must exceed upsilon/2="
                     f"{config.upsilon // 2}, got {self.stack_frames}"
                 )
+
+    def ngst_config(self) -> NGSTConfig:
+        """The validated ``Algo_NGST`` config this tenant's voter runs."""
+        return NGSTConfig(
+            upsilon=self.upsilon,
+            sensitivity=self.sensitivity,
+            strategy=self.strategy,
+            coherence_beta=self.coherence_beta,
+            coherence_prune_ratio=self.coherence_prune_ratio,
+            margin=self.margin,
+            header_rows=self.header_rows,
+            science_fast=self.science_fast,
+        )
 
     def build_stages(self) -> list[Stage]:
         """Fresh stage instances for one stream under this tenant.
@@ -113,12 +165,26 @@ class TenantConfig:
                 InjectStage(UncorrelatedFaultModel(self.gamma), seed=self.inject_seed)
             )
         if self.upsilon:
-            stages.append(
-                VoterStage(
-                    NGSTConfig(upsilon=self.upsilon, sensitivity=self.sensitivity),
-                    stack_frames=self.stack_frames,
+            if self.autotune:
+                stages.append(
+                    AutotuneVoterStage(
+                        self.ngst_config(),
+                        stack_frames=self.stack_frames,
+                        window_stacks=self.autotune_window,
+                        interval_stacks=self.autotune_interval,
+                        min_delta=self.autotune_min_delta,
+                        confirm=self.autotune_confirm,
+                        autotune_seed=self.autotune_seed,
+                        label=self.name,
+                    )
                 )
-            )
+            else:
+                stages.append(
+                    VoterStage(
+                        self.ngst_config(),
+                        stack_frames=self.stack_frames,
+                    )
+                )
         if self.smoother is not None:
             stages.append(smoother_stage(self.smoother, self.window))
         return stages

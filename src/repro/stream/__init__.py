@@ -29,6 +29,7 @@ Or from the command line: ``repro stream --frames 4096 --chunk-frames
 128 --progress``.
 """
 
+from repro.stream.autotune_stage import AutotuneVoterStage
 from repro.stream.buffer import BackpressurePolicy, BufferStats, RingBuffer
 from repro.stream.checkpoint import StreamCheckpoint, decode_array, encode_array
 from repro.stream.pipeline import (
@@ -56,6 +57,7 @@ from repro.stream.source import (
 )
 from repro.stream.telemetry import (
     ChunkCompleted,
+    LambdaAdjusted,
     StageStats,
     StreamCompleted,
     StreamProgressPrinter,
@@ -64,10 +66,12 @@ from repro.stream.telemetry import (
 
 __all__ = [
     "ArraySource",
+    "AutotuneVoterStage",
     "BackpressurePolicy",
     "BatchResult",
     "BufferStats",
     "ChunkCompleted",
+    "LambdaAdjusted",
     "DownlinkSource",
     "FrameSource",
     "InjectStage",

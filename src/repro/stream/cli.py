@@ -28,9 +28,11 @@ import json
 import sys
 from pathlib import Path
 
-from repro.config import NGSTConfig, NGSTDatasetConfig
+from repro.config import NGSTConfig, NGSTDatasetConfig, STRATEGY_CHOICES
 from repro.exceptions import CheckpointMismatchError, ReproError
 from repro.faults import UncorrelatedFaultModel
+from repro.faults.profile import parse_profile
+from repro.stream.autotune_stage import AutotuneVoterStage
 from repro.stream.buffer import BackpressurePolicy
 from repro.stream.checkpoint import StreamCheckpoint
 from repro.stream.pipeline import (
@@ -135,6 +137,15 @@ def build_parser() -> argparse.ArgumentParser:
         help="skip fault injection (measure smoothing distortion only)",
     )
     stages.add_argument(
+        "--profile",
+        metavar="SPEC",
+        default=None,
+        help="time-varying injection profile, e.g. "
+        "'step:base=0.001,elevated=0.05,period=256,duty=0.25' or "
+        "'sine:base=0.01,amplitude=0.009,period=256'; overrides --gamma "
+        "per frame index (see repro.faults.profile)",
+    )
+    stages.add_argument(
         "--stack-frames",
         type=int,
         default=64,
@@ -151,6 +162,97 @@ def build_parser() -> argparse.ArgumentParser:
         default=50.0,
         metavar="L",
         help="voter sensitivity Λ in [0, 100] (default %(default)s)",
+    )
+    stages.add_argument(
+        "--strategy",
+        choices=list(STRATEGY_CHOICES),
+        default="fixed",
+        help="voter preprocessing strategy (default %(default)s; see "
+        "docs/ADAPTIVE.md)",
+    )
+    stages.add_argument(
+        "--coherence-beta",
+        type=float,
+        default=1.0,
+        metavar="B",
+        help="adaptive strategy: incoherence shift gain (default "
+        "%(default)s; 0 is byte-identical to --strategy fixed)",
+    )
+    stages.add_argument(
+        "--coherence-prune-ratio",
+        type=float,
+        default=0.0,
+        metavar="R",
+        help="adaptive strategy: score at or above which a voter way "
+        "abstains (default %(default)s = off; must be > 1 when set)",
+    )
+    stages.add_argument(
+        "--margin",
+        type=int,
+        default=0,
+        metavar="W",
+        help="selective strategy: low-sensitivity border width "
+        "(default %(default)s)",
+    )
+    stages.add_argument(
+        "--header-rows",
+        type=int,
+        default=0,
+        metavar="R",
+        help="selective strategy: always-protected leading rows "
+        "(default %(default)s)",
+    )
+    stages.add_argument(
+        "--science-fast",
+        action="store_true",
+        help="selective strategy: run the whole science field on the "
+        "cheap unanimous-vote path (headers stay fully protected)",
+    )
+    tuner = parser.add_argument_group("online autotuner")
+    tuner.add_argument(
+        "--autotune",
+        action="store_true",
+        help="run the voter as an online Lambda autotuner: re-estimate "
+        "Lambda over a sliding window of recent stacks and adjust with "
+        "hysteresis (--sensitivity is the starting Lambda)",
+    )
+    tuner.add_argument(
+        "--autotune-window",
+        type=int,
+        default=2,
+        metavar="N",
+        help="sliding-window size in stacks (default %(default)s)",
+    )
+    tuner.add_argument(
+        "--autotune-interval",
+        type=int,
+        default=1,
+        metavar="N",
+        help="re-estimate every N stacks (default %(default)s)",
+    )
+    tuner.add_argument(
+        "--autotune-min-delta",
+        type=float,
+        default=15.0,
+        metavar="D",
+        help="hysteresis dead band on |candidate - operating Lambda| "
+        "(default %(default)s)",
+    )
+    tuner.add_argument(
+        "--autotune-confirm",
+        type=int,
+        default=2,
+        metavar="K",
+        help="consecutive agreeing estimates required to commit "
+        "(default %(default)s)",
+    )
+    tuner.add_argument(
+        "--autotune-seed",
+        type=int,
+        default=0,
+        metavar="S",
+        help="calibration seed of the tuner's synthetic sweep "
+        "(default %(default)s)",
     )
     stages.add_argument(
         "--smoother",
@@ -286,12 +388,39 @@ def _build_source(args: argparse.Namespace) -> FrameSource:
 def _build_stages(args: argparse.Namespace) -> list[Stage]:
     stages: list[Stage] = []
     if not args.no_inject:
+        profile = parse_profile(args.profile) if args.profile else None
         stages.append(
-            InjectStage(UncorrelatedFaultModel(args.gamma), seed=args.inject_seed)
+            InjectStage(
+                UncorrelatedFaultModel(args.gamma),
+                seed=args.inject_seed,
+                profile=profile,
+            )
         )
     if args.stack_frames:
-        config = NGSTConfig(upsilon=args.upsilon, sensitivity=args.sensitivity)
-        stages.append(VoterStage(config, stack_frames=args.stack_frames))
+        config = NGSTConfig(
+            upsilon=args.upsilon,
+            sensitivity=args.sensitivity,
+            strategy=args.strategy,
+            coherence_beta=args.coherence_beta,
+            coherence_prune_ratio=args.coherence_prune_ratio,
+            margin=args.margin,
+            header_rows=args.header_rows,
+            science_fast=args.science_fast,
+        )
+        if args.autotune:
+            stages.append(
+                AutotuneVoterStage(
+                    config,
+                    stack_frames=args.stack_frames,
+                    window_stacks=args.autotune_window,
+                    interval_stacks=args.autotune_interval,
+                    min_delta=args.autotune_min_delta,
+                    confirm=args.autotune_confirm,
+                    autotune_seed=args.autotune_seed,
+                )
+            )
+        else:
+            stages.append(VoterStage(config, stack_frames=args.stack_frames))
     if args.smoother:
         stages.append(smoother_stage(args.smoother, args.window))
     return stages
@@ -403,9 +532,15 @@ def main(argv: list[str] | None = None) -> int:
         telemetry.subscribe(StreamProgressPrinter(every=args.progress_every))
 
     try:
+        stages = _build_stages(args)
+        for stage in stages:
+            # The tuner emits LambdaAdjusted itself (at stack boundaries
+            # inside process()), so it needs the hub directly.
+            if isinstance(stage, AutotuneVoterStage):
+                stage.telemetry = telemetry
         pipeline = StreamPipeline(
             _build_source(args),
-            _build_stages(args),
+            stages,
             chunk_frames=args.chunk_frames,
             policy=args.policy,
             telemetry=telemetry,

@@ -223,27 +223,54 @@ class InjectStage(Stage):
     Args:
         model: any :mod:`repro.faults` model (``corrupt(data, rng)``).
         seed: root entropy of the per-frame spawn tree.
+        profile: optional :data:`repro.faults.profile.GammaProfile`; when
+            set, frame *i* is corrupted with an
+            :class:`~repro.faults.uncorrelated.UncorrelatedFaultModel`
+            at ``profile.gamma_at(i)`` instead of the static *model* —
+            Γ as a function of the global frame index, so the
+            time-varying rate is exactly as chunk-invariant and
+            resume-safe as the static one.
     """
 
     corrupts = True
     lag = 0
 
-    def __init__(self, model, seed: int = 0) -> None:
+    def __init__(self, model, seed: int = 0, profile=None) -> None:
         if not hasattr(model, "corrupt"):
             raise ConfigurationError(
                 f"fault model must expose corrupt(data, rng), "
                 f"got {type(model).__name__}"
             )
+        if profile is not None and not hasattr(profile, "gamma_at"):
+            raise ConfigurationError(
+                f"profile must expose gamma_at(index), "
+                f"got {type(profile).__name__}"
+            )
         self.model = model
+        self.profile = profile
         self.seed = int(seed)
         self.name = f"inject[{type(model).__name__}]"
         self._next = 0
         self._template: np.ndarray | None = None
+        self._profiled: dict[float, object] = {}
         self.n_bits_flipped = 0
         self.n_words_hit = 0
 
+    def _model_for(self, index: int):
+        if self.profile is None:
+            return self.model
+        from repro.faults.uncorrelated import UncorrelatedFaultModel
+
+        gamma = float(self.profile.gamma_at(index))
+        model = self._profiled.get(gamma)
+        if model is None:
+            model = self._profiled[gamma] = UncorrelatedFaultModel(gamma)
+        return model
+
     def _corrupt_one(self, frame: np.ndarray, index: int) -> np.ndarray:
-        corrupted, mask = self.model.corrupt(frame, frame_rng(self.seed, index))
+        corrupted, mask = self._model_for(index).corrupt(
+            frame, frame_rng(self.seed, index)
+        )
         umask = mask if mask.dtype != np.float32 else bitops.float32_to_bits(mask)
         self.n_bits_flipped += int(bitops.popcount(umask).sum())
         self.n_words_hit += int(np.count_nonzero(umask))
@@ -266,7 +293,9 @@ class InjectStage(Stage):
     def batch(self, stack: np.ndarray) -> np.ndarray:
         out = np.empty_like(stack)
         for i in range(stack.shape[0]):
-            corrupted, _ = self.model.corrupt(stack[i], frame_rng(self.seed, i))
+            corrupted, _ = self._model_for(i).corrupt(
+                stack[i], frame_rng(self.seed, i)
+            )
             out[i] = corrupted
         return out
 
@@ -284,7 +313,11 @@ class InjectStage(Stage):
 
     def describe(self) -> str:
         cfg = getattr(self.model, "config", None)
-        return f"{self.name}(config={cfg!r}, seed={self.seed})"
+        base = f"{self.name}(config={cfg!r}, seed={self.seed})"
+        # Profile-less stages keep the historical fingerprint.
+        if self.profile is None:
+            return base
+        return f"{base}+profile({self.profile.describe()})"
 
 
 class WindowedStage(Stage):
@@ -490,10 +523,22 @@ class VoterStage(Stage):
         self.n_bits_corrected = int(state["n_bits_corrected"])
 
     def describe(self) -> str:
-        return (
+        base = (
             f"{self.name}(upsilon={self.config.upsilon}, "
             f"sensitivity={self.config.sensitivity}, "
             f"per_coord={self.config.per_coordinate_thresholds})"
+        )
+        # The default strategy keeps the historical fingerprint so
+        # checkpoints written before strategies existed still resume;
+        # any non-default strategy field is part of the stream's
+        # semantics and must invalidate mismatched checkpoints.
+        if self.config.is_default_strategy:
+            return base
+        cfg = self.config
+        return base + (
+            f"+strategy({cfg.strategy}, beta={cfg.coherence_beta}, "
+            f"prune={cfg.coherence_prune_ratio}, margin={cfg.margin}, "
+            f"header_rows={cfg.header_rows}, science_fast={cfg.science_fast})"
         )
 
 

@@ -31,6 +31,7 @@ from repro.runtime.telemetry import (
 
 __all__ = [
     "ChunkCompleted",
+    "LambdaAdjusted",
     "StageStats",
     "StreamCompleted",
     "StreamProgressPrinter",
@@ -83,6 +84,37 @@ class ChunkCompleted:
 
 
 @dataclass(frozen=True)
+class LambdaAdjusted:
+    """Emitted when the online autotuner commits a sensitivity change.
+
+    Fired by :class:`repro.stream.autotune_stage.AutotuneVoterStage`
+    after the hysteresis rule (``confirm`` consecutive agreeing
+    estimates at least ``min_delta`` away from the current Λ) accepts a
+    new operating point.  The Λ trajectory of a stream is the ordered
+    sequence of these events.
+
+    Attributes:
+        label: the stage's owner label ('' for plain CLI streams; the
+            tenant name under ``repro serve``).
+        stack_index: stacks processed when the change took effect (the
+            next stack runs at ``new_sensitivity``).
+        frame_index: input frames consumed when the change took effect.
+        old_sensitivity: the Λ being replaced.
+        new_sensitivity: the Λ now in force.
+        estimated_sigma: σ̂ of the window estimate that won.
+        estimated_gamma: Γ̂ of the window estimate that won.
+    """
+
+    label: str
+    stack_index: int
+    frame_index: int
+    old_sensitivity: float
+    new_sensitivity: float
+    estimated_sigma: float
+    estimated_gamma: float
+
+
+@dataclass(frozen=True)
 class StageStats:
     """Lifetime accounting for one pipeline stage.
 
@@ -128,7 +160,7 @@ class StreamCompleted:
     high_water: int
 
 
-StreamEvent = Union[StreamStarted, ChunkCompleted, StreamCompleted]
+StreamEvent = Union[StreamStarted, ChunkCompleted, LambdaAdjusted, StreamCompleted]
 
 
 class StreamProgressPrinter:
@@ -172,6 +204,14 @@ class StreamProgressPrinter:
                 f"[stream] chunk {event.chunk_index}: {event.frames_in} frame(s) "
                 f"in {event.elapsed_s:.3f}s ({event.frames_per_sec:.1f} frames/s; "
                 f"depth {event.queue_depth}, high-water {event.high_water})"
+            )
+        if isinstance(event, LambdaAdjusted):
+            owner = f"{event.label}: " if event.label else ""
+            return (
+                f"[stream] {owner}lambda {event.old_sensitivity:g} -> "
+                f"{event.new_sensitivity:g} at stack {event.stack_index} "
+                f"(frame {event.frame_index}; sigma~{event.estimated_sigma:.1f}, "
+                f"gamma~{event.estimated_gamma:.2g})"
             )
         if isinstance(event, StreamCompleted):
             per_stage = "; ".join(

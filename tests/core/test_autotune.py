@@ -1,7 +1,11 @@
 """Tests for ground-truth-free sensitivity selection."""
 
+import warnings
+
 import numpy as np
 import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
 
 from repro.config import NGSTConfig, NGSTDatasetConfig
 from repro.core.algo_ngst import AlgoNGST
@@ -106,3 +110,105 @@ class TestAutotune:
         _, corrupted = world(sigma=25.0, gamma=0.01)
         result = autotune_sensitivity(corrupted, lambda_grid=(40.0, 60.0))
         assert result.sensitivity in (40.0, 60.0)
+
+
+#: Stacks the estimators must never choke on: any uint16 content, any
+#: stack depth >= 2, flat or with coordinates.
+def _stacks(min_variants=2):
+    return st.tuples(
+        st.integers(min_value=min_variants, max_value=8),
+        st.integers(min_value=1, max_value=6),
+        st.integers(min_value=0, max_value=0xFFFF),
+        st.randoms(use_true_random=False),
+    ).map(
+        lambda t: (
+            np.asarray(
+                [
+                    [(t[2] + t[3].randint(-(2**15), 2**15)) & 0xFFFF for _ in range(t[1])]
+                    for _ in range(t[0])
+                ],
+                dtype=np.uint16,
+            )
+        )
+    )
+
+
+class TestEstimatorProperties:
+    """Hypothesis sweeps over the estimator edge cases.
+
+    The estimators run unattended in the online autotuner; a NaN, a
+    RuntimeWarning, or an unraised error on a degenerate window would
+    poison the Λ trajectory silently.  Every property below is asserted
+    under ``warnings.catch_warnings(error)`` so numpy's empty-slice and
+    invalid-value warnings fail loudly.
+    """
+
+    @settings(max_examples=60, deadline=None)
+    @given(stack=_stacks())
+    def test_estimates_are_finite_and_warning_free(self, stack):
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            sigma_hat = estimate_sigma(stack)
+            gamma_hat = estimate_gamma(stack, sigma_hat)
+        assert np.isfinite(sigma_hat) and sigma_hat >= 0.0
+        assert np.isfinite(gamma_hat) and 0.0 <= gamma_hat < 0.5
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        value=st.integers(min_value=0, max_value=0xFFFF),
+        n=st.integers(min_value=2, max_value=16),
+        width=st.integers(min_value=1, max_value=8),
+    )
+    def test_constant_frames_estimate_exactly_zero(self, value, n, width):
+        # σ̂ = 0 and Γ̂ = 0 on a constant stack — no adjacent difference,
+        # no top-bit disagreement, and no warnings along the way.
+        stack = np.full((n, width), value, dtype=np.uint16)
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            sigma_hat = estimate_sigma(stack)
+            gamma_hat = estimate_gamma(stack, sigma_hat)
+        assert sigma_hat == 0.0
+        assert gamma_hat == 0.0
+
+    @settings(max_examples=30, deadline=None)
+    @given(seed=st.integers(min_value=0, max_value=2**16), sigma=st.sampled_from([1.0, 25.0, 250.0]))
+    def test_fault_free_walks_estimate_gamma_zero(self, seed, sigma):
+        rng = np.random.default_rng(seed)
+        pristine = generate_walk(
+            NGSTDatasetConfig(n_variants=16, sigma=sigma), rng, (4, 4)
+        )
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            sigma_hat = estimate_sigma(pristine)
+            gamma_hat = estimate_gamma(pristine, sigma_hat)
+        assert gamma_hat < 1e-2
+
+    @settings(max_examples=20, deadline=None)
+    @given(
+        width=st.integers(min_value=0, max_value=5),
+        value=st.integers(min_value=0, max_value=0xFFFF),
+    )
+    def test_single_variant_stacks_raise_cleanly(self, width, value):
+        # One variant (or zero) has no adjacent pair: both estimators
+        # must raise DataFormatError instead of warning + NaN.
+        shape = (1, width) if width else (1,)
+        stack = np.full(shape, value, dtype=np.uint16)
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            with pytest.raises(DataFormatError):
+                estimate_sigma(stack)
+            with pytest.raises(DataFormatError):
+                estimate_gamma(stack, 25.0)
+            with pytest.raises(DataFormatError):
+                estimate_gamma(stack[:0], 25.0)
+
+    @settings(max_examples=15, deadline=None)
+    @given(stack=_stacks())
+    def test_estimators_are_pure(self, stack):
+        before = stack.copy()
+        sigma_a = estimate_sigma(stack)
+        gamma_a = estimate_gamma(stack, sigma_a)
+        sigma_b = estimate_sigma(stack)
+        gamma_b = estimate_gamma(stack, sigma_b)
+        assert (sigma_a, gamma_a) == (sigma_b, gamma_b)
+        assert stack.tobytes() == before.tobytes()

@@ -5,7 +5,12 @@ import pytest
 from repro.exceptions import ConfigurationError
 from repro.serve import LatencyHistogram, ServeMetrics
 from repro.serve.metrics import COUNTER_NAMES
-from repro.stream.telemetry import ChunkCompleted, StreamCompleted, StreamStarted
+from repro.stream.telemetry import (
+    ChunkCompleted,
+    LambdaAdjusted,
+    StreamCompleted,
+    StreamStarted,
+)
 
 
 def _chunk_event(frames_in=16, frames_out=12, elapsed_s=0.002):
@@ -121,5 +126,24 @@ class TestServeMetrics:
 
     def test_snapshot_structure(self):
         snap = ServeMetrics().snapshot()
-        assert set(snap) == {"counters", "latency"}
+        assert set(snap) == {"counters", "latency", "lambda_current"}
         assert set(snap["counters"]) == set(COUNTER_NAMES)
+        assert snap["lambda_current"] == {}
+
+    def test_lambda_adjusted_updates_counter_and_gauge(self):
+        metrics = ServeMetrics()
+        metrics(
+            LambdaAdjusted(
+                label="lab",
+                stack_index=3,
+                frame_index=96,
+                old_sensitivity=50.0,
+                new_sensitivity=100.0,
+                estimated_sigma=24.0,
+                estimated_gamma=0.05,
+            )
+        )
+        assert metrics.counter("lambda_adjustments") == 1
+        assert metrics.snapshot()["lambda_current"] == {"lab": 100.0}
+        text = metrics.render_prometheus()
+        assert 'repro_serve_lambda_current{tenant="lab"} 100' in text

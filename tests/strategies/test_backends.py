@@ -1,0 +1,113 @@
+"""Strategy-equivalence harness, part 2: adaptive arms on every backend.
+
+A figure 2 campaign carrying the adaptive and selective arms must
+produce byte-identical table artifacts whether its task graph runs
+serially, on a thread pool, on a process pool, or over a loopback
+:class:`LocalCluster` — the same contract the fixed arms already hold.
+The comparison is on canonical JSON of the panel artifact, which
+carries every Ψ value at full float precision.
+"""
+
+import json
+import multiprocessing
+
+import pytest
+
+from repro.cache import ArtifactCache
+from repro.cluster import LocalCluster
+from repro.dag.build import json_payload
+from repro.dag.scheduler import DagScheduler
+from repro.experiments import figure2, figure4
+from repro.runtime.backend import ProcessPoolBackend, ThreadPoolBackend
+
+needs_fork = pytest.mark.skipif(
+    "fork" not in multiprocessing.get_all_start_methods(),
+    reason="fork start method unavailable",
+)
+
+
+def _close(backend):
+    for name in ("close", "shutdown"):
+        method = getattr(backend, name, None)
+        if callable(method):
+            method()
+            return
+
+STRATEGIES = ("adaptive", "selective")
+
+
+def fig2_table(backend=None):
+    graph = figure2.graph(
+        gamma0_grid=(0.001, 0.05),
+        lambdas=(50.0,),
+        shape=(8, 8),
+        n_repeats=2,
+        strategies=STRATEGIES,
+    )
+    scheduler = DagScheduler(cache=ArtifactCache(), backend=backend)
+    panels = json_payload(
+        scheduler.run(graph, targets=(figure2.TABLE_NODE,))[figure2.TABLE_NODE]
+    )
+    return json.dumps(panels, sort_keys=True)
+
+
+class TestAdaptiveArmsAcrossBackends:
+    def test_thread_pool_matches_serial(self):
+        reference = fig2_table()
+        backend = ThreadPoolBackend(jobs=2)
+        try:
+            assert fig2_table(backend) == reference
+        finally:
+            _close(backend)
+
+    @needs_fork
+    def test_process_pool_matches_serial(self):
+        reference = fig2_table()
+        backend = ProcessPoolBackend(jobs=2, start_method="fork")
+        try:
+            assert fig2_table(backend) == reference
+        finally:
+            _close(backend)
+
+    def test_local_cluster_matches_serial(self):
+        reference = fig2_table()
+        with LocalCluster(n_workers=2) as cluster:
+            backend = cluster.backend(
+                heartbeat_interval_s=0.2, heartbeat_timeout_s=5.0
+            )
+            try:
+                assert fig2_table(backend) == reference
+            finally:
+                _close(backend)
+
+    def test_strategy_arm_labels_present(self):
+        panels = json.loads(fig2_table())
+        labels = [s["label"] for s in panels[0]["series"]]
+        for strategy in STRATEGIES:
+            assert f"Algo_NGST {strategy} L=50" in labels
+
+    def test_fig4_strategy_arms_match_serial_on_threads(self):
+        graph_kwargs = dict(
+            gamma_ini_grid=(0.02, 0.1),
+            lambdas=(50.0, 100.0),
+            shape=(8, 8),
+            n_repeats=1,
+            strategies=("adaptive",),
+        )
+
+        def table(backend=None):
+            graph = figure4.graph(**graph_kwargs)
+            scheduler = DagScheduler(cache=ArtifactCache(), backend=backend)
+            panels = json_payload(
+                scheduler.run(graph, targets=(figure4.TABLE_NODE,))[
+                    figure4.TABLE_NODE
+                ]
+            )
+            return json.dumps(panels, sort_keys=True)
+
+        reference = table()
+        backend = ThreadPoolBackend(jobs=2)
+        try:
+            assert table(backend) == reference
+        finally:
+            _close(backend)

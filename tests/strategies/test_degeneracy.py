@@ -1,0 +1,211 @@
+"""Strategy-equivalence harness, part 1: disabled adaptivity IS the baseline.
+
+The adaptive strategies earn their place only if turning them off
+reproduces Algorithm 1 *bit for bit* — approximate equality would let a
+silent behaviour change ride in under the flag.  Gated here:
+
+* ``adaptive`` with ``coherence_beta = 0`` ≡ ``fixed``;
+* ``adaptive`` on uniform-coherence (constant) stacks ≡ ``fixed`` at
+  any β (every incoherence score is exactly 1.0);
+* ``selective`` with the all-sensitive default map ≡ ``fixed``;
+* a ``frozen`` :class:`AutotuneVoterStage` ≡ a plain ``VoterStage``.
+
+The suite runs under both kernel tiers in CI (``REPRO_KERNEL_TIER``),
+so each identity is checked against the numpy and native dispatch.
+"""
+
+import numpy as np
+import pytest
+
+from repro.config import NGSTConfig, NGSTDatasetConfig, STRATEGY_CHOICES
+from repro.core.algo_ngst import AlgoNGST
+from repro.core.strategies import (
+    adaptive_thresholds,
+    incoherence_scores,
+    region_mask,
+    resolve_strategy,
+    strategy_arm_config,
+)
+from repro.core.voter import VoterMatrix
+from repro.data.ngst import generate_walk
+from repro.exceptions import ConfigurationError
+from repro.faults import UncorrelatedFaultModel
+
+
+def corrupted_stack(shape=(8, 12), n=32, gamma=0.01, seed=5, sigma=25.0):
+    rng = np.random.default_rng(seed)
+    pristine = generate_walk(
+        NGSTDatasetConfig(n_variants=n, sigma=sigma), rng, shape
+    )
+    corrupted, _ = UncorrelatedFaultModel(gamma).corrupt(pristine, rng)
+    return corrupted
+
+
+def assert_identical(result_a, result_b):
+    assert result_a.corrected.tobytes() == result_b.corrected.tobytes()
+    assert (
+        result_a.correction_vectors.tobytes()
+        == result_b.correction_vectors.tobytes()
+    )
+    assert result_a.n_pixels_corrected == result_b.n_pixels_corrected
+    assert result_a.n_bits_corrected == result_b.n_bits_corrected
+
+
+class TestAdaptiveDegeneracy:
+    @pytest.mark.parametrize("shape", [(), (24,), (8, 12)])
+    @pytest.mark.parametrize("per_coordinate", [False, True])
+    def test_beta_zero_is_byte_identical_to_fixed(self, shape, per_coordinate):
+        pixels = corrupted_stack(shape=shape)
+        fixed = AlgoNGST(
+            NGSTConfig(per_coordinate_thresholds=per_coordinate)
+        )(pixels)
+        adaptive = AlgoNGST(
+            NGSTConfig(
+                per_coordinate_thresholds=per_coordinate,
+                strategy="adaptive",
+                coherence_beta=0.0,
+            )
+        )(pixels)
+        assert_identical(fixed, adaptive)
+
+    @pytest.mark.parametrize("beta", [0.5, 1.0, 3.0])
+    def test_constant_stack_scores_one_and_matches_fixed(self, beta):
+        # A constant stack has all-zero XOR streams: every way scores
+        # exactly 1.0, so no threshold moves at any shift gain.
+        pixels = np.full((16, 6), 1234, dtype=np.uint16)
+        scores = incoherence_scores(VoterMatrix(pixels, 4))
+        assert np.all(scores == 1.0)
+        fixed = AlgoNGST(NGSTConfig())(pixels)
+        adaptive = AlgoNGST(
+            NGSTConfig(strategy="adaptive", coherence_beta=beta)
+        )(pixels)
+        assert_identical(fixed, adaptive)
+
+    def test_adjusted_thresholds_stay_ranked_powers_of_two(self):
+        pixels = corrupted_stack(gamma=0.05)
+        matrix = VoterMatrix(pixels, 4)
+        base = matrix.thresholds(50.0, per_coordinate=True)
+        adjusted = adaptive_thresholds(
+            base,
+            incoherence_scores(matrix),
+            beta=2.0,
+            prune_ratio=0.0,
+            nbits=16,
+        )
+        assert adjusted.dtype == np.uint64
+        assert np.all(adjusted >= 1)
+        assert np.all(adjusted <= np.uint64(1) << np.uint64(16))
+        log2 = np.log2(adjusted.astype(np.float64))
+        assert np.all(log2 == np.rint(log2))  # exact powers of two
+
+    def test_prune_ratio_forces_abstention(self):
+        pixels = corrupted_stack()
+        matrix = VoterMatrix(pixels, 4)
+        base = matrix.thresholds(50.0, per_coordinate=True)
+        scores = incoherence_scores(matrix)
+        # Ratio below every score: all ways abstain everywhere.
+        pruned = adaptive_thresholds(
+            base, scores, beta=1.0, prune_ratio=1e-9, nbits=16
+        )
+        assert np.all(pruned == np.uint64(1) << np.uint64(16))
+
+    def test_beta_zero_arms_agree_with_fixed_through_algo_dispatch(self):
+        # The AlgoNGST front door routes non-fixed strategies through
+        # resolve_strategy; beta=0 must survive the full dispatch path.
+        pixels = corrupted_stack(shape=(10,))
+        cfg = NGSTConfig(strategy="adaptive", coherence_beta=0.0)
+        assert resolve_strategy(cfg).name == "adaptive"
+        assert_identical(AlgoNGST(NGSTConfig())(pixels), AlgoNGST(cfg)(pixels))
+
+
+class TestSelectiveDegeneracy:
+    def test_all_sensitive_default_map_is_byte_identical_to_fixed(self):
+        pixels = corrupted_stack(shape=(8, 12))
+        fixed = AlgoNGST(NGSTConfig())(pixels)
+        selective = AlgoNGST(NGSTConfig(strategy="selective"))(pixels)
+        assert_identical(fixed, selective)
+
+    def test_temporal_only_stack_delegates_to_fixed(self):
+        # No coordinates ⇒ no regions ⇒ wholesale delegation, even with
+        # the map knobs set.
+        pixels = corrupted_stack(shape=())
+        fixed = AlgoNGST(NGSTConfig())(pixels)
+        selective = AlgoNGST(
+            NGSTConfig(strategy="selective", margin=2, science_fast=True)
+        )(pixels)
+        assert_identical(fixed, selective)
+
+    def test_region_mask_semantics(self):
+        cfg = NGSTConfig(
+            strategy="selective", margin=1, header_rows=2, science_fast=False
+        )
+        mask = region_mask((6, 5), cfg)
+        # Margin border is low-sensitivity (below the header rows)...
+        assert not mask[5, :].any() and not mask[2:, 0].any()
+        # ...but header rows override everything back to sensitive.
+        assert mask[0, :].all() and mask[1, :].all()
+        # Interior stays sensitive without science_fast.
+        assert mask[2:5, 1:4].all()
+        assert region_mask((), cfg) is None
+
+    def test_science_fast_keeps_headers_protected(self):
+        mask = region_mask(
+            (6, 5), NGSTConfig(strategy="selective", science_fast=True, header_rows=1)
+        )
+        assert mask[0, :].all()
+        assert not mask[1:, :].any()
+
+    def test_partitioned_run_matches_column_slices(self):
+        # Per-coordinate thresholds are column-independent, so the
+        # sensitive partition must equal a fixed run on those columns.
+        pixels = corrupted_stack(shape=(6, 6), gamma=0.02)
+        cfg = NGSTConfig(
+            strategy="selective", margin=1, per_coordinate_thresholds=True
+        )
+        result = AlgoNGST(cfg)(pixels)
+        mask = region_mask((6, 6), cfg)
+        flat = pixels.reshape(pixels.shape[0], -1)
+        sens = np.nonzero(mask.reshape(-1))[0]
+        reference = AlgoNGST(
+            NGSTConfig(per_coordinate_thresholds=True)
+        )(np.ascontiguousarray(flat[:, sens]))
+        got = result.correction_vectors.reshape(pixels.shape[0], -1)[:, sens]
+        assert got.tobytes() == reference.correction_vectors.tobytes()
+
+
+class TestStrategyPlumbing:
+    def test_resolve_strategy_covers_choices(self):
+        for name in STRATEGY_CHOICES:
+            cfg = NGSTConfig(strategy=name)
+            assert resolve_strategy(cfg).name == name
+
+    def test_arm_config_round_trips_names(self):
+        for name in STRATEGY_CHOICES:
+            assert strategy_arm_config(name).strategy == name
+        with pytest.raises(ConfigurationError):
+            strategy_arm_config("voting-by-vibes")
+
+    def test_config_validates_strategy_fields(self):
+        with pytest.raises(ConfigurationError):
+            NGSTConfig(strategy="nope")
+        with pytest.raises(ConfigurationError):
+            NGSTConfig(coherence_beta=-1.0)
+        with pytest.raises(ConfigurationError):
+            NGSTConfig(coherence_prune_ratio=0.5)  # must be 0 or > 1
+        with pytest.raises(ConfigurationError):
+            NGSTConfig(margin=-1)
+        with pytest.raises(ConfigurationError):
+            NGSTConfig(header_rows=-2)
+
+    def test_default_strategy_flag_tracks_every_knob(self):
+        assert NGSTConfig().is_default_strategy
+        for override in (
+            {"strategy": "adaptive"},
+            {"strategy": "selective"},
+            {"coherence_beta": 0.0},
+            {"coherence_prune_ratio": 2.0},
+            {"margin": 1},
+            {"header_rows": 1},
+            {"science_fast": True},
+        ):
+            assert not NGSTConfig(**override).is_default_strategy

@@ -197,6 +197,71 @@ class TestFingerprintMismatchExitCode:
         rc, resumed = run_json(tmp_path, list(base), name="resumed.json")
         assert rc == 0 and resumed["completed"] is True
 
+    @pytest.mark.parametrize(
+        "changed",
+        [
+            ["--strategy", "adaptive"],
+            ["--strategy", "adaptive", "--coherence-beta", "0"],
+            ["--strategy", "selective", "--margin", "1"],
+            ["--science-fast"],
+            ["--autotune"],
+            ["--profile", "step:elevated=0.05"],
+        ],
+        ids=["adaptive", "beta0", "selective", "science-fast", "autotune",
+             "profile"],
+    )
+    def test_new_strategy_fields_invalidate_the_checkpoint(
+        self, tmp_path, capsys, changed
+    ):
+        # Every strategy/autotuner/profile knob is stream semantics, so
+        # flipping any of them mid-campaign must exit 4 — including
+        # beta=0, which is byte-identical in OUTPUT but still a
+        # different declared configuration.
+        ckdir = str(tmp_path / "ck")
+        base = [
+            "--frames", "120", "--shape", "4", "--chunk-frames", "16",
+            "--stack-frames", "16", "--resume", "--checkpoint-dir", ckdir,
+        ]
+        rc, _ = run_json(tmp_path, base + ["--limit-chunks", "3"])
+        assert rc == EXIT_INCOMPLETE
+
+        rc = stream_main(base + changed)
+        assert rc == EXIT_FINGERPRINT_MISMATCH
+        captured = capsys.readouterr()
+        assert "stream resume refused" in captured.err
+        assert "Traceback" not in captured.err
+
+    def test_strategy_run_resumes_against_its_own_checkpoint(self, tmp_path):
+        # The inverse guarantee: a checkpoint written WITH the strategy
+        # flags resumes cleanly under the same flags...
+        ckdir = str(tmp_path / "ck")
+        base = [
+            "--frames", "120", "--shape", "4", "--chunk-frames", "16",
+            "--stack-frames", "16", "--strategy", "adaptive",
+            "--resume", "--checkpoint-dir", ckdir,
+        ]
+        rc, _ = run_json(tmp_path, base + ["--limit-chunks", "3"])
+        assert rc == EXIT_INCOMPLETE
+        rc, resumed = run_json(tmp_path, list(base), name="resumed.json")
+        assert rc == 0 and resumed["completed"] is True
+
+    def test_autotune_run_resumes_against_its_own_checkpoint(self, tmp_path):
+        # ...and so does the online autotuner, whose checkpoint state
+        # additionally carries the tuner window and Λ trajectory.
+        flags = [
+            "--frames", "200", "--shape", "8", "--chunk-frames", "16",
+            "--stack-frames", "24", "--autotune", "--autotune-min-delta",
+            "10", "--profile", "step:elevated=0.08,period=100,duty=0.5",
+        ]
+        base = flags + ["--resume", "--checkpoint-dir", str(tmp_path / "ck")]
+        rc, uninterrupted = run_json(tmp_path, list(flags), name="full.json")
+        assert rc == 0
+        rc, _ = run_json(tmp_path, base + ["--limit-chunks", "4"])
+        assert rc == EXIT_INCOMPLETE
+        rc, resumed = run_json(tmp_path, list(base), name="resumed.json")
+        assert rc == 0 and resumed["completed"] is True
+        assert resumed["psi_algorithm"] == uninterrupted["psi_algorithm"]
+
 
 class TestBoundedUnboundedRuns:
     def test_max_chunks_ends_an_unbounded_stream_cleanly(self, tmp_path):

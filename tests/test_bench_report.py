@@ -27,6 +27,7 @@ def reports(tmp_path_factory):
     native_out = bench_dir / "native.json"
     dag_out = bench_dir / "dag.json"
     cluster_out = bench_dir / "cluster.json"
+    strategies_out = bench_dir / "strategies.json"
     assert (
         bench_report.main(
             [
@@ -45,6 +46,8 @@ def reports(tmp_path_factory):
                 str(dag_out),
                 "--cluster-out",
                 str(cluster_out),
+                "--strategies-out",
+                str(strategies_out),
             ]
         )
         == 0
@@ -56,6 +59,7 @@ def reports(tmp_path_factory):
         json.loads(native_out.read_text()),
         json.loads(dag_out.read_text()),
         json.loads(cluster_out.read_text()),
+        json.loads(strategies_out.read_text()),
     )
 
 
@@ -87,6 +91,11 @@ def dag_report(reports):
 @pytest.fixture(scope="module")
 def cluster_report(reports):
     return reports[5]
+
+
+@pytest.fixture(scope="module")
+def strategies_report(reports):
+    return reports[6]
 
 
 def test_report_top_level_schema(report):
@@ -408,6 +417,77 @@ def test_committed_cluster_report_is_schema_valid():
         assert committed["single_core_container"] is True
         assert "single-core" in committed["note"]
         assert committed["overhead"]["per_shard_overhead_ms"] >= 0
+
+
+def test_strategies_report_top_level_schema(strategies_report):
+    assert (
+        strategies_report["schema_version"]
+        == bench_report.STRATEGY_SCHEMA_VERSION
+    )
+    assert strategies_report["quick"] is True
+    assert isinstance(strategies_report["psi_grid"], dict)
+    assert set(bench_report.STRATEGY_STEP_KEYS) <= set(
+        strategies_report["step_profile"]
+    )
+    assert set(bench_report.STRATEGY_OVERHEAD_KEYS) <= set(
+        strategies_report["overhead"]
+    )
+
+
+def test_strategies_grid_rows(strategies_report):
+    grid = strategies_report["psi_grid"]
+    assert grid["rows"]
+    for row in grid["rows"]:
+        assert set(bench_report.STRATEGY_GRID_KEYS) <= set(row), row
+        assert row["n_repeats"] >= 1
+        for key in ("psi_fixed", "psi_adaptive", "psi_selective"):
+            assert row[key] >= 0
+    assert grid["operating_gamma"] == grid["rows"][0]["gamma"]
+    assert grid["adaptive_no_worse_at_operating_point"] is True
+
+
+def test_strategies_step_profile_entry(strategies_report):
+    """The autotuner's raison d'être: under a time-varying Γ profile it
+    must actually move Λ and end no worse than the fixed arm it
+    started as."""
+    step = strategies_report["step_profile"]
+    assert step["n_frames"] >= 1
+    assert "step(" in step["profile"]
+    assert step["lambda_trajectory"], "the tuner never adjusted"
+    for record in step["lambda_trajectory"]:
+        assert record["old_sensitivity"] != record["new_sensitivity"]
+        assert record["frame_index"] >= 0
+    assert step["psi_autotune"] <= step["psi_fixed"]
+
+
+def test_strategies_overhead_entry(strategies_report):
+    overhead = strategies_report["overhead"]
+    assert overhead["plain_s"] > 0
+    assert overhead["autotune_s"] > 0
+    assert overhead["overhead_us_per_frame"] >= 0
+    assert overhead["overhead_ratio"] > 0
+
+
+def test_committed_strategies_report_is_schema_valid():
+    """The checked-in BENCH_PR10.json must parse under the same schema
+    and show the acceptance result: the adaptive arm no worse than the
+    fixed arm at the operating Γ, and the autotuner strictly better
+    than its own starting Λ under the time-varying step profile."""
+    committed = json.loads((REPO_ROOT / "BENCH_PR10.json").read_text())
+    assert (
+        committed["schema_version"] == bench_report.STRATEGY_SCHEMA_VERSION
+    )
+    grid = committed["psi_grid"]
+    for row in grid["rows"]:
+        assert set(bench_report.STRATEGY_GRID_KEYS) <= set(row)
+    assert grid["adaptive_no_worse_at_operating_point"] is True
+    step = committed["step_profile"]
+    assert set(bench_report.STRATEGY_STEP_KEYS) <= set(step)
+    assert step["lambda_trajectory"]
+    assert step["psi_autotune"] < step["psi_fixed"]
+    assert set(bench_report.STRATEGY_OVERHEAD_KEYS) <= set(
+        committed["overhead"]
+    )
 
 
 load_serve = pytest.importorskip("load_serve")

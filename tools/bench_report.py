@@ -217,6 +217,37 @@ THREADED_KEYS = (
 #: The three headline kernels of the ≥2x regression gate.
 HEADLINE_KERNELS = ("correlated_flip_grid", "voter_grt", "bit_planes")
 
+#: BENCH_PR10.json schema version (adaptive strategies report).
+STRATEGY_SCHEMA_VERSION = 1
+
+#: Keys every static-Γ grid row must carry.
+STRATEGY_GRID_KEYS = (
+    "gamma",
+    "n_repeats",
+    "psi_fixed",
+    "psi_adaptive",
+    "psi_selective",
+)
+
+#: Keys the time-varying step-profile section must carry.
+STRATEGY_STEP_KEYS = (
+    "n_frames",
+    "profile",
+    "psi_fixed",
+    "psi_autotune",
+    "improvement",
+    "lambda_trajectory",
+)
+
+#: Keys the autotuner-overhead section must carry.
+STRATEGY_OVERHEAD_KEYS = (
+    "n_frames",
+    "plain_s",
+    "autotune_s",
+    "overhead_us_per_frame",
+    "overhead_ratio",
+)
+
 
 def _time_once(fn) -> float:
     t0 = time.perf_counter()
@@ -1181,6 +1212,187 @@ def build_cluster_report(quick: bool) -> dict:
     }
 
 
+def _bench_strategy_grid(quick: bool) -> dict:
+    """Ψ for the fixed / adaptive / selective arms over a static-Γ grid.
+
+    The operating point is the lowest Γ of the grid — the nominal
+    environment every strategy must not regress at.  The adaptive arm's
+    promise is "no worse when nothing is wrong, better when the stack
+    is incoherent", so the headline boolean checks the first half here
+    (the second half is the step-profile section's job).
+    """
+    from repro.core.strategies import strategy_arm_config
+
+    shape = (8, 8) if quick else (16, 16)
+    n_variants = 32 if quick else 64
+    n_repeats = 2 if quick else 8
+    gammas = (0.001, 0.05) if quick else (0.001, 0.005, 0.01, 0.05)
+    dataset_cfg = NGSTDatasetConfig(n_variants=n_variants, sigma=25.0)
+    arms = {
+        name: AlgoNGST(strategy_arm_config(name))
+        for name in ("fixed", "adaptive", "selective")
+    }
+
+    rows = []
+    for gamma in gammas:
+        sums = dict.fromkeys(arms, 0.0)
+        for repeat in range(n_repeats):
+            rng = np.random.default_rng(1000 + repeat)
+            pristine = generate_walk(dataset_cfg, rng, shape)
+            corrupted, _ = FaultInjector(
+                UncorrelatedFaultModel(gamma), seed=repeat
+            ).inject(pristine)
+            for name, algo in arms.items():
+                sums[name] += psi(algo(corrupted).corrected, pristine)
+        rows.append(
+            {
+                "gamma": gamma,
+                "n_repeats": n_repeats,
+                **{
+                    f"psi_{name}": total / n_repeats
+                    for name, total in sums.items()
+                },
+            }
+        )
+    operating = rows[0]
+    return {
+        "shape": list(shape),
+        "n_variants": n_variants,
+        "lambda": 50.0,
+        "operating_gamma": gammas[0],
+        "rows": rows,
+        # Exactly-no-worse would be brittle on a 2-repeat quick run;
+        # 5% covers seed noise while still catching a real regression.
+        "adaptive_no_worse_at_operating_point": (
+            operating["psi_adaptive"]
+            <= operating["psi_fixed"] * 1.05 + 1e-12
+        ),
+    }
+
+
+def _strategy_step_profile(quick: bool):
+    from repro.faults.profile import GammaStepProfile
+
+    n_frames = 512 if quick else 2048
+    return n_frames, GammaStepProfile(
+        base=0.001, elevated=0.08, period=256, duty=0.5
+    )
+
+
+def _bench_strategy_step(quick: bool) -> dict:
+    """Autotuned vs fixed Λ under a time-varying Γ step profile.
+
+    Both streams start at Λ=50 over the identical injected stream; the
+    tuner's only advantage is reacting to the elevated-Γ windows.  Its
+    committed Λ trajectory is recorded so the report shows *when* it
+    moved, not just that the aggregate Ψ improved.
+    """
+    from repro.stream.autotune_stage import AutotuneVoterStage
+
+    n_frames, profile = _strategy_step_profile(quick)
+
+    def source():
+        return SyntheticWalkSource(shape=(16,), seed=11, n_frames=n_frames)
+
+    def inject():
+        return InjectStage(
+            UncorrelatedFaultModel(0.001), seed=3, profile=profile
+        )
+
+    fixed = StreamPipeline(
+        source(),
+        [inject(), VoterStage(NGSTConfig(sensitivity=50.0), stack_frames=32)],
+        chunk_frames=64,
+    ).run()
+    tuner = AutotuneVoterStage(
+        NGSTConfig(sensitivity=50.0),
+        stack_frames=32,
+        window_stacks=2,
+        interval_stacks=1,
+        min_delta=10.0,
+        confirm=2,
+    )
+    autotuned = StreamPipeline(
+        source(), [inject(), tuner], chunk_frames=64
+    ).run()
+    return {
+        "n_frames": n_frames,
+        "profile": profile.describe(),
+        "starting_lambda": 50.0,
+        "psi_fixed": fixed.psi_algorithm,
+        "psi_autotune": autotuned.psi_algorithm,
+        "improvement": (
+            round(fixed.psi_algorithm / autotuned.psi_algorithm, 4)
+            if autotuned.psi_algorithm
+            else float("inf")
+        ),
+        "lambda_trajectory": list(tuner.lambda_trajectory),
+    }
+
+
+def _bench_autotune_overhead(quick: bool) -> dict:
+    """Per-frame cost of the online estimators over a plain voter.
+
+    Same source, same injection, same stacks — the only delta is the
+    σ̂/Γ̂ estimation at each stack boundary, so the per-frame figure is
+    exactly what a mission pays to keep the tuner armed.
+    """
+    from repro.stream.autotune_stage import AutotuneVoterStage
+
+    n_frames = 1024 if quick else 8192
+    repeats = 2 if quick else 5
+
+    def run(stage_factory) -> float:
+        best = float("inf")
+        for _ in range(repeats):
+            source = SyntheticWalkSource(
+                shape=(64,), seed=3, n_frames=n_frames
+            )
+            stages = [
+                InjectStage(UncorrelatedFaultModel(0.01), seed=5),
+                stage_factory(),
+            ]
+            pipeline = StreamPipeline(source, stages, chunk_frames=64)
+            best = min(best, _time_once(pipeline.run))
+        return best
+
+    plain_s = run(
+        lambda: VoterStage(NGSTConfig(sensitivity=50.0), stack_frames=32)
+    )
+    autotune_s = run(
+        lambda: AutotuneVoterStage(
+            NGSTConfig(sensitivity=50.0),
+            stack_frames=32,
+            window_stacks=2,
+            interval_stacks=1,
+        )
+    )
+    return {
+        "n_frames": n_frames,
+        "coord_shape": [64],
+        "stack_frames": 32,
+        "plain_s": round(plain_s, 4),
+        "autotune_s": round(autotune_s, 4),
+        "overhead_us_per_frame": round(
+            max(autotune_s - plain_s, 0.0) / n_frames * 1e6, 3
+        ),
+        "overhead_ratio": round(autotune_s / plain_s, 3) if plain_s else 0.0,
+    }
+
+
+def build_strategies_report(quick: bool) -> dict:
+    return {
+        "schema_version": STRATEGY_SCHEMA_VERSION,
+        "generated_by": "tools/bench_report.py" + (" --quick" if quick else ""),
+        "quick": quick,
+        "python": platform.python_version(),
+        "numpy": np.__version__,
+        "psi_grid": _bench_strategy_grid(quick),
+        "step_profile": _bench_strategy_step(quick),
+        "overhead": _bench_autotune_overhead(quick),
+    }
+
+
 def build_cache_report(quick: bool) -> dict:
     return {
         "schema_version": CACHE_SCHEMA_VERSION,
@@ -1260,6 +1472,13 @@ def main(argv: list[str] | None = None) -> int:
         type=Path,
         default=REPO_ROOT / "BENCH_PR9.json",
         help="cluster backend report path (default: repo-root BENCH_PR9.json)",
+    )
+    parser.add_argument(
+        "--strategies-out",
+        type=Path,
+        default=REPO_ROOT / "BENCH_PR10.json",
+        help="adaptive strategies report path "
+        "(default: repo-root BENCH_PR10.json)",
     )
     parser.add_argument(
         "--repeats",
@@ -1393,6 +1612,36 @@ def main(argv: list[str] | None = None) -> int:
     if cluster_report["note"]:
         print(f"cluster note: {cluster_report['note']}")
     print(f"wrote {args.cluster_out}")
+
+    strategies_report = build_strategies_report(args.quick)
+    args.strategies_out.write_text(
+        json.dumps(strategies_report, indent=2) + "\n"
+    )
+    g = strategies_report["psi_grid"]
+    for row in g["rows"]:
+        print(
+            f"strategy grid: gamma={row['gamma']:<6}  "
+            f"fixed {row['psi_fixed']:.4g}  "
+            f"adaptive {row['psi_adaptive']:.4g}  "
+            f"selective {row['psi_selective']:.4g}"
+        )
+    print(
+        f"strategy grid: adaptive no worse at gamma="
+        f"{g['operating_gamma']}: {g['adaptive_no_worse_at_operating_point']}"
+    )
+    sp = strategies_report["step_profile"]
+    print(
+        f"strategy step: fixed psi {sp['psi_fixed']:.4g} -> autotune "
+        f"{sp['psi_autotune']:.4g} ({sp['improvement']}x) over "
+        f"{sp['profile']} with {len(sp['lambda_trajectory'])} adjustment(s)"
+    )
+    ov = strategies_report["overhead"]
+    print(
+        f"strategy overhead: plain {ov['plain_s']}s -> autotune "
+        f"{ov['autotune_s']}s ({ov['overhead_us_per_frame']}us/frame, "
+        f"{ov['overhead_ratio']}x)"
+    )
+    print(f"wrote {args.strategies_out}")
     return 0
 
 

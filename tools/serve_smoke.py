@@ -19,10 +19,17 @@ them:
 Exits non-zero on any failed check.  Runs in a few seconds::
 
     PYTHONPATH=src python tools/serve_smoke.py
+
+``--repeat-chaos N`` additionally runs the two chaos kill/resume tests
+(``TestChaosResume`` and ``TestDrainRestart`` in
+``tests/serve/test_server.py``) N times in a row — the deflake loop CI
+uses to prove the pinned chaos seeds make those tests deterministic,
+not merely lucky.
 """
 
 from __future__ import annotations
 
+import argparse
 import asyncio
 import json
 import os
@@ -175,8 +182,57 @@ async def _smoke() -> int:
     return 0
 
 
-def main() -> int:
-    return asyncio.run(_smoke())
+#: The two kill/resume tests the --repeat-chaos deflake loop re-runs.
+CHAOS_TESTS = (
+    "tests/serve/test_server.py::TestChaosResume::"
+    "test_kills_do_not_change_a_single_byte",
+    "tests/serve/test_server.py::TestDrainRestart::"
+    "test_mid_stream_drain_then_restart_resumes",
+)
+
+
+def _repeat_chaos(repeats: int) -> int:
+    """Run the chaos kill/resume tests *repeats* times; 0 on all-green.
+
+    Each iteration is a fresh pytest process (fresh event loop, fresh
+    tmp dirs, fresh sockets), so a pass N times in a row means the
+    pinned chaos/drain schedules are deterministic under process-level
+    variation — the property the seed pins exist to guarantee.
+    """
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(REPO_ROOT / "src")
+    for iteration in range(1, repeats + 1):
+        code = subprocess.call(
+            [sys.executable, "-m", "pytest", "-q", *CHAOS_TESTS],
+            cwd=REPO_ROOT,
+            env=env,
+        )
+        if code != 0:
+            print(
+                f"chaos deflake loop FAILED on iteration "
+                f"{iteration}/{repeats}",
+                file=sys.stderr,
+            )
+            return 1
+        print(f"chaos deflake iteration {iteration}/{repeats} OK")
+    return 0
+
+
+def main(argv: "list[str] | None" = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--repeat-chaos",
+        type=int,
+        default=0,
+        metavar="N",
+        help="after the smoke, re-run the two chaos kill/resume tests "
+        "N times (deflake loop; default 0 = skip)",
+    )
+    args = parser.parse_args(argv)
+    code = asyncio.run(_smoke())
+    if code == 0 and args.repeat_chaos > 0:
+        code = _repeat_chaos(args.repeat_chaos)
+    return code
 
 
 if __name__ == "__main__":

@@ -1,0 +1,108 @@
+"""End-to-end smoke of the adaptive strategy arms — the CI adaptive job.
+
+Runs a figure-2 campaign carrying the ``adaptive`` and ``selective``
+arms twice — once serially, once sharded over a loopback
+:class:`repro.cluster.LocalCluster` with real forked workers and the
+real TCP protocol — and asserts the two table artifacts are
+byte-identical as canonical JSON.  This is the distributed half of the
+strategy-equivalence contract: the incoherence-scored voter must not
+care where its stacks are computed.
+
+Also drives the real ``repro fig2 --quick --strategy adaptive`` CLI as
+a subprocess and checks the adaptive arm column lands in the emitted
+table, so the operator-facing flag path stays wired.
+
+Exits non-zero on any failed check.  Runs in well under a minute::
+
+    PYTHONPATH=src python tools/strategy_smoke.py
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import subprocess
+import sys
+import tempfile
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.cache import ArtifactCache  # noqa: E402
+from repro.cluster import LocalCluster  # noqa: E402
+from repro.dag.build import json_payload  # noqa: E402
+from repro.dag.scheduler import DagScheduler  # noqa: E402
+from repro.experiments import figure2  # noqa: E402
+
+STRATEGIES = ("adaptive", "selective")
+
+
+def _fig2_table(backend=None) -> str:
+    graph = figure2.graph(
+        gamma0_grid=(0.001, 0.05),
+        lambdas=(50.0,),
+        shape=(8, 8),
+        n_repeats=2,
+        strategies=STRATEGIES,
+    )
+    scheduler = DagScheduler(cache=ArtifactCache(), backend=backend)
+    panels = json_payload(
+        scheduler.run(graph, targets=(figure2.TABLE_NODE,))[figure2.TABLE_NODE]
+    )
+    return json.dumps(panels, sort_keys=True)
+
+
+def _cluster_vs_serial() -> None:
+    serial = _fig2_table()
+    for strategy in STRATEGIES:
+        assert f"Algo_NGST {strategy} L=50" in serial, (
+            f"{strategy} arm missing from the serial table"
+        )
+    with LocalCluster(n_workers=2) as cluster:
+        backend = cluster.backend(
+            heartbeat_interval_s=0.2, heartbeat_timeout_s=10.0
+        )
+        try:
+            clustered = _fig2_table(backend)
+        finally:
+            backend.close()
+    assert clustered == serial, "cluster table diverged from serial"
+    print(
+        f"strategy smoke: serial == 2-worker cluster "
+        f"({len(serial)} canonical-JSON bytes, arms: {', '.join(STRATEGIES)})"
+    )
+
+
+def _cli_flag_path() -> None:
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(REPO_ROOT / "src")
+    with tempfile.TemporaryDirectory(prefix="repro-strategy-smoke-") as tmp:
+        out = Path(tmp) / "fig2.json"
+        completed = subprocess.run(
+            [
+                sys.executable, "-m", "repro.cli", "fig2", "--quick",
+                "--strategy", "adaptive", "--json", str(out),
+            ],
+            capture_output=True,
+            text=True,
+            env=env,
+            cwd=REPO_ROOT,
+            timeout=300,
+        )
+        assert completed.returncode == 0, completed.stderr[-2000:]
+        blob = out.read_text()
+    assert "Algo_NGST adaptive L=50" in blob, (
+        "adaptive arm missing from the CLI fig2 output"
+    )
+    print("strategy smoke: `repro fig2 --quick --strategy adaptive` OK")
+
+
+def main() -> int:
+    _cluster_vs_serial()
+    _cli_flag_path()
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
